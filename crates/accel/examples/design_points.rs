@@ -1,0 +1,80 @@
+//! Compare all design points and idealizations on one workload.
+//!
+//! The quick way to see the Section IV analysis from the command line:
+//!
+//! ```text
+//! cargo run -p asr-accel --release --example design_points [states] [frames] [beam]
+//! ```
+
+use asr_accel::config::{AcceleratorConfig, DesignPoint};
+use asr_accel::sim::Simulator;
+use asr_acoustic::scores::AcousticTable;
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+
+fn main() {
+    let arg = |i: usize| std::env::args().nth(i).map(|s| s.parse().expect("numeric argument"));
+    let states: usize = arg(1).unwrap_or(200_000);
+    let frames: usize = arg(2).map(|f: usize| f).unwrap_or(100);
+    let beam: f32 = std::env::args()
+        .nth(3)
+        .map(|s| s.parse().expect("numeric beam"))
+        .unwrap_or(12.0);
+
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(states).with_seed(6))
+        .expect("synthetic WFST");
+    let scores = AcousticTable::random(frames, wfst.num_phones() as usize, (0.5, 4.0), 99);
+
+    let mut configs: Vec<(String, AcceleratorConfig)> = DesignPoint::ALL
+        .iter()
+        .map(|&d| (d.label().to_owned(), AcceleratorConfig::for_design(d).with_beam(beam)))
+        .collect();
+    for (label, f) in [
+        ("perfect-arc", &(|c: &mut AcceleratorConfig| c.perfect_arc_cache = true) as &dyn Fn(&mut AcceleratorConfig)),
+        ("perfect-state", &|c: &mut AcceleratorConfig| c.perfect_state_cache = true),
+        ("perfect-token", &|c: &mut AcceleratorConfig| c.perfect_token_cache = true),
+    ] {
+        let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
+        f(&mut cfg);
+        configs.push((label.to_owned(), cfg));
+    }
+    configs.push((
+        "perfect-all".to_owned(),
+        AcceleratorConfig::for_design(DesignPoint::Base)
+            .with_beam(beam)
+            .with_perfect_caches(),
+    ));
+    configs.push((
+        "ideal-hash".to_owned(),
+        AcceleratorConfig::for_design(DesignPoint::Base)
+            .with_beam(beam)
+            .with_ideal_hash(),
+    ));
+
+    let mut base_cycles = 0u64;
+    println!(
+        "{:<16} {:>12} {:>9} {:>9} {:>24} {:>28}",
+        "config", "cycles", "speedup", "cyc/arc", "miss (arc/state/token)", "traffic MB (s/a/t/o)"
+    );
+    for (name, cfg) in configs {
+        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("simulation");
+        let s = &r.stats;
+        if base_cycles == 0 {
+            base_cycles = s.cycles;
+        }
+        let t = &s.traffic;
+        println!(
+            "{:<16} {:>12} {:>8.2}x {:>9.2} {:>9.2}/{:.2}/{:.2} {:>13.1}/{:.1}/{:.1}/{:.1}",
+            name,
+            s.cycles,
+            base_cycles as f64 / s.cycles as f64,
+            s.cycles_per_arc(),
+            s.arc_cache.miss_ratio(),
+            s.state_cache.miss_ratio(),
+            s.token_cache.miss_ratio(),
+            t.states as f64 / 1e6,
+            t.arcs as f64 / 1e6,
+            t.tokens as f64 / 1e6,
+            t.overflow as f64 / 1e6,
+        );
+    }
+}

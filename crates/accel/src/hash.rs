@@ -1,0 +1,336 @@
+//! The accelerator's token hash tables (Section III).
+//!
+//! Two hash tables track the active tokens of the current and next frame.
+//! Each entry stores the token's likelihood, the main-memory address of its
+//! backpointer, the state index, and a next-pointer linking all active
+//! entries for the next frame's State Issuer walk. Collisions chain into a
+//! backup buffer; when the backup buffer fills, entries spill to the
+//! Overflow Buffer in main memory — rare at 32K entries (Figure 5), and
+//! costly when it happens.
+//!
+//! Timing model: an access that lands on its home bucket takes one cycle;
+//! each chained entry traversed adds a cycle; an access that must touch the
+//! overflow buffer pays a main-memory round trip (accounted by the caller
+//! through the DRAM model so contention is shared).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of one hash access (lookup-or-insert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashAccess {
+    /// `true` if the state was already present (the access updates the
+    /// stored likelihood rather than allocating).
+    pub existing: bool,
+    /// On-chip cycles spent (home bucket + chain traversal).
+    pub cycles: u64,
+    /// `true` if the entry lives in (or had to be placed in) the overflow
+    /// buffer in main memory.
+    pub overflow: bool,
+}
+
+/// Aggregate hash-table counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashStats {
+    /// Total accesses.
+    pub requests: u64,
+    /// Total on-chip cycles spent serving them.
+    pub cycles: u64,
+    /// Accesses that had to traverse at least one chained entry.
+    pub collisions: u64,
+    /// Accesses that touched the main-memory overflow buffer.
+    pub overflow_accesses: u64,
+    /// Peak occupancy (distinct states) seen in a frame.
+    pub peak_occupancy: u64,
+}
+
+impl HashStats {
+    /// Average cycles per request (Figure 5's y-axis); 1.0 when idle.
+    pub fn avg_cycles_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / self.requests as f64
+        }
+    }
+}
+
+/// One token hash table.
+///
+/// # Example
+///
+/// ```
+/// use asr_accel::hash::HashTable;
+///
+/// let mut table = HashTable::new(32 * 1024, false);
+/// let first = table.access(42); // insert
+/// assert!(!first.existing);
+/// assert_eq!(first.cycles, 1);
+/// let again = table.access(42); // likelihood update
+/// assert!(again.existing);
+/// assert_eq!(table.occupancy(), 1);
+/// assert_eq!(table.walk(), &[42]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    entries: usize,
+    backup_capacity: usize,
+    ideal: bool,
+    /// Chain length per bucket (0 = empty).
+    chain_len: Vec<u16>,
+    /// Position of each resident state within its bucket chain
+    /// (0 = home slot). Insertion order is preserved for the walk.
+    index: HashMap<u32, u32>,
+    /// Insertion-ordered list of states (the hardware's linked list).
+    order: Vec<u32>,
+    backup_used: usize,
+    overflow_used: usize,
+    stats: HashStats,
+}
+
+impl HashTable {
+    /// Creates a table with `entries` home buckets. The backup buffer holds
+    /// `entries / 2` chained entries before spilling to memory. `ideal`
+    /// makes every access single-cycle (Section IV analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`.
+    pub fn new(entries: usize, ideal: bool) -> Self {
+        assert!(entries > 0, "hash table needs at least one entry");
+        Self {
+            entries,
+            backup_capacity: entries / 2,
+            ideal,
+            chain_len: vec![0; entries],
+            index: HashMap::new(),
+            order: Vec::new(),
+            backup_used: 0,
+            overflow_used: 0,
+            stats: HashStats::default(),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, state: u32) -> usize {
+        // Multiplicative hashing; stable across platforms.
+        (state.wrapping_mul(2_654_435_761) as usize) % self.entries
+    }
+
+    /// Looks up `state`, inserting it if absent. Returns the timing and
+    /// placement outcome.
+    pub fn access(&mut self, state: u32) -> HashAccess {
+        self.stats.requests += 1;
+        if self.ideal {
+            self.stats.cycles += 1;
+            let existing = self.index.contains_key(&state);
+            if !existing {
+                self.index.insert(state, 0);
+                self.order.push(state);
+            }
+            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.index.len() as u64);
+            return HashAccess {
+                existing,
+                cycles: 1,
+                overflow: false,
+            };
+        }
+        let bucket = self.bucket(state);
+        if let Some(&pos) = self.index.get(&state) {
+            // Traverse the chain up to the entry's position.
+            let cycles = 1 + pos as u64;
+            let overflow = self.position_overflows(pos);
+            self.stats.cycles += cycles;
+            if pos > 0 {
+                self.stats.collisions += 1;
+            }
+            if overflow {
+                self.stats.overflow_accesses += 1;
+            }
+            return HashAccess {
+                existing: true,
+                cycles,
+                overflow,
+            };
+        }
+        // Insert at the tail of the bucket's chain.
+        let pos = self.chain_len[bucket] as u32;
+        let cycles = 1 + pos as u64;
+        let mut overflow = false;
+        if pos > 0 {
+            self.stats.collisions += 1;
+            if self.backup_used < self.backup_capacity {
+                self.backup_used += 1;
+            } else {
+                self.overflow_used += 1;
+                overflow = true;
+            }
+        }
+        if self.position_overflows(pos) {
+            overflow = true;
+        }
+        if overflow {
+            self.stats.overflow_accesses += 1;
+        }
+        self.chain_len[bucket] = self.chain_len[bucket].saturating_add(1);
+        self.index.insert(state, pos);
+        self.order.push(state);
+        self.stats.cycles += cycles;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.index.len() as u64);
+        HashAccess {
+            existing: false,
+            cycles,
+            overflow,
+        }
+    }
+
+    /// `true` when a chain position would live in the memory-backed
+    /// overflow region (backup buffer exhausted).
+    fn position_overflows(&self, pos: u32) -> bool {
+        pos > 0 && self.backup_used >= self.backup_capacity && self.overflow_used > 0
+    }
+
+    /// Number of distinct states resident.
+    pub fn occupancy(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The active states in insertion order — the linked-list walk the
+    /// State Issuer performs at the start of a frame.
+    pub fn walk(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Clears contents for the next frame (counters are kept).
+    pub fn clear(&mut self) {
+        self.chain_len.iter_mut().for_each(|c| *c = 0);
+        self.index.clear();
+        self.order.clear();
+        self.backup_used = 0;
+        self.overflow_used = 0;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HashStats {
+        self.stats
+    }
+
+    /// Number of home buckets.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_inserts_second_updates() {
+        let mut h = HashTable::new(1024, false);
+        let a = h.access(42);
+        assert!(!a.existing);
+        assert_eq!(a.cycles, 1);
+        let b = h.access(42);
+        assert!(b.existing);
+        assert_eq!(b.cycles, 1);
+        assert_eq!(h.occupancy(), 1);
+    }
+
+    #[test]
+    fn collisions_cost_extra_cycles() {
+        // Force collisions with a single-bucket table.
+        let mut h = HashTable::new(1, false);
+        assert_eq!(h.access(1).cycles, 1);
+        assert_eq!(h.access(2).cycles, 2);
+        assert_eq!(h.access(3).cycles, 3);
+        // Re-access of a chained entry pays its chain position again.
+        assert_eq!(h.access(2).cycles, 2);
+        assert!(h.stats().collisions >= 3);
+    }
+
+    #[test]
+    fn walk_preserves_insertion_order() {
+        let mut h = HashTable::new(64, false);
+        for s in [5u32, 1, 9, 3] {
+            h.access(s);
+        }
+        h.access(1); // update, not re-insert
+        assert_eq!(h.walk(), &[5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn clear_resets_contents_keeps_stats() {
+        let mut h = HashTable::new(64, false);
+        h.access(1);
+        h.access(2);
+        h.clear();
+        assert_eq!(h.occupancy(), 0);
+        assert!(h.walk().is_empty());
+        assert_eq!(h.stats().requests, 2);
+        // Post-clear, the same state inserts fresh.
+        assert!(!h.access(1).existing);
+    }
+
+    #[test]
+    fn overflow_kicks_in_when_backup_exhausts() {
+        // 2 buckets -> backup capacity 1: the second collision overflows.
+        let mut h = HashTable::new(2, false);
+        let mut overflowed = false;
+        for s in 0..16u32 {
+            overflowed |= h.access(s).overflow;
+        }
+        assert!(overflowed);
+        assert!(h.stats().overflow_accesses > 0);
+    }
+
+    #[test]
+    fn large_table_rarely_collides() {
+        let mut h = HashTable::new(32 * 1024, false);
+        for s in 0..1000u32 {
+            h.access(s * 7919);
+        }
+        let stats = h.stats();
+        assert!(
+            stats.avg_cycles_per_request() < 1.1,
+            "avg {:.3}",
+            stats.avg_cycles_per_request()
+        );
+        assert_eq!(stats.overflow_accesses, 0);
+    }
+
+    #[test]
+    fn small_table_collides_often() {
+        let mut small = HashTable::new(1024, false);
+        for s in 0..4000u32 {
+            small.access(s * 7919);
+        }
+        let mut big = HashTable::new(64 * 1024, false);
+        for s in 0..4000u32 {
+            big.access(s * 7919);
+        }
+        assert!(
+            small.stats().avg_cycles_per_request() > big.stats().avg_cycles_per_request(),
+            "Figure 5 trend: fewer entries, more cycles per request"
+        );
+    }
+
+    #[test]
+    fn ideal_hash_is_single_cycle() {
+        let mut h = HashTable::new(1, true);
+        for s in 0..100u32 {
+            assert_eq!(h.access(s).cycles, 1);
+        }
+        assert_eq!(h.stats().avg_cycles_per_request(), 1.0);
+        assert_eq!(h.stats().collisions, 0);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_distinct_states() {
+        let mut h = HashTable::new(64, false);
+        for s in 0..10u32 {
+            h.access(s);
+        }
+        assert_eq!(h.stats().peak_occupancy, 10);
+    }
+}

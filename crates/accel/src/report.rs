@@ -1,0 +1,172 @@
+//! Human-readable report of one simulated decode.
+//!
+//! Formats the counters of [`crate::stats::SimStats`] together with the
+//! energy/area models into the kind of summary an architecture paper's
+//! evaluation section is written from. Used by the examples; everything
+//! here is derived, nothing is computed.
+
+use crate::config::AcceleratorConfig;
+use crate::energy::{AreaModel, EnergyBreakdown, EnergyModel};
+use crate::sim::SimResult;
+use std::fmt;
+
+/// A formatted decode report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    cfg: AcceleratorConfig,
+    cycles: u64,
+    seconds: f64,
+    frames: usize,
+    arcs: u64,
+    eps_arcs: u64,
+    cycles_per_arc: f64,
+    rtf: f64,
+    arc_miss: f64,
+    state_miss: f64,
+    token_miss: f64,
+    hash_cpr: f64,
+    traffic_mb: [f64; 4],
+    direct_fraction: f64,
+    energy: EnergyBreakdown,
+    power_w: f64,
+    area_mm2: f64,
+}
+
+impl SimReport {
+    /// Builds the report from a result, applying the default energy and
+    /// area models.
+    pub fn new(cfg: &AcceleratorConfig, result: &SimResult) -> Self {
+        let s = &result.stats;
+        let energy = EnergyModel::default().energy(cfg, s);
+        let seconds = s.seconds(cfg.frequency_hz);
+        let direct_total = s.state_fetches + s.state_fetches_avoided;
+        Self {
+            cfg: cfg.clone(),
+            cycles: s.cycles,
+            seconds,
+            frames: s.frames,
+            arcs: s.arcs_processed,
+            eps_arcs: s.eps_arcs_processed,
+            cycles_per_arc: s.cycles_per_arc(),
+            rtf: s.real_time_factor(cfg.frequency_hz),
+            arc_miss: s.arc_cache.miss_ratio(),
+            state_miss: s.state_cache.miss_ratio(),
+            token_miss: s.token_cache.miss_ratio(),
+            hash_cpr: s.hash.avg_cycles_per_request(),
+            traffic_mb: [
+                s.traffic.states as f64 / 1e6,
+                s.traffic.arcs as f64 / 1e6,
+                s.traffic.tokens as f64 / 1e6,
+                s.traffic.overflow as f64 / 1e6,
+            ],
+            direct_fraction: if direct_total == 0 {
+                0.0
+            } else {
+                s.state_fetches_avoided as f64 / direct_total as f64
+            },
+            energy,
+            power_w: energy.power_w(seconds),
+            area_mm2: AreaModel.area(cfg).total_mm2(),
+        }
+    }
+
+    /// Average power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.power_w
+    }
+
+    /// Total energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design point      {}", self.cfg.design.label())?;
+        writeln!(f, "-- performance ------------------------------")?;
+        writeln!(f, "cycles            {:>14}", self.cycles)?;
+        writeln!(f, "wall time         {:>11.3} ms", self.seconds * 1e3)?;
+        writeln!(f, "frames            {:>14}", self.frames)?;
+        writeln!(
+            f,
+            "arcs evaluated    {:>14}  ({} epsilon)",
+            self.arcs + self.eps_arcs,
+            self.eps_arcs
+        )?;
+        writeln!(f, "cycles per arc    {:>14.2}", self.cycles_per_arc)?;
+        writeln!(f, "real-time factor  {:>13.1}x", self.rtf)?;
+        writeln!(f, "-- memory system ----------------------------")?;
+        writeln!(
+            f,
+            "miss ratios       arc {:>5.1}%  state {:>5.1}%  token {:>5.1}%",
+            100.0 * self.arc_miss,
+            100.0 * self.state_miss,
+            100.0 * self.token_miss
+        )?;
+        writeln!(f, "hash cycles/req   {:>14.3}", self.hash_cpr)?;
+        writeln!(
+            f,
+            "off-chip traffic  s/a/t/o = {:.2}/{:.2}/{:.2}/{:.2} MB",
+            self.traffic_mb[0], self.traffic_mb[1], self.traffic_mb[2], self.traffic_mb[3]
+        )?;
+        if self.cfg.design.state_opt() {
+            writeln!(
+                f,
+                "direct arc index  {:>13.1}% of state resolutions",
+                100.0 * self.direct_fraction
+            )?;
+        }
+        writeln!(f, "-- energy / area ----------------------------")?;
+        writeln!(f, "energy            {:>11.3} mJ", self.energy.total_j() * 1e3)?;
+        writeln!(
+            f,
+            "  caches/hash/dram {:>6.2}/{:.2}/{:.2} mJ",
+            self.energy.caches_j * 1e3,
+            self.energy.hash_j * 1e3,
+            self.energy.dram_j * 1e3
+        )?;
+        writeln!(f, "power             {:>11.1} mW", self.power_w * 1e3)?;
+        write!(f, "area              {:>11.2} mm2", self.area_mm2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DesignPoint;
+    use crate::sim::Simulator;
+    use asr_acoustic::scores::AcousticTable;
+    use asr_wfst::synth::{SynthConfig, SynthWfst};
+
+    fn report(design: DesignPoint) -> SimReport {
+        let wfst = SynthWfst::generate(&SynthConfig::with_states(3_000)).unwrap();
+        let scores = AcousticTable::random(10, wfst.num_phones() as usize, (0.5, 4.0), 1);
+        let cfg = AcceleratorConfig::for_design(design).with_beam(8.0);
+        let result = Simulator::new(cfg.clone()).decode_wfst(&wfst, &scores).unwrap();
+        SimReport::new(&cfg, &result)
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let text = report(DesignPoint::Base).to_string();
+        assert!(text.contains("performance"));
+        assert!(text.contains("memory system"));
+        assert!(text.contains("energy / area"));
+        assert!(text.contains("cycles per arc"));
+        assert!(!text.contains("direct arc index"), "base has no direct unit");
+    }
+
+    #[test]
+    fn state_opt_report_shows_direct_fraction() {
+        let text = report(DesignPoint::StateAndArc).to_string();
+        assert!(text.contains("direct arc index"));
+    }
+
+    #[test]
+    fn derived_quantities_are_positive() {
+        let r = report(DesignPoint::ArcPrefetch);
+        assert!(r.power_w() > 0.0);
+        assert!(r.energy_j() > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! From-scratch multi-layer perceptron acoustic model.
+//!
+//! The paper's hybrid system runs a DNN on the GPU to produce per-phone
+//! likelihoods while the accelerator searches. This module implements that
+//! DNN: dense layers with ReLU activations and a log-softmax output over
+//! the phone set. Weights are deterministic (seeded Xavier-style init);
+//! since no training corpus ships with the reproduction, *functional*
+//! decoding accuracy comes from [`crate::template`], while this MLP
+//! provides the realistic compute/memory workload for the platform models
+//! (FLOP counts, batch scoring).
+
+use crate::scores::AcousticTable;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One dense layer: `y = W x + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Vec<f32>, // row-major [out][in]
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-uniform weights drawn from `rng`.
+    pub fn random<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "degenerate layer shape");
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        let bias = vec![0.0; out_dim];
+        Self {
+            weights,
+            bias,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the affine map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim`.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_dim, "layer input dimension mismatch");
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>() + self.bias[o]
+            })
+            .collect()
+    }
+
+    /// Multiply-accumulate count of one forward pass.
+    pub fn flops(&self) -> u64 {
+        2 * (self.in_dim as u64) * (self.out_dim as u64)
+    }
+}
+
+/// A feed-forward acoustic network: input features → hidden ReLU layers →
+/// log-softmax over phones.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[39, 512, 512, 2001]`
+    /// (input dim, hidden dims..., phone count). Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::random(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// The paper-like topology used by the platform models: 39-dim MFCC
+    /// input, a few wide hidden layers, `num_phones` outputs.
+    pub fn kaldi_like(input_dim: usize, num_phones: usize, seed: u64) -> Self {
+        Self::new(&[input_dim, 512, 512, 512, num_phones], seed)
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Number of output classes (phones).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+
+    /// Forward pass returning log-posteriors (log-softmax output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the input dimension.
+    pub fn log_posteriors(&self, features: &[f32]) -> Vec<f32> {
+        let mut x = features.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x);
+            if i != last {
+                for v in &mut x {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+        }
+        log_softmax(&mut x);
+        x
+    }
+
+    /// Scores a whole utterance into an [`AcousticTable`] of costs
+    /// (negative log-posteriors), with phone id 0 (epsilon) left at cost 0.
+    pub fn score_utterance(&self, features: &[Vec<f32>]) -> AcousticTable {
+        let phones = self.output_dim();
+        AcousticTable::from_fn(features.len(), phones + 1, |frame, phone| {
+            if phone == 0 {
+                0.0
+            } else {
+                -self.log_posteriors(&features[frame])[phone - 1]
+            }
+        })
+    }
+
+    /// Multiply-accumulate count of one frame's forward pass — used by the
+    /// GPU platform model to estimate DNN runtime.
+    pub fn flops_per_frame(&self) -> u64 {
+        self.layers.iter().map(Dense::flops).sum()
+    }
+}
+
+/// Numerically-stable in-place log-softmax.
+fn log_softmax(x: &mut [f32]) {
+    let max = x.iter().cloned().fold(f32::MIN, f32::max);
+    let log_sum = x
+        .iter()
+        .map(|v| (v - max).exp())
+        .sum::<f32>()
+        .ln()
+        + max;
+    for v in x {
+        *v -= log_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_posteriors_normalize() {
+        let mlp = Mlp::new(&[4, 8, 5], 1);
+        let lp = mlp.log_posteriors(&[0.1, -0.2, 0.3, 0.4]);
+        let total: f32 = lp.iter().map(|v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-4, "posteriors sum to {total}");
+        assert!(lp.iter().all(|v| *v <= 0.0));
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = Mlp::new(&[4, 6, 3], 42).log_posteriors(&[1.0, 2.0, 3.0, 4.0]);
+        let b = Mlp::new(&[4, 6, 3], 42).log_posteriors(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = Mlp::new(&[4, 6, 3], 1).log_posteriors(&[1.0; 4]);
+        let b = Mlp::new(&[4, 6, 3], 2).log_posteriors(&[1.0; 4]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flops_count_matches_topology() {
+        let mlp = Mlp::new(&[39, 512, 2001], 0);
+        assert_eq!(mlp.flops_per_frame(), 2 * (39 * 512 + 512 * 2001) as u64);
+    }
+
+    #[test]
+    fn score_utterance_shapes_table() {
+        let mlp = Mlp::new(&[4, 8, 5], 3);
+        let feats = vec![vec![0.0; 4]; 6];
+        let table = mlp.score_utterance(&feats);
+        assert_eq!(table.num_frames(), 6);
+        assert_eq!(table.num_phones(), 6); // 5 classes + epsilon slot
+        // Costs are non-negative (posteriors <= 1).
+        for f in 0..6 {
+            for p in 1..6u32 {
+                assert!(table.cost(f, asr_wfst::PhoneId(p)) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_stable_for_large_inputs() {
+        let mut x = vec![1000.0, 1000.0, 1000.0];
+        log_softmax(&mut x);
+        for v in &x {
+            assert!((v - (1f32 / 3.0).ln()).abs() < 1e-4);
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        Mlp::new(&[4, 3], 0).log_posteriors(&[0.0; 5]);
+    }
+
+    #[test]
+    fn kaldi_like_topology() {
+        let mlp = Mlp::kaldi_like(39, 2000, 0);
+        assert_eq!(mlp.input_dim(), 39);
+        assert_eq!(mlp.output_dim(), 2000);
+    }
+}

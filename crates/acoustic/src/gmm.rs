@@ -1,0 +1,236 @@
+//! Gaussian mixture model acoustic scoring.
+//!
+//! Before hybrid DNN systems, GMM-HMM was the standard acoustic model
+//! (the paper's Section VII cites pre-WFST accelerators for Sphinx-era
+//! GMM systems). The accelerator is agnostic to where its score table
+//! comes from, so this crate provides the GMM path too: per-phone
+//! diagonal-covariance mixtures evaluated in log space. Parameters are
+//! either fitted from labelled synthetic frames (one EM-free
+//! moment-matching pass per phone) or seeded deterministically.
+
+use crate::mfcc::{MfccConfig, MfccPipeline};
+use crate::scores::AcousticTable;
+use crate::signal::{render_phones, SignalConfig};
+use asr_wfst::PhoneId;
+use serde::{Deserialize, Serialize};
+
+/// One diagonal-covariance Gaussian component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Mean vector.
+    pub mean: Vec<f32>,
+    /// Per-dimension variances (floored at construction).
+    pub var: Vec<f32>,
+    /// Mixture weight (sums to 1 within a mixture).
+    pub weight: f32,
+    // Cached: log(weight) - 0.5 * sum(log(2*pi*var)).
+    log_norm: f32,
+}
+
+impl Gaussian {
+    /// Creates a component, flooring variances for robustness.
+    ///
+    /// Variance flooring is the standard GMM-HMM trick: deterministic or
+    /// tiny training sets underestimate variances, making the model
+    /// brittle on frames it has not seen (phone-transition frames here);
+    /// the floor keeps Mahalanobis penalties bounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` and `var` lengths differ or `weight <= 0`.
+    pub fn new(mean: Vec<f32>, mut var: Vec<f32>, weight: f32) -> Self {
+        assert_eq!(mean.len(), var.len(), "mean/variance dimension mismatch");
+        assert!(weight > 0.0, "non-positive mixture weight");
+        for v in &mut var {
+            *v = v.max(0.5);
+        }
+        let log_norm = weight.ln()
+            - 0.5
+                * var
+                    .iter()
+                    .map(|v| (2.0 * std::f32::consts::PI * v).ln())
+                    .sum::<f32>();
+        Self {
+            mean,
+            var,
+            weight,
+            log_norm,
+        }
+    }
+
+    /// Log density (up to the cached normalization) of `x`.
+    pub fn log_density(&self, x: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), self.mean.len());
+        let mahal: f32 = x
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.var)
+            .map(|((xi, mi), vi)| (xi - mi) * (xi - mi) / vi)
+            .sum();
+        self.log_norm - 0.5 * mahal
+    }
+}
+
+/// A per-phone mixture.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Mixture {
+    /// Components; weights sum to ~1.
+    pub components: Vec<Gaussian>,
+}
+
+impl Mixture {
+    /// Log likelihood via log-sum-exp over components.
+    pub fn log_likelihood(&self, x: &[f32]) -> f32 {
+        let logs: Vec<f32> = self.components.iter().map(|g| g.log_density(x)).collect();
+        let max = logs.iter().cloned().fold(f32::MIN, f32::max);
+        if !max.is_finite() {
+            return f32::MIN;
+        }
+        max + logs.iter().map(|l| (l - max).exp()).sum::<f32>().ln()
+    }
+}
+
+/// A GMM acoustic model over phones `1..=num_phones`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GmmModel {
+    mixtures: Vec<Mixture>, // index 0 unused (epsilon)
+    #[serde(skip)]
+    pipeline: Option<MfccPipeline>,
+}
+
+impl GmmModel {
+    /// Fits a single-component model per phone from that phone's synthetic
+    /// rendering: moment matching (sample mean and variance) over interior
+    /// frames — the closed-form special case of EM.
+    pub fn fit_from_synthetic(num_phones: u32, signal_cfg: &SignalConfig) -> Self {
+        let pipeline = MfccPipeline::new(MfccConfig::default());
+        let mut mixtures = vec![Mixture::default(); num_phones as usize + 1];
+        for phone in 1..=num_phones {
+            let wave = render_phones(&[PhoneId(phone)], 8, signal_cfg);
+            let feats = pipeline.process(&wave);
+            let interior = &feats[1..feats.len() - 1];
+            let dim = interior[0].len();
+            let count = interior.len() as f32;
+            let mut mean = vec![0.0f32; dim];
+            for f in interior {
+                for (m, v) in mean.iter_mut().zip(f) {
+                    *m += v / count;
+                }
+            }
+            let mut var = vec![0.0f32; dim];
+            for f in interior {
+                for ((v, x), m) in var.iter_mut().zip(f).zip(&mean) {
+                    *v += (x - m) * (x - m) / count;
+                }
+            }
+            mixtures[phone as usize] = Mixture {
+                components: vec![Gaussian::new(mean, var, 1.0)],
+            };
+        }
+        Self {
+            mixtures,
+            pipeline: Some(pipeline),
+        }
+    }
+
+    /// Number of modelled phones (excluding epsilon).
+    pub fn num_phones(&self) -> u32 {
+        (self.mixtures.len() - 1) as u32
+    }
+
+    /// Acoustic cost (negative log likelihood) of `phone` for a feature
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phone is epsilon/unmodelled.
+    pub fn frame_cost(&self, features: &[f32], phone: PhoneId) -> f32 {
+        let mix = &self.mixtures[phone.index()];
+        assert!(!mix.components.is_empty(), "no mixture for {phone:?}");
+        -mix.log_likelihood(features)
+    }
+
+    /// Scores a waveform into an [`AcousticTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model was deserialized without re-attaching a
+    /// pipeline (construct via [`GmmModel::fit_from_synthetic`]).
+    pub fn score_waveform(&self, samples: &[f32]) -> AcousticTable {
+        let pipeline = self
+            .pipeline
+            .as_ref()
+            .expect("model has no feature pipeline attached");
+        let feats = pipeline.process(samples);
+        AcousticTable::from_fn(feats.len(), self.mixtures.len(), |frame, phone| {
+            if phone == 0 {
+                0.0
+            } else {
+                self.frame_cost(&feats[frame], PhoneId(phone as u32))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_peaks_at_its_mean() {
+        let g = Gaussian::new(vec![1.0, -1.0], vec![0.5, 0.5], 1.0);
+        let at_mean = g.log_density(&[1.0, -1.0]);
+        let away = g.log_density(&[2.0, 0.0]);
+        assert!(at_mean > away);
+    }
+
+    #[test]
+    fn mixture_log_likelihood_is_stable() {
+        let m = Mixture {
+            components: vec![
+                Gaussian::new(vec![0.0], vec![1.0], 0.5),
+                Gaussian::new(vec![10.0], vec![1.0], 0.5),
+            ],
+        };
+        // Near either mode the likelihood is finite and mode-local.
+        let near0 = m.log_likelihood(&[0.1]);
+        let near10 = m.log_likelihood(&[9.9]);
+        let far = m.log_likelihood(&[100.0]);
+        assert!(near0.is_finite() && near10.is_finite());
+        assert!((near0 - near10).abs() < 0.5);
+        assert!(far < near0);
+    }
+
+    #[test]
+    fn fitted_model_classifies_its_training_phones() {
+        let cfg = SignalConfig::default();
+        let model = GmmModel::fit_from_synthetic(6, &cfg);
+        assert_eq!(model.num_phones(), 6);
+        for truth in 1..=6u32 {
+            let wave = render_phones(&[PhoneId(truth)], 6, &cfg);
+            let table = model.score_waveform(&wave);
+            let frame = 3; // interior
+            let best = (1..=6u32)
+                .min_by(|&a, &b| {
+                    table
+                        .cost(frame, PhoneId(a))
+                        .total_cmp(&table.cost(frame, PhoneId(b)))
+                })
+                .unwrap();
+            assert_eq!(best, truth, "phone {truth} misclassified");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_gaussian_rejected() {
+        Gaussian::new(vec![0.0; 3], vec![1.0; 4], 1.0);
+    }
+
+    #[test]
+    fn variances_are_floored() {
+        let g = Gaussian::new(vec![0.0], vec![0.0], 1.0);
+        assert!(g.var[0] >= 0.5);
+        assert!(g.log_density(&[0.0]).is_finite());
+    }
+}

@@ -1,0 +1,220 @@
+//! Energy-based voice activity detection and endpointing.
+//!
+//! Mobile ASR systems (the paper's target segment) do not run the search
+//! continuously: a cheap always-on detector gates the expensive pipeline.
+//! This module provides the standard short-time-energy VAD with hangover
+//! smoothing, plus utterance endpointing used by the streaming example.
+
+use serde::{Deserialize, Serialize};
+
+/// VAD tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VadConfig {
+    /// Samples per analysis frame (10 ms at 16 kHz).
+    pub frame_len: usize,
+    /// Energy threshold relative to the running noise floor (linear
+    /// factor; speech must exceed `noise_floor * threshold`).
+    pub threshold: f32,
+    /// Frames of hangover: speech is held active this many frames after
+    /// energy drops, bridging short pauses.
+    pub hangover: usize,
+    /// Exponential smoothing factor for the noise-floor estimate.
+    pub floor_alpha: f32,
+}
+
+impl Default for VadConfig {
+    fn default() -> Self {
+        Self {
+            frame_len: crate::FRAME_SAMPLES,
+            threshold: 4.0,
+            hangover: 5,
+            floor_alpha: 0.95,
+        }
+    }
+}
+
+/// Per-frame voice activity decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VadResult {
+    /// One flag per frame: `true` = speech.
+    pub active: Vec<bool>,
+    /// Mean frame energy, for diagnostics.
+    pub mean_energy: f32,
+}
+
+impl VadResult {
+    /// Contiguous active segments as `(first_frame, last_frame)` pairs —
+    /// the utterance endpoints handed to the decoder.
+    pub fn segments(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, &a) in self.active.iter().enumerate() {
+            match (a, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    out.push((s, i - 1));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push((s, self.active.len() - 1));
+        }
+        out
+    }
+
+    /// Segments with up to `tail` trailing frames removed — undoing the
+    /// hangover padding before the segment is handed to the decoder, so
+    /// trailing silence is not force-aligned to phones.
+    pub fn segments_trimmed(&self, tail: usize) -> Vec<(usize, usize)> {
+        self.segments()
+            .into_iter()
+            .map(|(start, end)| (start, end.saturating_sub(tail).max(start)))
+            .collect()
+    }
+
+    /// Fraction of frames marked as speech.
+    pub fn activity_ratio(&self) -> f64 {
+        if self.active.is_empty() {
+            return 0.0;
+        }
+        self.active.iter().filter(|&&a| a).count() as f64 / self.active.len() as f64
+    }
+}
+
+/// The detector.
+#[derive(Debug, Clone, Default)]
+pub struct Vad {
+    cfg: VadConfig,
+}
+
+impl Vad {
+    /// Creates a detector.
+    pub fn new(cfg: VadConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Classifies every frame of `samples`.
+    ///
+    /// The noise floor starts at the first frame's energy and tracks quiet
+    /// frames with exponential smoothing; a frame is speech when its
+    /// energy exceeds `threshold x floor`, extended by `hangover` frames.
+    pub fn detect(&self, samples: &[f32]) -> VadResult {
+        let n = self.cfg.frame_len.max(1);
+        let energies: Vec<f32> = samples
+            .chunks(n)
+            .map(|c| c.iter().map(|s| s * s).sum::<f32>() / c.len() as f32)
+            .collect();
+        let mean_energy = if energies.is_empty() {
+            0.0
+        } else {
+            energies.iter().sum::<f32>() / energies.len() as f32
+        };
+        // Seed the noise floor from the quietest frame so utterances that
+        // begin mid-speech are still detected.
+        let mut floor = energies
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
+            .max(1e-9);
+        if !floor.is_finite() {
+            floor = 1e-9;
+        }
+        let mut active = Vec::with_capacity(energies.len());
+        let mut hang = 0usize;
+        for &e in &energies {
+            let speech = e > floor * self.cfg.threshold;
+            if speech {
+                hang = self.cfg.hangover;
+                active.push(true);
+            } else if hang > 0 {
+                hang -= 1;
+                active.push(true);
+            } else {
+                active.push(false);
+                // Only quiet frames update the noise floor.
+                floor = self.cfg.floor_alpha * floor + (1.0 - self.cfg.floor_alpha) * e.max(1e-9);
+            }
+        }
+        VadResult {
+            active,
+            mean_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{render_phones, SignalConfig};
+    use asr_wfst::PhoneId;
+
+    fn noisy_silence(frames: usize) -> Vec<f32> {
+        // Match the synthetic renderer's noise floor.
+        render_phones(&[PhoneId::EPSILON], frames, &SignalConfig::default())
+    }
+
+    #[test]
+    fn silence_is_inactive() {
+        let vad = Vad::default();
+        let r = vad.detect(&noisy_silence(20));
+        assert!(r.activity_ratio() < 0.2, "ratio {}", r.activity_ratio());
+    }
+
+    #[test]
+    fn speech_between_silences_is_segmented() {
+        let cfg = SignalConfig::default();
+        let mut samples = noisy_silence(10);
+        samples.extend(render_phones(&[PhoneId(3), PhoneId(4)], 5, &cfg));
+        samples.extend(noisy_silence(12));
+        let r = Vad::default().detect(&samples);
+        let segs = r.segments();
+        assert_eq!(segs.len(), 1, "segments: {segs:?}");
+        let (start, end) = segs[0];
+        // Speech spans frames 10..19 (+hangover at the tail).
+        assert!((8..=11).contains(&start), "start {start}");
+        assert!((19..=26).contains(&end), "end {end}");
+    }
+
+    #[test]
+    fn hangover_bridges_short_pauses() {
+        let cfg = SignalConfig::default();
+        let mut samples = render_phones(&[PhoneId(3)], 4, &cfg);
+        samples.extend(noisy_silence(2)); // 2-frame pause < 5-frame hangover
+        samples.extend(render_phones(&[PhoneId(4)], 4, &cfg));
+        let r = Vad::default().detect(&samples);
+        assert_eq!(r.segments().len(), 1, "pause should be bridged");
+    }
+
+    #[test]
+    fn long_pause_splits_segments() {
+        let cfg = SignalConfig::default();
+        let mut samples = render_phones(&[PhoneId(3)], 4, &cfg);
+        samples.extend(noisy_silence(15));
+        samples.extend(render_phones(&[PhoneId(4)], 4, &cfg));
+        let r = Vad::default().detect(&samples);
+        assert_eq!(r.segments().len(), 2, "{:?}", r.segments());
+    }
+
+    #[test]
+    fn trimmed_segments_shrink_but_never_invert() {
+        let r = VadResult {
+            active: vec![false, true, true, true, true, false, true, false],
+            mean_energy: 0.0,
+        };
+        assert_eq!(r.segments(), vec![(1, 4), (6, 6)]);
+        assert_eq!(r.segments_trimmed(2), vec![(1, 2), (6, 6)]);
+        // Over-trimming collapses to the start frame, never below it.
+        assert_eq!(r.segments_trimmed(100), vec![(1, 1), (6, 6)]);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let r = Vad::default().detect(&[]);
+        assert!(r.active.is_empty());
+        assert!(r.segments().is_empty());
+        assert_eq!(r.activity_ratio(), 0.0);
+        assert_eq!(r.mean_energy, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! One Criterion benchmark per paper table/figure, each timing the
+//! simulation kernel that regenerates it (at reduced scale so `cargo
+//! bench` stays fast). The actual series are produced by the `asr-bench`
+//! binaries (`cargo run -p asr-bench --release --bin fig09_decoding_time`
+//! etc.); these benches track the cost of regenerating them and guard the
+//! simulator against performance regressions.
+
+use asr_accel::config::{AcceleratorConfig, DesignPoint};
+use asr_accel::sim::Simulator;
+use asr_acoustic::scores::AcousticTable;
+use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
+use asr_wfst::sorted::SortedWfst;
+use asr_wfst::stats::DegreeCdf;
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use asr_wfst::Wfst;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const STATES: usize = 30_000;
+const FRAMES: usize = 10;
+const BEAM: f32 = 10.0;
+
+fn workload() -> (Wfst, AcousticTable) {
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(STATES)).unwrap();
+    let scores = AcousticTable::random(FRAMES, wfst.num_phones() as usize, (0.5, 4.0), 11);
+    (wfst, scores)
+}
+
+fn sim_cycles(wfst: &Wfst, scores: &AcousticTable, cfg: AcceleratorConfig) -> u64 {
+    Simulator::new(cfg)
+        .decode_wfst(wfst, scores)
+        .unwrap()
+        .stats
+        .cycles
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let (wfst, scores) = workload();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Figure 1: baseline profile = one reference decode (workload probe).
+    g.bench_function("fig01_profile_probe", |b| {
+        let d = ViterbiDecoder::new(DecodeOptions::with_beam(BEAM));
+        b.iter(|| black_box(d.decode(&wfst, &scores)))
+    });
+
+    // Figure 4: one cache-capacity point.
+    g.bench_function("fig04_cache_point", |b| {
+        b.iter(|| {
+            let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(BEAM);
+            cfg.arc_cache.capacity = 256 * 1024;
+            cfg.state_cache.capacity = 256 * 1024;
+            cfg.token_cache.capacity = 256 * 1024;
+            black_box(sim_cycles(&wfst, &scores, cfg))
+        })
+    });
+
+    // Figure 5: one hash-entries point.
+    g.bench_function("fig05_hash_point", |b| {
+        b.iter(|| {
+            let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(BEAM);
+            cfg.hash_entries = 8 * 1024;
+            black_box(sim_cycles(&wfst, &scores, cfg))
+        })
+    });
+
+    // Figure 7: static degree CDF.
+    g.bench_function("fig07_degree_cdf", |b| {
+        b.iter(|| black_box(DegreeCdf::from_static(&wfst).curve()))
+    });
+
+    // Figures 9/10/12/14: one design-point simulation each.
+    for design in DesignPoint::ALL {
+        g.bench_function(format!("fig09_{}", design.label()), |b| {
+            b.iter(|| {
+                black_box(sim_cycles(
+                    &wfst,
+                    &scores,
+                    AcceleratorConfig::for_design(design).with_beam(BEAM),
+                ))
+            })
+        });
+    }
+
+    // Figure 13 / Section IV-B: the offline re-layout itself.
+    g.bench_function("fig13_sorted_relayout", |b| {
+        b.iter(|| black_box(SortedWfst::new(&wfst).unwrap().static_direct_fraction()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,204 @@
+//! Forced alignment: find the best frame-to-phone segmentation for a
+//! *known* phone sequence.
+//!
+//! Training acoustic models (and validating synthetic test audio) needs
+//! the time boundaries of each phone. Given the phone sequence and the
+//! per-frame acoustic costs, this is a small Viterbi problem over a
+//! left-to-right chain: each frame either stays in the current phone or
+//! advances to the next one.
+
+use asr_acoustic::scores::AcousticTable;
+use asr_wfst::PhoneId;
+use serde::{Deserialize, Serialize};
+
+/// One aligned phone segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The phone.
+    pub phone: PhoneId,
+    /// First frame of the segment (inclusive).
+    pub start: usize,
+    /// One past the last frame.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Segment length in frames.
+    pub fn frames(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Result of a forced alignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// One segment per phone, in order, covering all frames.
+    pub segments: Vec<Segment>,
+    /// Total acoustic cost of the best segmentation.
+    pub cost: f32,
+}
+
+/// Aligns `phones` against the score table.
+///
+/// Returns `None` when the alignment is infeasible (fewer frames than
+/// phones, or no phones with a non-empty table).
+///
+/// # Panics
+///
+/// Panics if any phone is epsilon or out of the table's range.
+pub fn force_align(phones: &[PhoneId], scores: &AcousticTable) -> Option<Alignment> {
+    let t = scores.num_frames();
+    let n = phones.len();
+    if n == 0 || t < n {
+        return None;
+    }
+    assert!(
+        phones.iter().all(|p| !p.is_epsilon()),
+        "cannot align epsilon phones"
+    );
+    // dp[i][f] = best cost of consuming frames 0..=f with phones 0..=i,
+    // frame f assigned to phone i. Stored flat, with a backpointer for
+    // "advanced here" decisions.
+    const INF: f32 = f32::INFINITY;
+    let mut dp = vec![INF; n * t];
+    let mut advanced = vec![false; n * t];
+    let idx = |i: usize, f: usize| i * t + f;
+    dp[idx(0, 0)] = scores.cost(0, phones[0]);
+    for f in 1..t {
+        for i in 0..n.min(f + 1) {
+            let emit = scores.cost(f, phones[i]);
+            let stay = dp[idx(i, f - 1)];
+            let advance = if i > 0 { dp[idx(i - 1, f - 1)] } else { INF };
+            if stay <= advance {
+                if stay < INF {
+                    dp[idx(i, f)] = stay + emit;
+                }
+            } else {
+                dp[idx(i, f)] = advance + emit;
+                advanced[idx(i, f)] = true;
+            }
+        }
+    }
+    let cost = dp[idx(n - 1, t - 1)];
+    if !cost.is_finite() {
+        return None;
+    }
+    // Trace back the advance decisions to recover boundaries.
+    let mut bounds = vec![0usize; n]; // start frame per phone
+    let mut i = n - 1;
+    let mut f = t - 1;
+    loop {
+        if advanced[idx(i, f)] {
+            bounds[i] = f;
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+        if f == 0 {
+            break;
+        }
+        f -= 1;
+    }
+    bounds[0] = 0;
+    let mut segments = Vec::with_capacity(n);
+    for (k, &phone) in phones.iter().enumerate() {
+        let start = bounds[k];
+        let end = if k + 1 < n { bounds[k + 1] } else { t };
+        segments.push(Segment { phone, start, end });
+    }
+    Some(Alignment { segments, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A table where phone `p` is cheap exactly in its own third of the
+    /// frames.
+    fn blocky(frames_per_phone: usize, phones: &[u32]) -> AcousticTable {
+        let t = frames_per_phone * phones.len();
+        let owned: Vec<u32> = phones.to_vec();
+        AcousticTable::from_fn(t, 8, move |f, p| {
+            let true_phone = owned[f / frames_per_phone];
+            if p as u32 == true_phone {
+                0.1
+            } else {
+                2.0
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_exact_boundaries() {
+        let phones = [PhoneId(1), PhoneId(2), PhoneId(3)];
+        let scores = blocky(4, &[1, 2, 3]);
+        let a = force_align(&phones, &scores).unwrap();
+        assert_eq!(a.segments.len(), 3);
+        assert_eq!(a.segments[0], Segment { phone: PhoneId(1), start: 0, end: 4 });
+        assert_eq!(a.segments[1], Segment { phone: PhoneId(2), start: 4, end: 8 });
+        assert_eq!(a.segments[2], Segment { phone: PhoneId(3), start: 8, end: 12 });
+        assert!((a.cost - 12.0 * 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn segments_partition_all_frames() {
+        let phones = [PhoneId(2), PhoneId(5)];
+        let scores = blocky(3, &[2, 5]);
+        let a = force_align(&phones, &scores).unwrap();
+        assert_eq!(a.segments[0].start, 0);
+        assert_eq!(a.segments.last().unwrap().end, 6);
+        for pair in a.segments.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert!(a.segments.iter().all(|s| s.frames() >= 1));
+    }
+
+    #[test]
+    fn uneven_durations_are_found() {
+        // Phone 1 spans 6 frames, phone 2 spans 2.
+        let scores = AcousticTable::from_fn(8, 4, |f, p| {
+            let truth = if f < 6 { 1 } else { 2 };
+            if p == truth {
+                0.1
+            } else {
+                3.0
+            }
+        });
+        let a = force_align(&[PhoneId(1), PhoneId(2)], &scores).unwrap();
+        assert_eq!(a.segments[0].end, 6);
+        assert_eq!(a.segments[1].frames(), 2);
+    }
+
+    #[test]
+    fn infeasible_alignments_return_none() {
+        let scores = blocky(1, &[1, 2]);
+        // Three phones over two frames: impossible.
+        assert!(force_align(&[PhoneId(1), PhoneId(2), PhoneId(3)], &scores).is_none());
+        // Empty phone sequence.
+        assert!(force_align(&[], &scores).is_none());
+    }
+
+    #[test]
+    fn single_phone_takes_all_frames() {
+        let scores = blocky(5, &[4]);
+        let a = force_align(&[PhoneId(4)], &scores).unwrap();
+        assert_eq!(a.segments, vec![Segment { phone: PhoneId(4), start: 0, end: 5 }]);
+    }
+
+    #[test]
+    fn aligns_synthetic_speech_near_truth() {
+        use asr_acoustic::signal::{SignalConfig, Utterance};
+        use asr_acoustic::template::TemplateScorer;
+        let phones = [PhoneId(1), PhoneId(2), PhoneId(3)];
+        let cfg = SignalConfig::default();
+        let utt = Utterance::render(&phones, 6, &cfg);
+        let scorer = TemplateScorer::with_default_signal(4);
+        let table = scorer.score_waveform(&utt.samples);
+        let a = force_align(&phones, &table).unwrap();
+        // True boundaries are at frames 6 and 12; allow ±2 frames of slack
+        // (window edges blur the features).
+        assert!((a.segments[0].end as i64 - 6).unsigned_abs() <= 2, "{:?}", a.segments);
+        assert!((a.segments[1].end as i64 - 12).unsigned_abs() <= 2, "{:?}", a.segments);
+    }
+}

@@ -1,0 +1,113 @@
+//! Utterance-level confidence estimation from N-best margins.
+//!
+//! Voice interfaces need to know when to ask "did you mean ...?". A cheap,
+//! classical estimator is the cost margin between the best and runner-up
+//! hypotheses, squashed to `(0, 1]`: a wide margin means the search was
+//! sure, a tie means it guessed. This composes directly with
+//! [`crate::nbest::NBestDecoder`].
+
+use crate::nbest::Hypothesis;
+use serde::{Deserialize, Serialize};
+
+/// Margin-based confidence estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginConfidence {
+    /// Margin (in nats of path cost) at which confidence reaches ~0.73;
+    /// larger values make the estimator more conservative.
+    pub temperature: f32,
+}
+
+impl Default for MarginConfidence {
+    fn default() -> Self {
+        Self { temperature: 2.0 }
+    }
+}
+
+impl MarginConfidence {
+    /// Confidence of the best hypothesis in `(0, 1]`.
+    ///
+    /// With a single hypothesis (the runner-up was pruned away) confidence
+    /// is 1.0; with none it is 0.0. Uses `1 - exp(-margin / temperature)`
+    /// mapped onto `[0.5, 1)` so a dead tie scores 0.5 ("coin flip").
+    pub fn score(&self, hypotheses: &[Hypothesis]) -> f64 {
+        match hypotheses {
+            [] => 0.0,
+            [_] => 1.0,
+            [best, second, ..] => {
+                let margin = (second.cost - best.cost).max(0.0) as f64;
+                let t = self.temperature.max(1e-6) as f64;
+                0.5 + 0.5 * (1.0 - (-margin / t).exp())
+            }
+        }
+    }
+
+    /// `true` when the best hypothesis clears `threshold` confidence.
+    pub fn accept(&self, hypotheses: &[Hypothesis], threshold: f64) -> bool {
+        self.score(hypotheses) >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_wfst::WordId;
+
+    fn hyp(cost: f32) -> Hypothesis {
+        Hypothesis {
+            words: vec![WordId(1)],
+            cost,
+        }
+    }
+
+    #[test]
+    fn wide_margin_is_confident() {
+        let c = MarginConfidence::default();
+        let confident = c.score(&[hyp(10.0), hyp(30.0)]);
+        let shaky = c.score(&[hyp(10.0), hyp(10.5)]);
+        assert!(confident > 0.99);
+        assert!(shaky < 0.65);
+        assert!(confident > shaky);
+    }
+
+    #[test]
+    fn tie_scores_a_coin_flip() {
+        let c = MarginConfidence::default();
+        assert!((c.score(&[hyp(5.0), hyp(5.0)]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lists() {
+        let c = MarginConfidence::default();
+        assert_eq!(c.score(&[]), 0.0);
+        assert_eq!(c.score(&[hyp(1.0)]), 1.0);
+    }
+
+    #[test]
+    fn accept_thresholds() {
+        let c = MarginConfidence::default();
+        let hyps = [hyp(10.0), hyp(14.0)];
+        assert!(c.accept(&hyps, 0.8));
+        assert!(!c.accept(&hyps, 0.99));
+    }
+
+    #[test]
+    fn temperature_controls_strictness() {
+        let lax = MarginConfidence { temperature: 0.5 };
+        let strict = MarginConfidence { temperature: 10.0 };
+        let hyps = [hyp(10.0), hyp(12.0)];
+        assert!(lax.score(&hyps) > strict.score(&hyps));
+    }
+
+    #[test]
+    fn end_to_end_with_nbest() {
+        use crate::nbest::NBestDecoder;
+        use crate::search::DecodeOptions;
+        use asr_acoustic::scores::AcousticTable;
+        use asr_wfst::synth::{SynthConfig, SynthWfst};
+        let w = SynthWfst::generate(&SynthConfig::with_states(1_000)).unwrap();
+        let scores = AcousticTable::random(10, w.num_phones() as usize, (0.5, 4.0), 8);
+        let hyps = NBestDecoder::new(DecodeOptions::with_beam(8.0), 3).decode(&w, &scores, 3);
+        let score = MarginConfidence::default().score(&hyps);
+        assert!((0.0..=1.0).contains(&score));
+    }
+}

@@ -1,0 +1,163 @@
+//! The token trace ("lattice") written to main memory during the search.
+//!
+//! The paper splits token data in two (Section III): the likelihood and
+//! state index live in the frame-local hash tables and die with the frame,
+//! while the *backpointer to the best predecessor* and the *word index* are
+//! written to main memory — they are what backtracking walks when the
+//! utterance ends. This module is that main-memory array.
+
+use asr_wfst::WordId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a trace entry; `TraceId::ROOT` marks the path origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// Sentinel for "no predecessor" (the start-of-utterance token).
+    pub const ROOT: TraceId = TraceId(u32::MAX);
+
+    /// Returns `true` for the root sentinel.
+    #[inline]
+    pub fn is_root(self) -> bool {
+        self == Self::ROOT
+    }
+}
+
+/// One token's permanent record: best predecessor and emitted word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Backpointer to the predecessor token's entry.
+    pub prev: TraceId,
+    /// Word emitted by the arc that created this token (often
+    /// [`WordId::NONE`]).
+    pub word: WordId,
+}
+
+/// Append-only trace of every token created during a decode.
+///
+/// Superseded paths leave dead entries behind, exactly as the accelerator
+/// leaves stale tokens in DRAM; backtracking only touches the live chain.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lattice {
+    entries: Vec<TraceEntry>,
+}
+
+impl Lattice {
+    /// Creates an empty lattice.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice would exceed `u32::MAX - 1` entries.
+    pub fn push(&mut self, prev: TraceId, word: WordId) -> TraceId {
+        let id = self.entries.len();
+        assert!(id < u32::MAX as usize, "lattice overflow");
+        self.entries.push(TraceEntry { prev, word });
+        TraceId(id as u32)
+    }
+
+    /// Number of entries (including superseded ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no tokens have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the root sentinel or out of range.
+    pub fn entry(&self, id: TraceId) -> TraceEntry {
+        assert!(!id.is_root(), "root sentinel has no entry");
+        self.entries[id.0 as usize]
+    }
+
+    /// Walks backpointers from `last` to the root, returning the emitted
+    /// words in utterance order (the paper's backtracking step, run on the
+    /// CPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last` is out of range.
+    pub fn backtrack(&self, last: TraceId) -> Vec<WordId> {
+        let mut words = Vec::new();
+        let mut cur = last;
+        while !cur.is_root() {
+            let e = self.entry(cur);
+            if !e.word.is_none() {
+                words.push(e.word);
+            }
+            cur = e.prev;
+        }
+        words.reverse();
+        words
+    }
+
+    /// Bytes this trace would occupy in the accelerator's token region
+    /// (backpointer + word index, two 32-bit fields per token).
+    pub fn memory_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backtrack_recovers_word_order() {
+        let mut l = Lattice::new();
+        let a = l.push(TraceId::ROOT, WordId(5));
+        let b = l.push(a, WordId::NONE);
+        let c = l.push(b, WordId(7));
+        assert_eq!(l.backtrack(c), vec![WordId(5), WordId(7)]);
+    }
+
+    #[test]
+    fn backtrack_from_root_child_with_no_word_is_empty() {
+        let mut l = Lattice::new();
+        let a = l.push(TraceId::ROOT, WordId::NONE);
+        assert!(l.backtrack(a).is_empty());
+    }
+
+    #[test]
+    fn dead_entries_do_not_affect_live_chain() {
+        let mut l = Lattice::new();
+        let a = l.push(TraceId::ROOT, WordId(1));
+        let _dead = l.push(TraceId::ROOT, WordId(9));
+        let b = l.push(a, WordId(2));
+        assert_eq!(l.backtrack(b), vec![WordId(1), WordId(2)]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn memory_bytes_counts_eight_per_token() {
+        let mut l = Lattice::new();
+        l.push(TraceId::ROOT, WordId::NONE);
+        l.push(TraceId::ROOT, WordId::NONE);
+        assert_eq!(l.memory_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "root sentinel")]
+    fn entry_of_root_panics() {
+        Lattice::new().entry(TraceId::ROOT);
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let mut l = Lattice::new();
+        assert!(l.is_empty());
+        l.push(TraceId::ROOT, WordId::NONE);
+        assert!(!l.is_empty());
+    }
+}

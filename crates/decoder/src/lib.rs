@@ -1,0 +1,49 @@
+//! Reference software Viterbi beam search for the MICRO 2016 ASR
+//! accelerator reproduction.
+//!
+//! This crate is the software twin of the accelerator: a frame-synchronous
+//! Viterbi beam search over a WFST (Section II of the paper), playing two
+//! roles in the workspace:
+//!
+//! 1. **Functional reference.** The cycle-accurate simulator in `asr-accel`
+//!    must produce the same best path as this decoder on the same inputs;
+//!    integration tests assert that.
+//! 2. **CPU baseline.** The paper's CPU numbers come from Kaldi's decoder;
+//!    `asr-platform` wraps this implementation (measured, then calibrated)
+//!    as the software baseline.
+//!
+//! Modules:
+//!
+//! * [`lattice`]: the token trace kept in main memory — backpointer plus
+//!   word label per token, exactly the data the accelerator's Token Issuer
+//!   writes out, and the input to backtracking;
+//! * [`search`]: the beam search itself ([`search::ViterbiDecoder`]);
+//! * [`parallel`]: a multi-threaded expansion variant standing in for the
+//!   GPU decoder's arc-parallel traversal;
+//! * [`wer`]: word-error-rate scoring used by functional tests.
+//!
+//! # Example
+//!
+//! ```
+//! use asr_acoustic::scores::AcousticTable;
+//! use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
+//! use asr_wfst::synth::{SynthConfig, SynthWfst};
+//!
+//! let wfst = SynthWfst::generate(&SynthConfig::with_states(500))?;
+//! let scores = AcousticTable::random(20, wfst.num_phones() as usize, (0.5, 4.0), 1);
+//! let decoder = ViterbiDecoder::new(DecodeOptions::default());
+//! let result = decoder.decode(&wfst, &scores);
+//! assert!(result.cost.is_finite());
+//! # Ok::<(), asr_wfst::WfstError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod align;
+pub mod confidence;
+pub mod lattice;
+pub mod nbest;
+pub mod parallel;
+pub mod search;
+pub mod wer;

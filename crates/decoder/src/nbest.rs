@@ -1,0 +1,273 @@
+//! Approximate N-best decoding.
+//!
+//! The accelerator (and the reference decoder) keep only the single best
+//! predecessor per token — all a 1-best transcript needs. Applications
+//! like confidence estimation or rescoring want alternatives; this module
+//! extends the frame-synchronous search to carry up to `K` hypotheses per
+//! token and extract the `N` cheapest distinct word sequences.
+//!
+//! This is the classical *word-conditioned* approximation: hypotheses that
+//! merge on a state are truncated to the local top-`K`, so the result is
+//! exact for `N = 1` and high-quality (not provably exact) for larger `N`.
+
+use crate::lattice::{Lattice, TraceId};
+use crate::search::DecodeOptions;
+use asr_acoustic::scores::AcousticTable;
+use asr_wfst::{StateId, Wfst, WordId};
+use std::collections::HashMap;
+
+/// One scored alternative transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// Words of this alternative.
+    pub words: Vec<WordId>,
+    /// Path cost (including final cost).
+    pub cost: f32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Alt {
+    cost: f32,
+    trace: TraceId,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    // Sorted by cost ascending, capped at K.
+    alts: Vec<Alt>,
+}
+
+impl Cell {
+    fn best(&self) -> f32 {
+        self.alts.first().map_or(f32::INFINITY, |a| a.cost)
+    }
+
+    /// Inserts an alternative, keeping the list sorted and capped.
+    /// Returns `true` when the cell's best cost improved.
+    fn insert(&mut self, alt: Alt, cap: usize) -> bool {
+        let improved_best = alt.cost < self.best();
+        let pos = self
+            .alts
+            .partition_point(|a| a.cost <= alt.cost);
+        if pos >= cap {
+            return false;
+        }
+        self.alts.insert(pos, alt);
+        self.alts.truncate(cap);
+        improved_best
+    }
+}
+
+/// N-best frame-synchronous beam decoder.
+#[derive(Debug, Clone)]
+pub struct NBestDecoder {
+    opts: DecodeOptions,
+    per_state: usize,
+}
+
+impl NBestDecoder {
+    /// Creates a decoder keeping up to `per_state` alternatives per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_state == 0`.
+    pub fn new(opts: DecodeOptions, per_state: usize) -> Self {
+        assert!(per_state > 0, "need at least one hypothesis per state");
+        Self { opts, per_state }
+    }
+
+    /// Decodes and returns up to `n` distinct word sequences, cheapest
+    /// first. The first hypothesis equals the 1-best decoder's result.
+    pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable, n: usize) -> Vec<Hypothesis> {
+        let mut lattice = Lattice::new();
+        let mut cur: HashMap<u32, Cell> = HashMap::new();
+        let root = lattice.push(TraceId::ROOT, WordId::NONE);
+        cur.entry(wfst.start().0).or_default().insert(
+            Alt {
+                cost: 0.0,
+                trace: root,
+            },
+            self.per_state,
+        );
+        self.epsilon_closure(wfst, &mut cur, &mut lattice);
+
+        for frame in 0..scores.num_frames() {
+            let best = cur
+                .values()
+                .map(Cell::best)
+                .fold(f32::INFINITY, f32::min);
+            let threshold = best + self.opts.beam;
+            let mut expanded: Vec<(u32, Cell)> = cur
+                .iter()
+                .filter(|(_, c)| c.best() <= threshold)
+                .map(|(&s, c)| (s, c.clone()))
+                .collect();
+            expanded.sort_unstable_by_key(|&(s, _)| s);
+            let mut next: HashMap<u32, Cell> = HashMap::new();
+            for (state, cell) in expanded {
+                for arc in wfst.emitting_arcs(StateId(state)) {
+                    let acoustic = scores.cost(frame, arc.ilabel);
+                    for alt in &cell.alts {
+                        if alt.cost > threshold {
+                            break; // sorted: the rest are worse
+                        }
+                        let trace = lattice.push(alt.trace, arc.olabel);
+                        next.entry(arc.dest.0).or_default().insert(
+                            Alt {
+                                cost: alt.cost + arc.weight + acoustic,
+                                trace,
+                            },
+                            self.per_state,
+                        );
+                    }
+                }
+            }
+            self.epsilon_closure(wfst, &mut next, &mut lattice);
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+
+        // Gather final alternatives.
+        let mut finals: Vec<Alt> = Vec::new();
+        let mut any: Vec<Alt> = Vec::new();
+        let mut states: Vec<(&u32, &Cell)> = cur.iter().collect();
+        states.sort_unstable_by_key(|(s, _)| **s);
+        for (&state, cell) in states {
+            let f = wfst.final_cost(StateId(state));
+            for alt in &cell.alts {
+                any.push(*alt);
+                if f.is_finite() {
+                    finals.push(Alt {
+                        cost: alt.cost + f,
+                        trace: alt.trace,
+                    });
+                }
+            }
+        }
+        let mut pool = if finals.is_empty() { any } else { finals };
+        pool.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+        // Distinct word sequences, cheapest first.
+        let mut out: Vec<Hypothesis> = Vec::new();
+        for alt in pool {
+            if out.len() >= n {
+                break;
+            }
+            let words = lattice.backtrack(alt.trace);
+            if !out.iter().any(|h| h.words == words) {
+                out.push(Hypothesis {
+                    words,
+                    cost: alt.cost,
+                });
+            }
+        }
+        out
+    }
+
+    fn epsilon_closure(
+        &self,
+        wfst: &Wfst,
+        tokens: &mut HashMap<u32, Cell>,
+        lattice: &mut Lattice,
+    ) {
+        let mut worklist: Vec<u32> = tokens.keys().copied().collect();
+        worklist.sort_unstable();
+        let mut idx = 0;
+        while idx < worklist.len() {
+            let state = worklist[idx];
+            idx += 1;
+            let Some(cell) = tokens.get(&state).cloned() else {
+                continue;
+            };
+            for arc in wfst.epsilon_arcs(StateId(state)) {
+                for alt in &cell.alts {
+                    let trace = lattice.push(alt.trace, arc.olabel);
+                    let improved = tokens.entry(arc.dest.0).or_default().insert(
+                        Alt {
+                            cost: alt.cost + arc.weight,
+                            trace,
+                        },
+                        self.per_state,
+                    );
+                    if improved {
+                        worklist.push(arc.dest.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::ViterbiDecoder;
+    use asr_wfst::builder::WfstBuilder;
+    use asr_wfst::PhoneId;
+
+    /// Two parallel two-arc paths with different costs and words.
+    fn forked() -> (Wfst, AcousticTable) {
+        let mut b = WfstBuilder::new();
+        let s: Vec<StateId> = (0..4).map(|_| b.add_state()).collect();
+        b.set_start(s[0]);
+        b.set_final(s[3], 0.0);
+        b.add_arc(s[0], s[1], PhoneId(1), WordId(1), 0.5); // cheap branch
+        b.add_arc(s[0], s[2], PhoneId(1), WordId(2), 1.0); // dear branch
+        b.add_arc(s[1], s[3], PhoneId(2), WordId::NONE, 0.5);
+        b.add_arc(s[2], s[3], PhoneId(2), WordId::NONE, 0.5);
+        let scores = AcousticTable::from_fn(2, 3, |_, _| 0.25);
+        (b.build().unwrap(), scores)
+    }
+
+    #[test]
+    fn returns_distinct_alternatives_in_cost_order() {
+        let (w, scores) = forked();
+        let hyps = NBestDecoder::new(DecodeOptions::with_beam(10.0), 4).decode(&w, &scores, 5);
+        assert_eq!(hyps.len(), 2);
+        assert_eq!(hyps[0].words, vec![WordId(1)]);
+        assert_eq!(hyps[1].words, vec![WordId(2)]);
+        assert!(hyps[0].cost < hyps[1].cost);
+        assert!((hyps[1].cost - hyps[0].cost - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn first_hypothesis_matches_one_best_decoder() {
+        use asr_wfst::synth::{SynthConfig, SynthWfst};
+        let w = SynthWfst::generate(&SynthConfig::with_states(1_000)).unwrap();
+        let scores = AcousticTable::random(12, w.num_phones() as usize, (0.5, 4.0), 5);
+        let opts = DecodeOptions::with_beam(6.0);
+        let one_best = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let hyps = NBestDecoder::new(opts, 3).decode(&w, &scores, 3);
+        assert!(!hyps.is_empty());
+        assert_eq!(hyps[0].cost, one_best.cost);
+        assert_eq!(hyps[0].words, one_best.words);
+        // Costs are non-decreasing.
+        for pair in hyps.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+        }
+    }
+
+    #[test]
+    fn n_caps_the_result_count() {
+        let (w, scores) = forked();
+        let hyps = NBestDecoder::new(DecodeOptions::with_beam(10.0), 4).decode(&w, &scores, 1);
+        assert_eq!(hyps.len(), 1);
+    }
+
+    #[test]
+    fn per_state_one_degenerates_to_viterbi() {
+        let (w, scores) = forked();
+        let hyps = NBestDecoder::new(DecodeOptions::with_beam(10.0), 1).decode(&w, &scores, 5);
+        // With one alternative per state, merge states collapse paths; the
+        // best survives.
+        assert_eq!(hyps[0].words, vec![WordId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hypothesis")]
+    fn zero_per_state_rejected() {
+        NBestDecoder::new(DecodeOptions::default(), 0);
+    }
+}

@@ -1,0 +1,518 @@
+//! Frame-synchronous Viterbi beam search (the algorithm of Section II).
+//!
+//! Each frame, every surviving token's outgoing non-epsilon arcs are
+//! expanded with the frame's acoustic cost added (Equation 1 in log space:
+//! additions replace multiplications), destination tokens keep only their
+//! best ingoing path, and epsilon arcs are then followed transitively
+//! without consuming a frame. Tokens outside `best + beam` are pruned —
+//! standard Viterbi beam search. Backpointers and word labels go to the
+//! [`crate::lattice::Lattice`]; backtracking recovers the word sequence.
+
+use crate::lattice::{Lattice, TraceId};
+use asr_acoustic::scores::AcousticTable;
+use asr_wfst::{StateId, Wfst, WordId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tuning knobs of the beam search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodeOptions {
+    /// Beam width: tokens costlier than `frame_best + beam` are pruned.
+    pub beam: f32,
+    /// Optional cap on tokens expanded per frame (histogram pruning); the
+    /// paper's accelerator uses pure beam pruning, so this defaults off.
+    pub max_active: Option<usize>,
+    /// Record per-state fetch counts (feeds the Figure 7 dynamic CDF).
+    pub record_state_accesses: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        Self {
+            beam: 8.0,
+            max_active: None,
+            record_state_accesses: false,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// Convenience constructor fixing only the beam width.
+    pub fn with_beam(beam: f32) -> Self {
+        Self {
+            beam,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-frame activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Tokens alive at the start of the frame (before pruning).
+    pub active_tokens: usize,
+    /// Tokens that survived pruning and were expanded.
+    pub expanded_tokens: usize,
+    /// Arcs traversed (emitting + epsilon).
+    pub arcs_traversed: usize,
+    /// Token insertions/improvements into the next frame.
+    pub tokens_created: usize,
+}
+
+/// Aggregated decode statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DecodeStats {
+    /// One entry per frame.
+    pub frames: Vec<FrameStats>,
+    /// State-fetch counts keyed by raw state id (present only when
+    /// [`DecodeOptions::record_state_accesses`] is set).
+    pub state_accesses: HashMap<u32, u64>,
+}
+
+impl DecodeStats {
+    /// Total arcs traversed across all frames.
+    pub fn total_arcs(&self) -> u64 {
+        self.frames.iter().map(|f| f.arcs_traversed as u64).sum()
+    }
+
+    /// Mean arcs traversed per frame (the paper observes ~25k on the full
+    /// Kaldi model, 0.07% of all arcs).
+    pub fn mean_arcs_per_frame(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.total_arcs() as f64 / self.frames.len() as f64
+    }
+
+    /// Mean tokens expanded per frame.
+    pub fn mean_expanded_per_frame(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.frames.iter().map(|f| f.expanded_tokens as u64).sum();
+        total as f64 / self.frames.len() as f64
+    }
+}
+
+/// Outcome of a decode.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// Words on the best path, in utterance order.
+    pub words: Vec<WordId>,
+    /// Cost of the best path (including final cost when reached).
+    pub cost: f32,
+    /// Whether the best path ends in a final state.
+    pub reached_final: bool,
+    /// The state of the winning token in the last frame.
+    pub best_state: StateId,
+    /// Activity statistics.
+    pub stats: DecodeStats,
+    /// The full token trace (for inspection and memory accounting).
+    pub lattice: Lattice,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    cost: f32,
+    trace: TraceId,
+}
+
+/// The reference beam-search decoder.
+///
+/// Deterministic: tokens are expanded in ascending state order, so equal
+/// inputs produce identical lattices and results on every run and platform.
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiDecoder {
+    opts: DecodeOptions,
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder with the given options.
+    pub fn new(opts: DecodeOptions) -> Self {
+        Self { opts }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DecodeOptions {
+        &self.opts
+    }
+
+    /// Runs the search over all frames of `scores`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WFST references phone labels outside the score table.
+    pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
+        let mut lattice = Lattice::new();
+        let mut stats = DecodeStats::default();
+        let mut cur: HashMap<u32, Cell> = HashMap::new();
+
+        let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
+        cur.insert(
+            wfst.start().0,
+            Cell {
+                cost: 0.0,
+                trace: start_trace,
+            },
+        );
+        // Initial epsilon closure, before any frame is consumed.
+        let mut scratch = FrameStats::default();
+        epsilon_closure(wfst, &mut cur, &mut lattice, &mut scratch);
+
+        for frame in 0..scores.num_frames() {
+            let mut fs = FrameStats {
+                active_tokens: cur.len(),
+                ..FrameStats::default()
+            };
+            let expanded = self.prune(&cur);
+            fs.expanded_tokens = expanded.len();
+
+            let mut next: HashMap<u32, Cell> = HashMap::with_capacity(expanded.len() * 2);
+            for &(state_raw, cell) in &expanded {
+                let state = StateId(state_raw);
+                if self.opts.record_state_accesses {
+                    *stats.state_accesses.entry(state_raw).or_insert(0) += 1;
+                }
+                for arc in wfst.emitting_arcs(state) {
+                    fs.arcs_traversed += 1;
+                    let cost = cell.cost + arc.weight + scores.cost(frame, arc.ilabel);
+                    relax(&mut next, &mut lattice, arc.dest.0, cost, cell.trace, arc.olabel, &mut fs);
+                }
+                // Epsilon arcs of the *source* state were already resolved
+                // by the closure of the previous frame; closure below
+                // handles the new frontier.
+            }
+            epsilon_closure(wfst, &mut next, &mut lattice, &mut fs);
+            cur = next;
+            stats.frames.push(fs);
+            if cur.is_empty() {
+                break; // the beam killed every path; decode fails gracefully
+            }
+        }
+
+        self.finish(wfst, cur, lattice, stats)
+    }
+
+    /// Applies beam (and optional histogram) pruning, returning surviving
+    /// tokens in ascending state order.
+    fn prune(&self, cur: &HashMap<u32, Cell>) -> Vec<(u32, Cell)> {
+        let best = cur
+            .values()
+            .map(|c| c.cost)
+            .fold(f32::INFINITY, f32::min);
+        let threshold = best + self.opts.beam;
+        let mut expanded: Vec<(u32, Cell)> = cur
+            .iter()
+            .filter(|(_, c)| c.cost <= threshold)
+            .map(|(&s, &c)| (s, c))
+            .collect();
+        expanded.sort_unstable_by_key(|&(s, _)| s);
+        if let Some(cap) = self.opts.max_active {
+            if expanded.len() > cap {
+                expanded.sort_by(|a, b| a.1.cost.total_cmp(&b.1.cost).then(a.0.cmp(&b.0)));
+                expanded.truncate(cap);
+                expanded.sort_unstable_by_key(|&(s, _)| s);
+            }
+        }
+        expanded
+    }
+
+    fn finish(
+        &self,
+        wfst: &Wfst,
+        cur: HashMap<u32, Cell>,
+        lattice: Lattice,
+        stats: DecodeStats,
+    ) -> DecodeResult {
+        // Prefer tokens in final states (cost + final cost); fall back to
+        // the globally cheapest token, as Kaldi does for truncated audio.
+        let mut best_final: Option<(u32, f32, TraceId)> = None;
+        let mut best_any: Option<(u32, f32, TraceId)> = None;
+        let mut states: Vec<(&u32, &Cell)> = cur.iter().collect();
+        states.sort_unstable_by_key(|(s, _)| **s);
+        for (&state, cell) in states {
+            let better_any = best_any.map_or(true, |(_, c, _)| cell.cost < c);
+            if better_any {
+                best_any = Some((state, cell.cost, cell.trace));
+            }
+            let f = wfst.final_cost(StateId(state));
+            if f.is_finite() {
+                let total = cell.cost + f;
+                let better = best_final.map_or(true, |(_, c, _)| total < c);
+                if better {
+                    best_final = Some((state, total, cell.trace));
+                }
+            }
+        }
+        let (reached_final, chosen) = match (best_final, best_any) {
+            (Some(f), _) => (true, Some(f)),
+            (None, any) => (false, any),
+        };
+        match chosen {
+            Some((state, cost, trace)) => {
+                let words = lattice.backtrack(trace);
+                DecodeResult {
+                    words,
+                    cost,
+                    reached_final,
+                    best_state: StateId(state),
+                    stats,
+                    lattice,
+                }
+            }
+            None => DecodeResult {
+                words: Vec::new(),
+                cost: f32::INFINITY,
+                reached_final: false,
+                best_state: wfst.start(),
+                stats,
+                lattice,
+            },
+        }
+    }
+}
+
+/// Transitively relaxes epsilon arcs inside one frame's token set.
+///
+/// Worklist algorithm: whenever a token improves, its epsilon arcs are
+/// reconsidered. Non-negative weights guarantee termination (zero-weight
+/// cycles yield no strict improvement and stop). Deterministic because the
+/// initial worklist is sorted by state id.
+fn epsilon_closure(
+    wfst: &Wfst,
+    tokens: &mut HashMap<u32, Cell>,
+    lattice: &mut Lattice,
+    fs: &mut FrameStats,
+) {
+    let mut worklist: Vec<u32> = tokens.keys().copied().collect();
+    worklist.sort_unstable();
+    let mut idx = 0;
+    while idx < worklist.len() {
+        let state_raw = worklist[idx];
+        idx += 1;
+        let Some(&cell) = tokens.get(&state_raw) else {
+            continue;
+        };
+        for arc in wfst.epsilon_arcs(StateId(state_raw)) {
+            fs.arcs_traversed += 1;
+            let cost = cell.cost + arc.weight;
+            let improved = relax(
+                tokens,
+                lattice,
+                arc.dest.0,
+                cost,
+                cell.trace,
+                arc.olabel,
+                fs,
+            );
+            if improved {
+                worklist.push(arc.dest.0);
+            }
+        }
+    }
+}
+
+/// Keeps only the best ingoing path per destination token, appending a
+/// lattice entry when the path improves. Returns whether an improvement
+/// happened.
+fn relax(
+    map: &mut HashMap<u32, Cell>,
+    lattice: &mut Lattice,
+    dest: u32,
+    cost: f32,
+    prev: TraceId,
+    word: WordId,
+    fs: &mut FrameStats,
+) -> bool {
+    match map.get_mut(&dest) {
+        Some(cell) if cell.cost <= cost => false,
+        slot => {
+            let trace = lattice.push(prev, word);
+            let cell = Cell { cost, trace };
+            match slot {
+                Some(existing) => *existing = cell,
+                None => {
+                    map.insert(dest, cell);
+                }
+            }
+            fs.tokens_created += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_wfst::builder::WfstBuilder;
+    use asr_wfst::PhoneId;
+
+    /// The Figure 2 example: a WFST recognizing "low" (l ow) and "less"
+    /// (l eh s), three frames of acoustic scores favouring "low".
+    fn figure2() -> (Wfst, AcousticTable) {
+        let (l, ow, eh, _s) = (1u32, 2, 3, 4);
+        let mut b = WfstBuilder::new();
+        let s: Vec<StateId> = (0..7).map(|_| b.add_state()).collect();
+        b.set_start(s[0]);
+        // costs = -ln(prob) of Figure 2a
+        b.add_arc(s[0], s[1], PhoneId(l), WordId(1), 0.51); // 0.6, "low" path
+        b.add_arc(s[0], s[4], PhoneId(l), WordId(2), 0.92); // 0.4, "less" path
+        b.add_arc(s[1], s[2], PhoneId(ow), WordId::NONE, 0.22); // 0.8
+        b.add_arc(s[2], s[3], PhoneId(ow), WordId::NONE, 0.36); // 0.7 self-ish
+        b.add_arc(s[4], s[5], PhoneId(eh), WordId::NONE, 0.51);
+        b.add_arc(s[5], s[6], PhoneId(4), WordId::NONE, 0.22);
+        b.set_final(s[3], 0.0);
+        b.set_final(s[6], 0.0);
+        let w = b.build().unwrap();
+        // Frames: l, ow, ow — acoustically "low" (cost = -ln(p)).
+        let probs: [[f32; 5]; 3] = [
+            // eps, l, ow, eh, s
+            [1.0, 0.9, 0.3, 0.1, 0.2],
+            [1.0, 0.2, 0.8, 0.4, 0.1],
+            [1.0, 0.1, 0.9, 0.3, 0.2],
+        ];
+        let table = AcousticTable::from_fn(3, 5, |f, p| -probs[f][p].ln());
+        (w, table)
+    }
+
+    #[test]
+    fn decodes_figure2_to_low() {
+        let (w, scores) = figure2();
+        let r = ViterbiDecoder::new(DecodeOptions::with_beam(20.0)).decode(&w, &scores);
+        assert!(r.reached_final);
+        assert_eq!(r.words, vec![WordId(1)], "expected the word 'low'");
+        assert_eq!(r.best_state, StateId(3));
+        // Path cost: 0.51 + 0.22 + 0.36 (graph) + acoustic(l,ow,ow).
+        let expect = 0.51 + 0.22 + 0.36 - (0.9f32.ln() + 0.8f32.ln() + 0.9f32.ln());
+        assert!((r.cost - expect).abs() < 1e-4, "cost {} vs {}", r.cost, expect);
+    }
+
+    #[test]
+    fn tight_beam_prunes_the_weak_path() {
+        let (w, scores) = figure2();
+        // Beam narrow enough that the "less" branch dies at frame 1.
+        let r = ViterbiDecoder::new(DecodeOptions::with_beam(0.5)).decode(&w, &scores);
+        assert_eq!(r.words, vec![WordId(1)]);
+        // Frame 1 should have expanded fewer tokens than frame 0 created.
+        assert!(r.stats.frames[1].expanded_tokens <= r.stats.frames[1].active_tokens);
+    }
+
+    #[test]
+    fn epsilon_arcs_are_traversed_without_consuming_frames() {
+        // start --eps(0.1)--> a --phone1--> b(final)
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_start(s0);
+        b.add_epsilon_arc(s0, s1, 0.1);
+        b.add_arc(s1, s2, PhoneId(1), WordId(3), 0.2);
+        b.set_final(s2, 0.0);
+        let w = b.build().unwrap();
+        let scores = AcousticTable::from_fn(1, 2, |_, p| if p == 1 { 0.3 } else { 0.0 });
+        let r = ViterbiDecoder::default().decode(&w, &scores);
+        assert!(r.reached_final);
+        assert_eq!(r.words, vec![WordId(3)]);
+        assert!((r.cost - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn epsilon_cycles_terminate() {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_start(s0);
+        // Zero-cost epsilon cycle between s0 and s1.
+        b.add_epsilon_arc(s0, s1, 0.0);
+        b.add_epsilon_arc(s1, s0, 0.0);
+        b.add_arc(s0, s2, PhoneId(1), WordId::NONE, 0.1);
+        b.set_final(s2, 0.0);
+        let w = b.build().unwrap();
+        let scores = AcousticTable::from_fn(1, 2, |_, _| 0.5);
+        let r = ViterbiDecoder::default().decode(&w, &scores);
+        assert!(r.reached_final);
+        assert!((r.cost - 0.6).abs() < 1e-5);
+    }
+
+    #[test]
+    fn best_ingoing_path_wins_at_merge_states() {
+        // Two parallel arcs into the same destination with different costs.
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.set_start(s0);
+        b.add_arc(s0, s1, PhoneId(1), WordId(1), 2.0); // worse
+        b.add_arc(s0, s1, PhoneId(2), WordId(2), 0.5); // better
+        b.set_final(s1, 0.0);
+        let w = b.build().unwrap();
+        let scores = AcousticTable::from_fn(1, 3, |_, _| 1.0);
+        let r = ViterbiDecoder::default().decode(&w, &scores);
+        assert_eq!(r.words, vec![WordId(2)]);
+        assert!((r.cost - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_score_table_returns_start_closure() {
+        let (w, _) = figure2();
+        let scores = AcousticTable::from_fn(0, 5, |_, _| 0.0);
+        let r = ViterbiDecoder::default().decode(&w, &scores);
+        assert!(!r.reached_final);
+        assert!(r.words.is_empty());
+        assert_eq!(r.best_state, w.start());
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn stats_count_frames_and_arcs() {
+        let (w, scores) = figure2();
+        let r = ViterbiDecoder::new(DecodeOptions::with_beam(20.0)).decode(&w, &scores);
+        assert_eq!(r.stats.frames.len(), 3);
+        assert!(r.stats.total_arcs() >= 4);
+        assert!(r.stats.mean_arcs_per_frame() > 0.0);
+    }
+
+    #[test]
+    fn state_access_recording_is_optional() {
+        let (w, scores) = figure2();
+        let off = ViterbiDecoder::default().decode(&w, &scores);
+        assert!(off.stats.state_accesses.is_empty());
+        let on = ViterbiDecoder::new(DecodeOptions {
+            record_state_accesses: true,
+            ..DecodeOptions::default()
+        })
+        .decode(&w, &scores);
+        assert!(!on.stats.state_accesses.is_empty());
+        assert!(on.stats.state_accesses.contains_key(&0));
+    }
+
+    #[test]
+    fn max_active_caps_expansion() {
+        let (w, scores) = figure2();
+        let r = ViterbiDecoder::new(DecodeOptions {
+            beam: 100.0,
+            max_active: Some(1),
+            ..DecodeOptions::default()
+        })
+        .decode(&w, &scores);
+        for f in &r.stats.frames {
+            assert!(f.expanded_tokens <= 1);
+        }
+        // Greedy expansion still finds "low" here.
+        assert_eq!(r.words, vec![WordId(1)]);
+    }
+
+    #[test]
+    fn decode_is_deterministic() {
+        use asr_wfst::synth::{SynthConfig, SynthWfst};
+        let w = SynthWfst::generate(&SynthConfig::with_states(2_000)).unwrap();
+        let scores = AcousticTable::random(30, w.num_phones() as usize, (0.5, 4.0), 3);
+        let d = ViterbiDecoder::new(DecodeOptions::with_beam(6.0));
+        let a = d.decode(&w, &scores);
+        let b = d.decode(&w, &scores);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.lattice.len(), b.lattice.len());
+        assert_eq!(a.best_state, b.best_state);
+    }
+}

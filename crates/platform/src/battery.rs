@@ -1,0 +1,123 @@
+//! Battery-life modelling: the paper's motivating argument quantified.
+//!
+//! The introduction argues that software ASR "results in fairly short
+//! operating time per battery charge" and that cloud offload pays for
+//! radio energy instead. This module turns the workspace's energy numbers
+//! into the user-visible metric: hours of always-available speech
+//! recognition per charge, for each execution target.
+
+use crate::metrics::OperatingPoint;
+use serde::{Deserialize, Serialize};
+
+/// A device battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Capacity in watt-hours.
+    pub capacity_wh: f64,
+}
+
+impl Battery {
+    /// A typical smartphone battery (~3000 mAh at 3.85 V).
+    pub fn smartphone() -> Self {
+        Self { capacity_wh: 11.5 }
+    }
+
+    /// A smartwatch battery (~300 mAh at 3.85 V).
+    pub fn smartwatch() -> Self {
+        Self { capacity_wh: 1.2 }
+    }
+
+    /// Joules stored.
+    pub fn joules(&self) -> f64 {
+        self.capacity_wh * 3600.0
+    }
+}
+
+/// Cellular-offload model: energy the radio burns shipping audio to a
+/// cloud recognizer (the alternative the paper's introduction discusses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudOffload {
+    /// Radio energy per second of uploaded speech, in joules (compressed
+    /// audio over LTE-class radio, including tail energy).
+    pub radio_j_per_speech_s: f64,
+}
+
+impl Default for CloudOffload {
+    fn default() -> Self {
+        // ~16 kbps compressed speech with LTE tail states: order of a
+        // joule per second of speech.
+        Self {
+            radio_j_per_speech_s: 1.0,
+        }
+    }
+}
+
+/// Hours of speech that can be *recognized* on one charge, if the whole
+/// battery went to the recognizer (an upper bound that makes platforms
+/// comparable).
+pub fn speech_hours_per_charge(battery: Battery, point: &OperatingPoint) -> f64 {
+    if point.energy_j_per_speech_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    battery.joules() / point.energy_j_per_speech_s / 3600.0
+}
+
+/// Hours of speech recognizable via cloud offload on one charge.
+pub fn cloud_speech_hours_per_charge(battery: Battery, offload: &CloudOffload) -> f64 {
+    battery.joules() / offload.radio_j_per_speech_s / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_presets_are_ordered() {
+        assert!(Battery::smartphone().joules() > Battery::smartwatch().joules());
+        assert!((Battery::smartphone().joules() - 11.5 * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerator_outlasts_cpu_by_orders_of_magnitude() {
+        let battery = Battery::smartphone();
+        // Representative operating points from the paper's Figure 14.
+        let cpu = OperatingPoint::from_power(0.298, 32.2); // ~9.6 J per speech s
+        let asic = OperatingPoint {
+            decode_s_per_speech_s: 1.0 / 56.0,
+            energy_j_per_speech_s: 0.00826, // 287x below the GPU's 2.37 J
+        };
+        let cpu_hours = speech_hours_per_charge(battery, &cpu);
+        let asic_hours = speech_hours_per_charge(battery, &asic);
+        assert!(cpu_hours < 2.0, "CPU: {cpu_hours:.2} h of speech");
+        assert!(asic_hours > 1000.0, "ASIC: {asic_hours:.0} h of speech");
+        assert!(asic_hours / cpu_hours > 500.0);
+    }
+
+    #[test]
+    fn local_accelerator_beats_cloud_offload() {
+        let battery = Battery::smartphone();
+        let cloud = cloud_speech_hours_per_charge(battery, &CloudOffload::default());
+        let asic = speech_hours_per_charge(
+            battery,
+            &OperatingPoint {
+                decode_s_per_speech_s: 1.0 / 56.0,
+                energy_j_per_speech_s: 0.00826,
+            },
+        );
+        // The paper's argument: offload spends radio energy the local
+        // accelerator does not.
+        assert!(asic > 10.0 * cloud, "asic {asic:.0} h vs cloud {cloud:.0} h");
+    }
+
+    #[test]
+    fn degenerate_point_is_infinite() {
+        let free = OperatingPoint {
+            decode_s_per_speech_s: 0.1,
+            energy_j_per_speech_s: 0.0,
+        };
+        assert_eq!(
+            speech_hours_per_charge(Battery::smartwatch(), &free),
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Incremental construction of [`Wfst`] values.
+
+use crate::{Arc, ArcId, PhoneId, Result, StateEntry, StateId, Wfst, WfstError, WordId};
+
+/// Builder assembling a [`Wfst`] one state and arc at a time.
+///
+/// Arcs may be added in any order; [`WfstBuilder::build`] groups them per
+/// state, places non-epsilon arcs before epsilon arcs (the packed layout the
+/// accelerator expects) and validates every invariant.
+///
+/// # Example
+///
+/// ```
+/// use asr_wfst::builder::WfstBuilder;
+/// use asr_wfst::{PhoneId, WordId};
+///
+/// let mut b = WfstBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// b.set_start(s0);
+/// b.add_arc(s0, s1, PhoneId(1), WordId(1), 0.5);
+/// b.set_final(s1, 0.0);
+/// let wfst = b.build()?;
+/// assert_eq!(wfst.num_states(), 2);
+/// # Ok::<(), asr_wfst::WfstError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WfstBuilder {
+    // Arcs per source state, in insertion order.
+    adjacency: Vec<Vec<Arc>>,
+    final_costs: Vec<f32>,
+    start: Option<StateId>,
+}
+
+impl WfstBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `states` states.
+    pub fn with_capacity(states: usize) -> Self {
+        Self {
+            adjacency: Vec::with_capacity(states),
+            final_costs: Vec::with_capacity(states),
+            start: None,
+        }
+    }
+
+    /// Adds a new state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId::from_index(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        self.final_costs.push(f32::INFINITY);
+        id
+    }
+
+    /// Adds `n` states, returning the id of the first.
+    pub fn add_states(&mut self, n: usize) -> StateId {
+        let first = StateId::from_index(self.adjacency.len());
+        for _ in 0..n {
+            self.add_state();
+        }
+        first
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Marks `state` as the unique start state, replacing any previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has not been added.
+    pub fn set_start(&mut self, state: StateId) -> &mut Self {
+        assert!(state.index() < self.adjacency.len(), "unknown start state");
+        self.start = Some(state);
+        self
+    }
+
+    /// Marks `state` as final with the given acceptance cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` has not been added.
+    pub fn set_final(&mut self, state: StateId, cost: f32) -> &mut Self {
+        assert!(state.index() < self.adjacency.len(), "unknown final state");
+        self.final_costs[state.index()] = cost;
+        self
+    }
+
+    /// Adds an arc from `src` to `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` has not been added.
+    pub fn add_arc(
+        &mut self,
+        src: StateId,
+        dest: StateId,
+        ilabel: PhoneId,
+        olabel: WordId,
+        weight: f32,
+    ) -> &mut Self {
+        assert!(src.index() < self.adjacency.len(), "unknown source state");
+        assert!(
+            dest.index() < self.adjacency.len(),
+            "unknown destination state"
+        );
+        self.adjacency[src.index()].push(Arc {
+            dest,
+            weight,
+            ilabel,
+            olabel,
+        });
+        self
+    }
+
+    /// Adds an epsilon arc (no input label, no output word).
+    pub fn add_epsilon_arc(&mut self, src: StateId, dest: StateId, weight: f32) -> &mut Self {
+        self.add_arc(src, dest, PhoneId::EPSILON, WordId::NONE, weight)
+    }
+
+    /// Finalizes the transducer.
+    ///
+    /// Within each state, non-epsilon arcs are placed before epsilon arcs
+    /// while otherwise preserving insertion order (a stable partition), then
+    /// all per-state groups are concatenated into the flat arc array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WfstError::MissingStart`] if no start state was set,
+    /// [`WfstError::TooManyArcs`] if a state's out-degree exceeds the packed
+    /// 16-bit fields, [`WfstError::NoFinalStates`] if no state was marked
+    /// final, or [`WfstError::InvalidWeight`] for non-finite weights.
+    pub fn build(self) -> Result<Wfst> {
+        let start = self.start.ok_or(WfstError::MissingStart)?;
+        let mut states = Vec::with_capacity(self.adjacency.len());
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        let mut arcs = Vec::with_capacity(total);
+        for (idx, state_arcs) in self.adjacency.into_iter().enumerate() {
+            let sid = StateId::from_index(idx);
+            let first_arc = ArcId::from_index(arcs.len());
+            let mut emitting = 0usize;
+            let mut epsilon = 0usize;
+            // Stable partition: emitting arcs keep their relative order, as
+            // do epsilon arcs appended behind them.
+            for arc in state_arcs.iter().filter(|a| !a.is_epsilon()) {
+                arcs.push(*arc);
+                emitting += 1;
+            }
+            for arc in state_arcs.iter().filter(|a| a.is_epsilon()) {
+                arcs.push(*arc);
+                epsilon += 1;
+            }
+            if emitting > u16::MAX as usize || epsilon > u16::MAX as usize {
+                return Err(WfstError::TooManyArcs {
+                    state: sid,
+                    count: emitting + epsilon,
+                });
+            }
+            states.push(StateEntry {
+                first_arc,
+                num_emitting: emitting as u16,
+                num_epsilon: epsilon as u16,
+            });
+        }
+        Wfst::from_parts(states, arcs, start, self.final_costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_requires_start() {
+        let mut b = WfstBuilder::new();
+        let s = b.add_state();
+        b.set_final(s, 0.0);
+        assert_eq!(b.build().unwrap_err(), WfstError::MissingStart);
+    }
+
+    #[test]
+    fn build_requires_final() {
+        let mut b = WfstBuilder::new();
+        let s = b.add_state();
+        b.set_start(s);
+        assert_eq!(b.build().unwrap_err(), WfstError::NoFinalStates);
+    }
+
+    #[test]
+    fn arcs_are_stably_partitioned() {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.set_start(s0);
+        b.set_final(s1, 0.0);
+        // Interleave epsilon and non-epsilon insertions.
+        b.add_epsilon_arc(s0, s1, 0.1);
+        b.add_arc(s0, s1, PhoneId(1), WordId::NONE, 0.2);
+        b.add_epsilon_arc(s0, s1, 0.3);
+        b.add_arc(s0, s1, PhoneId(2), WordId::NONE, 0.4);
+        let w = b.build().unwrap();
+        let arcs = w.arcs(s0);
+        let weights: Vec<f32> = arcs.iter().map(|a| a.weight).collect();
+        // Emitting arcs (0.2, 0.4) first, epsilons (0.1, 0.3) after, both in
+        // insertion order.
+        assert_eq!(weights, vec![0.2, 0.4, 0.1, 0.3]);
+    }
+
+    #[test]
+    fn add_states_returns_first_id() {
+        let mut b = WfstBuilder::new();
+        let first = b.add_states(5);
+        assert_eq!(first, StateId(0));
+        assert_eq!(b.num_states(), 5);
+        let next = b.add_states(3);
+        assert_eq!(next, StateId(5));
+    }
+
+    #[test]
+    fn builder_rejects_nan_weight_at_build() {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        b.set_start(s0);
+        b.set_final(s0, 0.0);
+        b.add_arc(s0, s0, PhoneId(1), WordId::NONE, f32::NAN);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            WfstError::InvalidWeight { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source state")]
+    fn add_arc_panics_on_unknown_state() {
+        let mut b = WfstBuilder::new();
+        b.add_arc(StateId(0), StateId(0), PhoneId(1), WordId::NONE, 0.0);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_arcs_are_allowed() {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        b.set_start(s0);
+        b.set_final(s0, 0.0);
+        b.add_arc(s0, s0, PhoneId(1), WordId::NONE, 0.0);
+        b.add_arc(s0, s0, PhoneId(1), WordId::NONE, 1.0);
+        let w = b.build().unwrap();
+        assert_eq!(w.arcs(s0).len(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by all WFST operations.
+
+use crate::{ArcId, StateId};
+use std::fmt;
+
+/// Errors produced while constructing, transforming or serializing a WFST.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WfstError {
+    /// A state id referenced a state that does not exist.
+    UnknownState(StateId),
+    /// An arc id was out of range for the arc array.
+    UnknownArc(ArcId),
+    /// The transducer has no start state set.
+    MissingStart,
+    /// The transducer has no final state, so no path can be accepted.
+    NoFinalStates,
+    /// A state's arc count exceeds the 16-bit field of the packed layout.
+    TooManyArcs {
+        /// State whose out-degree overflowed.
+        state: StateId,
+        /// Offending arc count.
+        count: usize,
+    },
+    /// An arc weight was NaN or infinite, which would poison the search.
+    InvalidWeight {
+        /// State the arc departs from.
+        state: StateId,
+        /// Offending weight value.
+        weight: f32,
+    },
+    /// A serialized image was truncated or malformed.
+    Corrupt(String),
+    /// The operands of a composition used incompatible label spaces.
+    IncompatibleComposition(String),
+}
+
+impl fmt::Display for WfstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WfstError::UnknownState(s) => write!(f, "unknown state {s:?}"),
+            WfstError::UnknownArc(a) => write!(f, "unknown arc {a:?}"),
+            WfstError::MissingStart => write!(f, "transducer has no start state"),
+            WfstError::NoFinalStates => write!(f, "transducer has no final states"),
+            WfstError::TooManyArcs { state, count } => write!(
+                f,
+                "state {state:?} has {count} arcs, exceeding the 16-bit packed field"
+            ),
+            WfstError::InvalidWeight { state, weight } => {
+                write!(f, "arc from {state:?} has non-finite weight {weight}")
+            }
+            WfstError::Corrupt(msg) => write!(f, "corrupt serialized transducer: {msg}"),
+            WfstError::IncompatibleComposition(msg) => {
+                write!(f, "incompatible composition operands: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WfstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = WfstError::TooManyArcs {
+            state: StateId(3),
+            count: 70000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("70000"));
+        assert!(msg.contains("16-bit"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(WfstError::MissingStart);
+    }
+
+    #[test]
+    fn variants_are_distinguishable() {
+        assert_ne!(
+            WfstError::UnknownState(StateId(1)),
+            WfstError::UnknownState(StateId(2))
+        );
+        assert_ne!(WfstError::MissingStart, WfstError::NoFinalStates);
+    }
+}

@@ -1,0 +1,188 @@
+//! Serialization of transducers to files and byte buffers.
+//!
+//! Two formats are provided:
+//!
+//! * the **packed image** (see [`crate::layout`]) prefixed with a small
+//!   header — exactly what the accelerator sees in DRAM, plus the metadata
+//!   needed to reconstruct a [`Wfst`] (start state, final states);
+//! * **JSON** via serde for small graphs and golden-file tests (behind the
+//!   caller's serializer of choice; `Wfst` derives `Serialize`).
+
+use crate::layout;
+use crate::{Result, StateId, Wfst, WfstError};
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// Magic number of the packed container: "WFST" followed by a version byte.
+const MAGIC: &[u8; 4] = b"WFST";
+const VERSION: u8 = 1;
+
+/// Serializes a transducer into the packed container format.
+pub fn to_bytes(wfst: &Wfst) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u64_le(wfst.num_states() as u64);
+    out.put_u64_le(wfst.num_arcs() as u64);
+    out.put_u32_le(wfst.start().0);
+    // Final states: count then (state, cost) pairs.
+    let finals: Vec<(StateId, f32)> = wfst.final_states().collect();
+    out.put_u64_le(finals.len() as u64);
+    for (s, c) in finals {
+        out.put_u32_le(s.0);
+        out.put_f32_le(c);
+    }
+    layout::write_image(wfst, &mut out);
+    out
+}
+
+/// Deserializes a transducer from the packed container format.
+///
+/// # Errors
+///
+/// Returns [`WfstError::Corrupt`] for bad magic/version/truncation, or any
+/// validation error of [`Wfst::from_parts`].
+pub fn from_bytes(mut bytes: &[u8]) -> Result<Wfst> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(WfstError::Corrupt("bad magic".into()));
+    }
+    bytes.advance(4);
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(WfstError::Corrupt(format!("unsupported version {version}")));
+    }
+    if bytes.remaining() < 8 + 8 + 4 + 8 {
+        return Err(WfstError::Corrupt("truncated header".into()));
+    }
+    let num_states = bytes.get_u64_le() as usize;
+    let num_arcs = bytes.get_u64_le() as usize;
+    let start = StateId(bytes.get_u32_le());
+    let num_finals = bytes.get_u64_le() as usize;
+    if bytes.remaining() < num_finals * 8 {
+        return Err(WfstError::Corrupt("truncated final-state table".into()));
+    }
+    let mut final_costs = vec![f32::INFINITY; num_states];
+    for _ in 0..num_finals {
+        let s = bytes.get_u32_le() as usize;
+        let c = bytes.get_f32_le();
+        if s >= num_states {
+            return Err(WfstError::Corrupt(format!("final state {s} out of range")));
+        }
+        final_costs[s] = c;
+    }
+    let (states, arcs) = layout::read_image(bytes, num_states, num_arcs)?;
+    Wfst::from_parts(states, arcs, start, final_costs)
+}
+
+/// Writes the packed container to `path`.
+///
+/// # Errors
+///
+/// Returns [`WfstError::Corrupt`] wrapping the underlying I/O failure.
+pub fn save(wfst: &Wfst, path: &Path) -> Result<()> {
+    let bytes = to_bytes(wfst);
+    let mut f =
+        File::create(path).map_err(|e| WfstError::Corrupt(format!("create {path:?}: {e}")))?;
+    f.write_all(&bytes)
+        .map_err(|e| WfstError::Corrupt(format!("write {path:?}: {e}")))
+}
+
+/// Reads a packed container from `path`.
+///
+/// # Errors
+///
+/// Returns [`WfstError::Corrupt`] for I/O or format failures.
+pub fn load(path: &Path) -> Result<Wfst> {
+    let mut f =
+        File::open(path).map_err(|e| WfstError::Corrupt(format!("open {path:?}: {e}")))?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)
+        .map_err(|e| WfstError::Corrupt(format!("read {path:?}: {e}")))?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthWfst};
+
+    fn sample() -> Wfst {
+        SynthWfst::generate(&SynthConfig::with_states(500)).unwrap()
+    }
+
+    fn assert_same(a: &Wfst, b: &Wfst) {
+        assert_eq!(a.num_states(), b.num_states());
+        assert_eq!(a.num_arcs(), b.num_arcs());
+        assert_eq!(a.start(), b.start());
+        assert_eq!(a.state_entries(), b.state_entries());
+        for (x, y) in a.arc_entries().iter().zip(b.arc_entries()) {
+            assert_eq!(x.dest, y.dest);
+            assert_eq!(x.ilabel, y.ilabel);
+            assert_eq!(x.olabel, y.olabel);
+            assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+        }
+        let fa: Vec<_> = a.final_states().collect();
+        let fb: Vec<_> = b.final_states().collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let w = sample();
+        let bytes = to_bytes(&w);
+        let back = from_bytes(&bytes).unwrap();
+        assert_same(&w, &back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let w = sample();
+        let dir = std::env::temp_dir().join("asr_wfst_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.wfst");
+        save(&w, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_same(&w, &back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = from_bytes(b"NOPE\x01rest").unwrap_err();
+        assert!(matches!(err, WfstError::Corrupt(_)));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = 99;
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = to_bytes(&sample());
+        let err = from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, WfstError::Corrupt(_)));
+    }
+
+    #[test]
+    fn out_of_range_final_state_is_rejected() {
+        let w = {
+            let mut b = crate::builder::WfstBuilder::new();
+            let s = b.add_state();
+            b.set_start(s);
+            b.set_final(s, 0.0);
+            b.build().unwrap()
+        };
+        let mut bytes = to_bytes(&w);
+        // Corrupt the single final-state id (offset: 4 magic + 1 version +
+        // 8 states + 8 arcs + 4 start + 8 count = 33).
+        bytes[33..37].copy_from_slice(&100u32.to_le_bytes());
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,412 @@
+//! In-memory WFST data model mirroring the accelerator's packed layout.
+
+use crate::{ArcId, PhoneId, Result, StateId, WfstError, WordId};
+use serde::{Deserialize, Serialize};
+
+/// A single transition of the recognition network.
+///
+/// The hardware stores each arc as a 128-bit record: destination state index,
+/// transition weight, input label (phoneme id) and output label (word id),
+/// each 32 bits (Section III of the paper). The weight is a cost
+/// (negative log probability), so following an arc *adds* `weight`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arc {
+    /// Destination state.
+    pub dest: StateId,
+    /// Transition cost (negative log probability); always finite.
+    pub weight: f32,
+    /// Input label; `PhoneId::EPSILON` for epsilon arcs.
+    pub ilabel: PhoneId,
+    /// Output label; `WordId::NONE` when no word is emitted.
+    pub olabel: WordId,
+}
+
+impl Arc {
+    /// Returns `true` if this arc consumes no acoustic frame.
+    #[inline]
+    pub fn is_epsilon(&self) -> bool {
+        self.ilabel.is_epsilon()
+    }
+}
+
+/// Packed per-state record: where the state's arcs live in the arc array.
+///
+/// Matches the paper's 64-bit state record: 32-bit index of the first arc,
+/// 16-bit count of non-epsilon (emitting) arcs, 16-bit count of epsilon
+/// arcs. All outgoing arcs are stored consecutively, non-epsilon first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// Index of the first outgoing arc in the arc array.
+    pub first_arc: ArcId,
+    /// Number of non-epsilon (frame-consuming) arcs.
+    pub num_emitting: u16,
+    /// Number of epsilon arcs, stored after the non-epsilon arcs.
+    pub num_epsilon: u16,
+}
+
+impl StateEntry {
+    /// Total out-degree of the state.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_emitting as usize + self.num_epsilon as usize
+    }
+
+    /// Range of arc indices covering all outgoing arcs.
+    #[inline]
+    pub fn arc_range(&self) -> std::ops::Range<usize> {
+        let first = self.first_arc.index();
+        first..first + self.num_arcs()
+    }
+
+    /// Range of arc indices covering only non-epsilon arcs.
+    #[inline]
+    pub fn emitting_range(&self) -> std::ops::Range<usize> {
+        let first = self.first_arc.index();
+        first..first + self.num_emitting as usize
+    }
+
+    /// Range of arc indices covering only epsilon arcs.
+    #[inline]
+    pub fn epsilon_range(&self) -> std::ops::Range<usize> {
+        let first = self.first_arc.index() + self.num_emitting as usize;
+        first..first + self.num_epsilon as usize
+    }
+}
+
+/// An immutable weighted finite-state transducer.
+///
+/// States and arcs live in two flat arrays, exactly as the accelerator lays
+/// them out in main memory. Construct one with
+/// [`crate::builder::WfstBuilder`], [`crate::synth::SynthWfst`] or
+/// [`crate::compose::compose`]; the invariants (arc ranges in bounds,
+/// non-epsilon before epsilon, finite weights) are checked at build time so
+/// traversal never needs to re-validate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Wfst {
+    states: Vec<StateEntry>,
+    arcs: Vec<Arc>,
+    start: StateId,
+    /// Final cost per state; `f32::INFINITY` means "not final".
+    final_costs: Vec<f32>,
+    num_phones: u32,
+    num_words: u32,
+}
+
+impl Wfst {
+    /// Assembles a transducer from raw parts, validating every invariant.
+    ///
+    /// This is the single choke point all construction paths funnel through.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the start state is out of range, any arc range
+    /// exceeds the arc array, epsilon arcs precede non-epsilon arcs within a
+    /// state, any weight or final cost is NaN/-inf, or no state is final.
+    pub fn from_parts(
+        states: Vec<StateEntry>,
+        arcs: Vec<Arc>,
+        start: StateId,
+        final_costs: Vec<f32>,
+    ) -> Result<Self> {
+        assert_eq!(
+            states.len(),
+            final_costs.len(),
+            "one final cost per state required"
+        );
+        if start.index() >= states.len() {
+            return Err(WfstError::UnknownState(start));
+        }
+        let mut num_phones = 0u32;
+        let mut num_words = 0u32;
+        for (idx, st) in states.iter().enumerate() {
+            let sid = StateId::from_index(idx);
+            let range = st.arc_range();
+            if range.end > arcs.len() {
+                return Err(WfstError::UnknownArc(ArcId::from_index(range.end - 1)));
+            }
+            for (k, arc) in arcs[range].iter().enumerate() {
+                if !arc.weight.is_finite() {
+                    return Err(WfstError::InvalidWeight {
+                        state: sid,
+                        weight: arc.weight,
+                    });
+                }
+                if arc.dest.index() >= states.len() {
+                    return Err(WfstError::UnknownState(arc.dest));
+                }
+                let should_be_epsilon = k >= st.num_emitting as usize;
+                if arc.is_epsilon() != should_be_epsilon {
+                    return Err(WfstError::Corrupt(format!(
+                        "state {sid:?}: arc {k} violates non-epsilon-first ordering"
+                    )));
+                }
+                num_phones = num_phones.max(arc.ilabel.0 + 1);
+                num_words = num_words.max(arc.olabel.0 + 1);
+            }
+        }
+        if !final_costs
+            .iter()
+            .any(|c| c.is_finite() || *c == f32::INFINITY)
+        {
+            return Err(WfstError::Corrupt("non-finite final cost".into()));
+        }
+        if !final_costs.iter().any(|c| c.is_finite()) {
+            return Err(WfstError::NoFinalStates);
+        }
+        Ok(Self {
+            states,
+            arcs,
+            start,
+            final_costs,
+            num_phones,
+            num_words,
+        })
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of arcs across all states.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The start state of the search.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Packed record of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[inline]
+    pub fn state(&self, state: StateId) -> StateEntry {
+        self.states[state.index()]
+    }
+
+    /// All outgoing arcs of `state` (non-epsilon first).
+    #[inline]
+    pub fn arcs(&self, state: StateId) -> &[Arc] {
+        &self.arcs[self.states[state.index()].arc_range()]
+    }
+
+    /// Only the non-epsilon (frame-consuming) arcs of `state`.
+    #[inline]
+    pub fn emitting_arcs(&self, state: StateId) -> &[Arc] {
+        &self.arcs[self.states[state.index()].emitting_range()]
+    }
+
+    /// Only the epsilon arcs of `state`.
+    #[inline]
+    pub fn epsilon_arcs(&self, state: StateId) -> &[Arc] {
+        &self.arcs[self.states[state.index()].epsilon_range()]
+    }
+
+    /// Arc by flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range.
+    #[inline]
+    pub fn arc(&self, arc: ArcId) -> Arc {
+        self.arcs[arc.index()]
+    }
+
+    /// Final cost of `state`; `f32::INFINITY` when the state is not final.
+    #[inline]
+    pub fn final_cost(&self, state: StateId) -> f32 {
+        self.final_costs[state.index()]
+    }
+
+    /// Returns `true` if `state` accepts.
+    #[inline]
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.final_costs[state.index()].is_finite()
+    }
+
+    /// Iterator over all final states with their costs.
+    pub fn final_states(&self) -> impl Iterator<Item = (StateId, f32)> + '_ {
+        self.final_costs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_finite())
+            .map(|(i, c)| (StateId::from_index(i), *c))
+    }
+
+    /// One past the largest input label, i.e. the size of the phone table
+    /// the acoustic model must score (label 0 is epsilon).
+    #[inline]
+    pub fn num_phones(&self) -> u32 {
+        self.num_phones
+    }
+
+    /// One past the largest output label (label 0 is "no word").
+    #[inline]
+    pub fn num_words(&self) -> u32 {
+        self.num_words
+    }
+
+    /// Raw state array, in layout order.
+    #[inline]
+    pub fn state_entries(&self) -> &[StateEntry] {
+        &self.states
+    }
+
+    /// Raw arc array, in layout order.
+    #[inline]
+    pub fn arc_entries(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Fraction of arcs that are epsilon (Kaldi's English WFST: 0.115).
+    pub fn epsilon_fraction(&self) -> f64 {
+        if self.arcs.is_empty() {
+            return 0.0;
+        }
+        let eps = self.arcs.iter().filter(|a| a.is_epsilon()).count();
+        eps as f64 / self.arcs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WfstBuilder;
+
+    fn tiny() -> Wfst {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        b.set_start(s0);
+        b.add_arc(s0, s1, PhoneId(1), WordId(1), 1.0);
+        b.add_arc(s0, s2, PhoneId::EPSILON, WordId::NONE, 0.5);
+        b.add_arc(s1, s2, PhoneId(2), WordId::NONE, 2.0);
+        b.set_final(s2, 0.25);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn arcs_are_partitioned_epsilon_last() {
+        let w = tiny();
+        let s0 = StateId(0);
+        assert_eq!(w.arcs(s0).len(), 2);
+        assert_eq!(w.emitting_arcs(s0).len(), 1);
+        assert_eq!(w.epsilon_arcs(s0).len(), 1);
+        assert!(!w.emitting_arcs(s0)[0].is_epsilon());
+        assert!(w.epsilon_arcs(s0)[0].is_epsilon());
+    }
+
+    #[test]
+    fn final_states_are_reported() {
+        let w = tiny();
+        assert!(w.is_final(StateId(2)));
+        assert!(!w.is_final(StateId(0)));
+        assert_eq!(w.final_cost(StateId(2)), 0.25);
+        assert_eq!(w.final_states().count(), 1);
+    }
+
+    #[test]
+    fn label_spaces_are_sized_from_content() {
+        let w = tiny();
+        assert_eq!(w.num_phones(), 3); // phones 0..=2
+        assert_eq!(w.num_words(), 2); // words 0..=1
+    }
+
+    #[test]
+    fn epsilon_fraction_counts_epsilon_arcs() {
+        let w = tiny();
+        assert!((w.epsilon_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_start() {
+        let err = Wfst::from_parts(vec![], vec![], StateId(0), vec![]).unwrap_err();
+        assert_eq!(err, WfstError::UnknownState(StateId(0)));
+    }
+
+    #[test]
+    fn from_parts_rejects_out_of_range_arc_window() {
+        let states = vec![StateEntry {
+            first_arc: ArcId(0),
+            num_emitting: 1,
+            num_epsilon: 0,
+        }];
+        let err = Wfst::from_parts(states, vec![], StateId(0), vec![0.0]).unwrap_err();
+        assert!(matches!(err, WfstError::UnknownArc(_)));
+    }
+
+    #[test]
+    fn from_parts_rejects_nan_weight() {
+        let states = vec![StateEntry {
+            first_arc: ArcId(0),
+            num_emitting: 1,
+            num_epsilon: 0,
+        }];
+        let arcs = vec![Arc {
+            dest: StateId(0),
+            weight: f32::NAN,
+            ilabel: PhoneId(1),
+            olabel: WordId::NONE,
+        }];
+        let err = Wfst::from_parts(states, arcs, StateId(0), vec![0.0]).unwrap_err();
+        assert!(matches!(err, WfstError::InvalidWeight { .. }));
+    }
+
+    #[test]
+    fn from_parts_rejects_epsilon_ordering_violation() {
+        let states = vec![StateEntry {
+            first_arc: ArcId(0),
+            num_emitting: 1,
+            num_epsilon: 1,
+        }];
+        // Epsilon arc first, emitting second: violates the packed layout.
+        let arcs = vec![
+            Arc {
+                dest: StateId(0),
+                weight: 0.0,
+                ilabel: PhoneId::EPSILON,
+                olabel: WordId::NONE,
+            },
+            Arc {
+                dest: StateId(0),
+                weight: 0.0,
+                ilabel: PhoneId(1),
+                olabel: WordId::NONE,
+            },
+        ];
+        let err = Wfst::from_parts(states, arcs, StateId(0), vec![0.0]).unwrap_err();
+        assert!(matches!(err, WfstError::Corrupt(_)));
+    }
+
+    #[test]
+    fn from_parts_requires_a_final_state() {
+        let states = vec![StateEntry {
+            first_arc: ArcId(0),
+            num_emitting: 0,
+            num_epsilon: 0,
+        }];
+        let err = Wfst::from_parts(states, vec![], StateId(0), vec![f32::INFINITY]).unwrap_err();
+        assert_eq!(err, WfstError::NoFinalStates);
+    }
+
+    #[test]
+    fn state_entry_ranges_are_consistent() {
+        let e = StateEntry {
+            first_arc: ArcId(10),
+            num_emitting: 3,
+            num_epsilon: 2,
+        };
+        assert_eq!(e.num_arcs(), 5);
+        assert_eq!(e.arc_range(), 10..15);
+        assert_eq!(e.emitting_range(), 10..13);
+        assert_eq!(e.epsilon_range(), 13..15);
+    }
+}

@@ -1,0 +1,427 @@
+//! Standard transducer operations.
+//!
+//! The paper's WFSTs are built offline by composing knowledge sources and
+//! then cleaning the result (Section II). Beyond [`crate::compose`], a
+//! usable WFST library needs the surrounding toolbox; this module provides
+//! the operations the workspace's construction paths and tests rely on:
+//!
+//! * [`connect`] — trim states that cannot lie on an accepting path;
+//! * [`reverse`] — swap arc directions (used to check coaccessibility);
+//! * [`project_input`] / [`project_output`] — forget one label side;
+//! * [`scale_weights`] — apply a language-model scale;
+//! * [`union`] / [`concat`] — combine transducers;
+//! * [`accessible_states`] / [`coaccessible_states`] — reachability
+//!   analyses.
+//!
+//! All operations preserve the packed-layout invariants by rebuilding
+//! through [`crate::builder::WfstBuilder`].
+
+use crate::builder::WfstBuilder;
+use crate::{Result, StateId, Wfst, WfstError};
+
+/// States reachable from the start by following arcs forward.
+pub fn accessible_states(wfst: &Wfst) -> Vec<bool> {
+    let n = wfst.num_states();
+    let mut seen = vec![false; n];
+    let mut stack = vec![wfst.start()];
+    seen[wfst.start().index()] = true;
+    while let Some(s) = stack.pop() {
+        for arc in wfst.arcs(s) {
+            if !seen[arc.dest.index()] {
+                seen[arc.dest.index()] = true;
+                stack.push(arc.dest);
+            }
+        }
+    }
+    seen
+}
+
+/// States from which some final state is reachable.
+pub fn coaccessible_states(wfst: &Wfst) -> Vec<bool> {
+    let n = wfst.num_states();
+    // Build the reverse adjacency once.
+    let mut reverse_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for idx in 0..n {
+        for arc in wfst.arcs(StateId::from_index(idx)) {
+            reverse_adj[arc.dest.index()].push(idx as u32);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack: Vec<u32> = wfst.final_states().map(|(s, _)| s.0).collect();
+    for &s in &stack {
+        seen[s as usize] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &reverse_adj[s as usize] {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Removes every state that is not both accessible and coaccessible,
+/// renumbering the survivors. The recognized language is unchanged.
+///
+/// # Errors
+///
+/// Returns [`WfstError::NoFinalStates`] if nothing survives (the start
+/// cannot reach any final state).
+pub fn connect(wfst: &Wfst) -> Result<Wfst> {
+    let acc = accessible_states(wfst);
+    let coacc = coaccessible_states(wfst);
+    let keep: Vec<bool> = acc
+        .iter()
+        .zip(&coacc)
+        .map(|(&a, &c)| a && c)
+        .collect();
+    if !keep[wfst.start().index()] {
+        return Err(WfstError::NoFinalStates);
+    }
+    let mut remap = vec![u32::MAX; wfst.num_states()];
+    let mut b = WfstBuilder::new();
+    for (idx, &k) in keep.iter().enumerate() {
+        if k {
+            remap[idx] = b.add_state().0;
+        }
+    }
+    b.set_start(StateId(remap[wfst.start().index()]));
+    for (idx, &k) in keep.iter().enumerate() {
+        if !k {
+            continue;
+        }
+        let src = StateId(remap[idx]);
+        let old = StateId::from_index(idx);
+        for arc in wfst.arcs(old) {
+            if keep[arc.dest.index()] {
+                b.add_arc(src, StateId(remap[arc.dest.index()]), arc.ilabel, arc.olabel, arc.weight);
+            }
+        }
+        let f = wfst.final_cost(old);
+        if f.is_finite() {
+            b.set_final(src, f);
+        }
+    }
+    b.build()
+}
+
+/// Multiplies every arc weight and final cost by `scale` (the language
+/// model scale of ASR decoders).
+///
+/// # Errors
+///
+/// Propagates validation failures (e.g. a non-finite scale).
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite or is negative.
+pub fn scale_weights(wfst: &Wfst, scale: f32) -> Result<Wfst> {
+    assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+    let mut b = WfstBuilder::with_capacity(wfst.num_states());
+    b.add_states(wfst.num_states());
+    b.set_start(wfst.start());
+    for idx in 0..wfst.num_states() {
+        let s = StateId::from_index(idx);
+        for arc in wfst.arcs(s) {
+            b.add_arc(s, arc.dest, arc.ilabel, arc.olabel, arc.weight * scale);
+        }
+        let f = wfst.final_cost(s);
+        if f.is_finite() {
+            b.set_final(s, f * scale);
+        }
+    }
+    b.build()
+}
+
+/// Copies the transducer with every output label replaced by the input
+/// label (an acceptor over phones).
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn project_input(wfst: &Wfst) -> Result<Wfst> {
+    project(wfst, true)
+}
+
+/// Copies the transducer with every input label replaced by the output
+/// label. Arcs whose output is `NONE` become epsilon arcs.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn project_output(wfst: &Wfst) -> Result<Wfst> {
+    project(wfst, false)
+}
+
+fn project(wfst: &Wfst, onto_input: bool) -> Result<Wfst> {
+    use crate::{PhoneId, WordId};
+    let mut b = WfstBuilder::with_capacity(wfst.num_states());
+    b.add_states(wfst.num_states());
+    b.set_start(wfst.start());
+    for idx in 0..wfst.num_states() {
+        let s = StateId::from_index(idx);
+        for arc in wfst.arcs(s) {
+            let (il, ol) = if onto_input {
+                (arc.ilabel, WordId(arc.ilabel.0))
+            } else {
+                (PhoneId(arc.olabel.0), arc.olabel)
+            };
+            b.add_arc(s, arc.dest, il, ol, arc.weight);
+        }
+        let f = wfst.final_cost(s);
+        if f.is_finite() {
+            b.set_final(s, f);
+        }
+    }
+    b.build()
+}
+
+/// Reverses every arc; final states become (epsilon-fanned) start
+/// candidates and the start becomes final. A fresh super-start with
+/// epsilon arcs to the old final states keeps the result a single-start
+/// machine.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn reverse(wfst: &Wfst) -> Result<Wfst> {
+    let mut b = WfstBuilder::new();
+    let super_start = b.add_state();
+    b.set_start(super_start);
+    b.add_states(wfst.num_states());
+    let shift = |s: StateId| StateId(s.0 + 1);
+    for (f, cost) in wfst.final_states() {
+        b.add_epsilon_arc(super_start, shift(f), cost);
+    }
+    b.set_final(shift(wfst.start()), 0.0);
+    for idx in 0..wfst.num_states() {
+        let s = StateId::from_index(idx);
+        for arc in wfst.arcs(s) {
+            b.add_arc(shift(arc.dest), shift(s), arc.ilabel, arc.olabel, arc.weight);
+        }
+    }
+    b.build()
+}
+
+/// Union: accepts anything either operand accepts, via a fresh start with
+/// epsilon arcs into both.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn union(a: &Wfst, b_op: &Wfst) -> Result<Wfst> {
+    let mut b = WfstBuilder::new();
+    let start = b.add_state();
+    b.set_start(start);
+    let a_base = copy_into(&mut b, a);
+    let b_base = copy_into(&mut b, b_op);
+    b.add_epsilon_arc(start, StateId(a_base + a.start().0), 0.0);
+    b.add_epsilon_arc(start, StateId(b_base + b_op.start().0), 0.0);
+    for (f, c) in a.final_states() {
+        b.set_final(StateId(a_base + f.0), c);
+    }
+    for (f, c) in b_op.final_states() {
+        b.set_final(StateId(b_base + f.0), c);
+    }
+    b.build()
+}
+
+/// Concatenation: accepts `a`'s language followed by `b_op`'s; `a`'s final
+/// states connect by epsilon (carrying their final cost) to `b_op`'s start.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn concat(a: &Wfst, b_op: &Wfst) -> Result<Wfst> {
+    let mut b = WfstBuilder::new();
+    let a_base = copy_into(&mut b, a);
+    let b_base = copy_into(&mut b, b_op);
+    b.set_start(StateId(a_base + a.start().0));
+    for (f, c) in a.final_states() {
+        b.add_epsilon_arc(StateId(a_base + f.0), StateId(b_base + b_op.start().0), c);
+    }
+    for (f, c) in b_op.final_states() {
+        b.set_final(StateId(b_base + f.0), c);
+    }
+    b.build()
+}
+
+/// Copies all states and arcs of `src` into the builder, returning the
+/// index offset of the copy.
+fn copy_into(b: &mut WfstBuilder, src: &Wfst) -> u32 {
+    let base = b.add_states(src.num_states()).0;
+    for idx in 0..src.num_states() {
+        let s = StateId::from_index(idx);
+        for arc in src.arcs(s) {
+            b.add_arc(
+                StateId(base + idx as u32),
+                StateId(base + arc.dest.0),
+                arc.ilabel,
+                arc.olabel,
+                arc.weight,
+            );
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PhoneId, WordId};
+
+    /// start -1-> a -2-> final, plus an inaccessible state and a dead end.
+    fn with_garbage() -> Wfst {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state(); // final
+        let dead = b.add_state(); // reachable, no path to final
+        let orphan = b.add_state(); // unreachable
+        b.set_start(s0);
+        b.set_final(s2, 0.5);
+        b.add_arc(s0, s1, PhoneId(1), WordId(1), 1.0);
+        b.add_arc(s1, s2, PhoneId(2), WordId::NONE, 2.0);
+        b.add_arc(s0, dead, PhoneId(3), WordId::NONE, 0.1);
+        b.add_arc(orphan, s2, PhoneId(4), WordId::NONE, 0.2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accessibility_analyses() {
+        let w = with_garbage();
+        let acc = accessible_states(&w);
+        assert_eq!(acc, vec![true, true, true, true, false]);
+        let coacc = coaccessible_states(&w);
+        assert_eq!(coacc, vec![true, true, true, false, true]);
+    }
+
+    #[test]
+    fn connect_trims_dead_and_orphan_states() {
+        let w = with_garbage();
+        let trimmed = connect(&w).unwrap();
+        assert_eq!(trimmed.num_states(), 3);
+        assert_eq!(trimmed.num_arcs(), 2);
+        // Language preserved: the 1,2 path still accepts at total 3.5.
+        let a0 = trimmed.arcs(trimmed.start())[0];
+        assert_eq!(a0.ilabel, PhoneId(1));
+        let a1 = trimmed.arcs(a0.dest)[0];
+        assert_eq!(a1.ilabel, PhoneId(2));
+        assert!((trimmed.final_cost(a1.dest) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn connect_fails_when_nothing_accepts() {
+        let mut b = WfstBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.set_start(s0);
+        b.set_final(s1, 0.0); // unreachable final
+        b.add_arc(s0, s0, PhoneId(1), WordId::NONE, 0.0);
+        let w = b.build().unwrap();
+        assert!(connect(&w).is_err());
+    }
+
+    #[test]
+    fn scale_weights_multiplies_arcs_and_finals() {
+        let w = with_garbage();
+        let scaled = scale_weights(&w, 2.0).unwrap();
+        assert_eq!(scaled.arcs(scaled.start())[0].weight, 2.0);
+        assert_eq!(scaled.final_cost(StateId(2)), 1.0);
+        // Zero scale flattens everything.
+        let flat = scale_weights(&w, 0.0).unwrap();
+        assert!(flat.arc_entries().iter().all(|a| a.weight == 0.0));
+    }
+
+    #[test]
+    fn projections_unify_label_sides() {
+        let w = with_garbage();
+        let onto_in = project_input(&w).unwrap();
+        for arc in onto_in.arc_entries() {
+            assert_eq!(arc.ilabel.0, arc.olabel.0);
+        }
+        let onto_out = project_output(&w).unwrap();
+        for arc in onto_out.arc_entries() {
+            assert_eq!(arc.ilabel.0, arc.olabel.0);
+        }
+        // Output projection of a wordless arc is epsilon.
+        assert!(onto_out.arc_entries().iter().any(|a| a.is_epsilon()));
+    }
+
+    #[test]
+    fn reverse_swaps_reachability() {
+        let w = with_garbage();
+        let r = reverse(&w).unwrap();
+        // The reversed machine accepts 2,1 (reading the path backwards).
+        let start_eps = r.epsilon_arcs(r.start());
+        assert_eq!(start_eps.len(), 1, "one final state fans in");
+        let s2 = start_eps[0].dest;
+        let back = r
+            .emitting_arcs(s2)
+            .iter()
+            .find(|a| a.ilabel == PhoneId(2))
+            .unwrap();
+        let s1 = back.dest;
+        assert!(r
+            .emitting_arcs(s1)
+            .iter()
+            .any(|a| a.ilabel == PhoneId(1) && r.is_final(a.dest)));
+    }
+
+    #[test]
+    fn union_accepts_both_languages() {
+        let single = |ph: u32| -> Wfst {
+            let mut b = WfstBuilder::new();
+            let s0 = b.add_state();
+            let s1 = b.add_state();
+            b.set_start(s0);
+            b.set_final(s1, 0.0);
+            b.add_arc(s0, s1, PhoneId(ph), WordId(ph), 1.0);
+            b.build().unwrap()
+        };
+        let u = union(&single(1), &single(2)).unwrap();
+        let eps = u.epsilon_arcs(u.start());
+        assert_eq!(eps.len(), 2);
+        let labels: Vec<u32> = eps
+            .iter()
+            .map(|e| u.emitting_arcs(e.dest)[0].ilabel.0)
+            .collect();
+        assert!(labels.contains(&1) && labels.contains(&2));
+    }
+
+    #[test]
+    fn concat_chains_languages() {
+        let single = |ph: u32, cost: f32| -> Wfst {
+            let mut b = WfstBuilder::new();
+            let s0 = b.add_state();
+            let s1 = b.add_state();
+            b.set_start(s0);
+            b.set_final(s1, cost);
+            b.add_arc(s0, s1, PhoneId(ph), WordId::NONE, 1.0);
+            b.build().unwrap()
+        };
+        let c = concat(&single(1, 0.25), &single(2, 0.0)).unwrap();
+        // Path: read 1, epsilon (carrying 0.25), read 2, accept.
+        let a1 = c.emitting_arcs(c.start())[0];
+        assert_eq!(a1.ilabel, PhoneId(1));
+        let eps = c.epsilon_arcs(a1.dest);
+        assert_eq!(eps.len(), 1);
+        assert!((eps[0].weight - 0.25).abs() < 1e-6);
+        let a2 = c.emitting_arcs(eps[0].dest)[0];
+        assert_eq!(a2.ilabel, PhoneId(2));
+        assert!(c.is_final(a2.dest));
+        // Only the tail's finals accept.
+        assert_eq!(c.final_states().count(), 1);
+    }
+
+    #[test]
+    fn connect_is_idempotent() {
+        let w = with_garbage();
+        let once = connect(&w).unwrap();
+        let twice = connect(&once).unwrap();
+        assert_eq!(once.num_states(), twice.num_states());
+        assert_eq!(once.num_arcs(), twice.num_arcs());
+    }
+}

@@ -1,0 +1,69 @@
+//! Golden-image test: the packed serialization format is an on-disk/DRAM
+//! contract (the accelerator computes addresses from it), so its exact
+//! bytes must never drift.
+
+use asr_wfst::builder::WfstBuilder;
+use asr_wfst::layout::{pack_arc, pack_state, ARC_BYTES, STATE_BYTES};
+use asr_wfst::{Arc, ArcId, PhoneId, StateEntry, StateId, WordId};
+
+#[test]
+fn state_record_bit_layout_is_frozen() {
+    // first_arc in bits 0..32, num_emitting in 32..48, num_epsilon 48..64.
+    let word = pack_state(StateEntry {
+        first_arc: ArcId(0x0102_0304),
+        num_emitting: 0x0506,
+        num_epsilon: 0x0708,
+    });
+    assert_eq!(word, 0x0708_0506_0102_0304);
+    assert_eq!(STATE_BYTES, 8);
+}
+
+#[test]
+fn arc_record_bit_layout_is_frozen() {
+    // dest 0..32, weight bits 32..64, ilabel 64..96, olabel 96..128.
+    let arc = Arc {
+        dest: StateId(0x0102_0304),
+        weight: f32::from_bits(0x0506_0708),
+        ilabel: PhoneId(0x090A_0B0C),
+        olabel: WordId(0x0D0E_0F10),
+    };
+    assert_eq!(pack_arc(arc), 0x0D0E_0F10_090A_0B0C_0506_0708_0102_0304);
+    assert_eq!(ARC_BYTES, 16);
+}
+
+#[test]
+fn container_bytes_are_frozen() {
+    // A two-state, one-arc transducer's full container image.
+    let mut b = WfstBuilder::new();
+    let s0 = b.add_state();
+    let s1 = b.add_state();
+    b.set_start(s0);
+    b.set_final(s1, 1.5);
+    b.add_arc(s0, s1, PhoneId(3), WordId(7), 2.5);
+    let wfst = b.build().unwrap();
+    let bytes = asr_wfst::io::to_bytes(&wfst);
+
+    let mut expected: Vec<u8> = Vec::new();
+    expected.extend_from_slice(b"WFST"); // magic
+    expected.push(1); // version
+    expected.extend_from_slice(&2u64.to_le_bytes()); // states
+    expected.extend_from_slice(&1u64.to_le_bytes()); // arcs
+    expected.extend_from_slice(&0u32.to_le_bytes()); // start
+    expected.extend_from_slice(&1u64.to_le_bytes()); // final count
+    expected.extend_from_slice(&1u32.to_le_bytes()); // final state id
+    expected.extend_from_slice(&1.5f32.to_le_bytes()); // final cost
+    // State array: s0 = (first 0, 1 emitting, 0 eps); s1 = (first 1, 0, 0).
+    expected.extend_from_slice(&0x0000_0001_0000_0000u64.to_le_bytes());
+    expected.extend_from_slice(&0x0000_0000_0000_0001u64.to_le_bytes());
+    // Pad the state array to the next 64-byte boundary (2 x 8 -> 64).
+    expected.extend(std::iter::repeat(0u8).take(48));
+    // Arc record.
+    let arc_word = ((7u128) << 96) | ((3u128) << 64) | ((2.5f32.to_bits() as u128) << 32) | 1;
+    expected.extend_from_slice(&arc_word.to_le_bytes());
+
+    assert_eq!(bytes, expected, "serialized image drifted");
+    // And it still round-trips.
+    let back = asr_wfst::io::from_bytes(&bytes).unwrap();
+    assert_eq!(back.num_states(), 2);
+    assert_eq!(back.arc(ArcId(0)).olabel, WordId(7));
+}

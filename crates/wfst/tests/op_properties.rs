@@ -1,0 +1,99 @@
+//! Property tests over the FST operation toolbox: invariants that must
+//! hold for arbitrary synthetic graphs.
+
+use asr_wfst::ops::{
+    accessible_states, coaccessible_states, concat, connect, project_input, project_output,
+    reverse, scale_weights, union,
+};
+use asr_wfst::rmeps::remove_epsilons;
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use asr_wfst::{StateId, Wfst};
+use proptest::prelude::*;
+
+fn synth(states: usize, seed: u64) -> Wfst {
+    SynthWfst::generate(
+        &SynthConfig {
+            num_states: states,
+            ..SynthConfig::default()
+        }
+        .with_seed(seed),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn connect_output_is_fully_useful(seed in 0u64..200) {
+        let w = synth(150, seed);
+        let Ok(trimmed) = connect(&w) else {
+            // Nothing useful survived; acceptable for adversarial graphs.
+            return Ok(());
+        };
+        let acc = accessible_states(&trimmed);
+        let coacc = coaccessible_states(&trimmed);
+        prop_assert!(acc.iter().all(|&a| a), "all states accessible");
+        prop_assert!(coacc.iter().all(|&c| c), "all states coaccessible");
+        prop_assert!(trimmed.num_states() <= w.num_states());
+        prop_assert!(trimmed.num_arcs() <= w.num_arcs());
+    }
+
+    #[test]
+    fn scaling_is_multiplicative_and_composable(seed in 0u64..200) {
+        let w = synth(100, seed);
+        let a = scale_weights(&w, 2.0).unwrap();
+        let b = scale_weights(&a, 3.0).unwrap();
+        let direct = scale_weights(&w, 6.0).unwrap();
+        for (x, y) in b.arc_entries().iter().zip(direct.arc_entries()) {
+            prop_assert!((x.weight - y.weight).abs() <= 1e-4 * x.weight.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn projections_preserve_shape(seed in 0u64..200) {
+        let w = synth(100, seed);
+        for p in [project_input(&w).unwrap(), project_output(&w).unwrap()] {
+            prop_assert_eq!(p.num_states(), w.num_states());
+            prop_assert_eq!(p.num_arcs(), w.num_arcs());
+            prop_assert!(p.arc_entries().iter().all(|a| a.ilabel.0 == a.olabel.0));
+        }
+    }
+
+    #[test]
+    fn reverse_preserves_arc_count(seed in 0u64..200) {
+        let w = synth(100, seed);
+        let r = reverse(&w).unwrap();
+        // All original arcs plus one epsilon per original final state.
+        let finals = w.final_states().count();
+        prop_assert_eq!(r.num_arcs(), w.num_arcs() + finals);
+        prop_assert_eq!(r.num_states(), w.num_states() + 1);
+        // The reversed machine's final is the old start.
+        prop_assert!(r.is_final(StateId(w.start().0 + 1)));
+    }
+
+    #[test]
+    fn union_and_concat_count_states(seed in 0u64..100) {
+        let a = synth(40, seed);
+        let b = synth(60, seed ^ 0xAA);
+        let u = union(&a, &b).unwrap();
+        prop_assert_eq!(u.num_states(), a.num_states() + b.num_states() + 1);
+        prop_assert_eq!(u.num_arcs(), a.num_arcs() + b.num_arcs() + 2);
+        let c = concat(&a, &b).unwrap();
+        prop_assert_eq!(c.num_states(), a.num_states() + b.num_states());
+        let a_finals = a.final_states().count();
+        prop_assert_eq!(c.num_arcs(), a.num_arcs() + b.num_arcs() + a_finals);
+        // Concat finals are exactly b's finals.
+        prop_assert_eq!(c.final_states().count(), b.final_states().count());
+    }
+
+    #[test]
+    fn epsilon_removal_is_idempotent(seed in 0u64..100) {
+        let w = synth(80, seed);
+        let once = remove_epsilons(&w).unwrap();
+        prop_assert_eq!(once.epsilon_fraction(), 0.0);
+        let twice = remove_epsilons(&once).unwrap();
+        prop_assert_eq!(twice.num_arcs(), once.num_arcs());
+        prop_assert_eq!(twice.num_states(), once.num_states());
+    }
+}

@@ -1,0 +1,70 @@
+//! Architecture design-space exploration with the cycle-accurate model.
+//!
+//! An architect sizing a derivative of the paper's accelerator wants to
+//! know where the next unit of area buys the most performance. This
+//! example sweeps the Arc cache capacity, the prefetch FIFO depth and the
+//! hash-table size on one workload, reporting cycles, power and area for
+//! each point — the kind of study the simulator exists for.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use asr_repro::accel::config::{AcceleratorConfig, DesignPoint};
+use asr_repro::accel::energy::{AreaModel, EnergyModel};
+use asr_repro::accel::sim::Simulator;
+use asr_repro::acoustic::scores::AcousticTable;
+use asr_repro::wfst::synth::{SynthConfig, SynthWfst};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(200_000))?;
+    let scores = AcousticTable::random(60, wfst.num_phones() as usize, (0.5, 4.0), 3);
+    let beam = 12.0;
+    let energy_model = EnergyModel::default();
+
+    let evaluate = |cfg: AcceleratorConfig| -> (u64, f64, f64) {
+        let sim = Simulator::new(cfg.clone());
+        let r = sim.decode_wfst(&wfst, &scores).expect("simulation");
+        let energy = energy_model.energy(&cfg, &r.stats);
+        let power = energy.power_w(r.stats.seconds(cfg.frequency_hz));
+        let area = AreaModel.area(&cfg).total_mm2();
+        (r.stats.cycles, power, area)
+    };
+
+    println!("Arc cache capacity (final design):");
+    println!("{:>10} {:>12} {:>10} {:>10}", "capacity", "cycles", "power", "area");
+    for kb in [256usize, 512, 1024, 2048, 4096] {
+        let mut cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(beam);
+        cfg.arc_cache.capacity = kb * 1024;
+        let (cycles, power, area) = evaluate(cfg);
+        println!(
+            "{:>8}KB {:>12} {:>8.0}mW {:>9.2}mm2",
+            kb,
+            cycles,
+            power * 1e3,
+            area
+        );
+    }
+
+    println!("\nprefetch FIFO depth (arc-prefetch design):");
+    println!("{:>10} {:>12} {:>10}", "depth", "cycles", "power");
+    for depth in [8usize, 16, 32, 64, 128, 256] {
+        let mut cfg = AcceleratorConfig::for_design(DesignPoint::ArcPrefetch).with_beam(beam);
+        cfg.prefetch_fifo = depth;
+        let (cycles, power, _) = evaluate(cfg);
+        println!("{:>10} {:>12} {:>8.0}mW", depth, cycles, power * 1e3);
+    }
+
+    println!("\nhash table entries (base design):");
+    println!("{:>10} {:>12} {:>10}", "entries", "cycles", "power");
+    for entries in [8 * 1024usize, 16 * 1024, 32 * 1024, 64 * 1024] {
+        let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
+        cfg.hash_entries = entries;
+        let (cycles, power, _) = evaluate(cfg);
+        println!("{:>9}K {:>12} {:>8.0}mW", entries / 1024, cycles, power * 1e3);
+    }
+
+    println!("\nreading: the Arc cache and FIFO depth move performance;");
+    println!("the hash table saturates early — exactly the paper's Section III/IV story.");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! `asr-repro`: facade crate for the reproduction of *"An Ultra Low-Power
+//! Hardware Accelerator for Automatic Speech Recognition"* (Yazdani et al.,
+//! MICRO 2016).
+//!
+//! The workspace rebuilds the paper's entire system in Rust:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`wfst`] | recognition-network substrate: packed WFSTs, composition, the degree-sorted layout, synthetic Kaldi-statistics models |
+//! | [`acoustic`] | MFCC front-end (FFT, mel, DCT), MLP acoustic model, template scorer, synthetic speech |
+//! | [`decoder`] | reference software Viterbi beam search (tokens, pruning, epsilon closure, backtracking, WER) |
+//! | [`accel`] | the paper's contribution: a cycle-accurate simulator of the 5-stage accelerator, its caches, hash tables, arc prefetcher, state-layout optimization, and energy/area models |
+//! | [`platform`] | calibrated CPU/GPU baselines and the pipelined full-system model |
+//!
+//! This crate re-exports them and adds [`pipeline::AsrPipeline`], a
+//! high-level "microphone to words" API used by the runnable examples.
+//!
+//! # Quick start
+//!
+//! ```
+//! use asr_repro::pipeline::AsrPipeline;
+//!
+//! let pipeline = AsrPipeline::demo()?;
+//! let audio = pipeline.render_words(&["call", "mom"])?;
+//! let transcript = pipeline.recognize(&audio);
+//! assert_eq!(transcript.words, vec!["call", "mom"]);
+//! # Ok::<(), asr_repro::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use asr_accel as accel;
+pub use asr_acoustic as acoustic;
+pub use asr_decoder as decoder;
+pub use asr_platform as platform;
+pub use asr_wfst as wfst;
+
+pub mod pipeline;
+
+pub use pipeline::{AsrPipeline, PipelineError, Transcript};

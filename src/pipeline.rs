@@ -1,0 +1,249 @@
+//! High-level ASR pipeline: waveform in, words out.
+//!
+//! Wires the substrates together the way the paper's Figure 3 system does:
+//! a decoding graph compiled from a lexicon and grammar, an acoustic model
+//! scoring 10 ms frames, and a Viterbi beam search — either the reference
+//! software decoder (the "CPU" path) or the cycle-accurate accelerator
+//! simulator (the "ASIC" path, which also yields hardware statistics).
+
+use asr_accel::config::AcceleratorConfig;
+use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
+use asr_acoustic::signal::{SignalConfig, Utterance};
+use asr_acoustic::template::TemplateScorer;
+use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
+use asr_decoder::wer;
+use asr_wfst::compose::build_decoding_graph;
+use asr_wfst::grammar::Grammar;
+use asr_wfst::lexicon::{demo_lexicon, Lexicon};
+use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
+use std::fmt;
+
+/// Errors from pipeline construction or use.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Underlying WFST construction failed.
+    Wfst(WfstError),
+    /// A word is not in the pipeline's lexicon.
+    UnknownWord(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Wfst(e) => write!(f, "decoding-graph construction failed: {e}"),
+            PipelineError::UnknownWord(w) => write!(f, "word {w:?} is not in the lexicon"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Wfst(e) => Some(e),
+            PipelineError::UnknownWord(_) => None,
+        }
+    }
+}
+
+impl From<WfstError> for PipelineError {
+    fn from(e: WfstError) -> Self {
+        PipelineError::Wfst(e)
+    }
+}
+
+/// A recognized utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// Recognized words, in order.
+    pub words: Vec<String>,
+    /// Viterbi path cost (lower is better).
+    pub cost: f32,
+    /// Whether the best path ended in a final state of the graph.
+    pub reached_final: bool,
+}
+
+/// A complete small-vocabulary ASR system.
+#[derive(Debug)]
+pub struct AsrPipeline {
+    lexicon: Lexicon,
+    graph: Wfst,
+    scorer: TemplateScorer,
+    signal: SignalConfig,
+    options: DecodeOptions,
+    frames_per_phone: usize,
+}
+
+impl AsrPipeline {
+    /// Builds a pipeline from a lexicon and grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Wfst`] if the decoding graph cannot be
+    /// composed.
+    pub fn new(lexicon: Lexicon, grammar: &Grammar) -> Result<Self, PipelineError> {
+        let graph = build_decoding_graph(&lexicon, grammar)?;
+        let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
+        Ok(Self {
+            lexicon,
+            graph,
+            scorer,
+            signal: SignalConfig::default(),
+            options: DecodeOptions::with_beam(40.0),
+            frames_per_phone: 6,
+        })
+    }
+
+    /// The ready-made demo system: twelve command words, uniform grammar.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction failures (none for the built-in data).
+    pub fn demo() -> Result<Self, PipelineError> {
+        let lexicon = demo_lexicon();
+        let words: Vec<WordId> = (1..=lexicon.num_words() as u32).map(WordId).collect();
+        Self::new(lexicon, &Grammar::uniform(&words))
+    }
+
+    /// The decoding graph (for inspection and accelerator experiments).
+    pub fn graph(&self) -> &Wfst {
+        &self.graph
+    }
+
+    /// The lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Renders a synthetic utterance speaking `words`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnknownWord`] for out-of-vocabulary words.
+    pub fn render_words(&self, words: &[&str]) -> Result<Utterance, PipelineError> {
+        let mut phones: Vec<PhoneId> = Vec::new();
+        for word in words {
+            let id = self
+                .lexicon
+                .word_id(word)
+                .ok_or_else(|| PipelineError::UnknownWord((*word).to_owned()))?;
+            let pron = self
+                .lexicon
+                .pronunciations()
+                .iter()
+                .find(|(w, _)| *w == id)
+                .expect("lexicon invariant: every word has a pronunciation");
+            phones.extend_from_slice(&pron.1);
+        }
+        Ok(Utterance::render(&phones, self.frames_per_phone, &self.signal))
+    }
+
+    /// Recognizes a waveform with the reference software decoder.
+    pub fn recognize(&self, utterance: &Utterance) -> Transcript {
+        let scores = self.scorer.score_waveform(&utterance.samples);
+        let result = ViterbiDecoder::new(self.options.clone()).decode(&self.graph, &scores);
+        Transcript {
+            words: self.lexicon.transcript(&result.words),
+            cost: result.cost,
+            reached_final: result.reached_final,
+        }
+    }
+
+    /// Recognizes a waveform on the simulated accelerator, returning the
+    /// transcript together with the full hardware result (cycles, traffic,
+    /// cache statistics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WFST re-layout failures for state-optimized designs.
+    pub fn recognize_on_accelerator(
+        &self,
+        utterance: &Utterance,
+        cfg: AcceleratorConfig,
+    ) -> Result<(Transcript, SimResult), PipelineError> {
+        let scores = self.scorer.score_waveform(&utterance.samples);
+        let mut cfg = cfg;
+        cfg.beam = self.options.beam;
+        let prepared = PreparedWfst::new(&self.graph, &cfg)?;
+        let result = Simulator::new(cfg).decode(&prepared, &scores);
+        let transcript = Transcript {
+            words: self.lexicon.transcript(&result.words),
+            cost: result.cost,
+            reached_final: result.reached_final,
+        };
+        Ok((transcript, result))
+    }
+
+    /// Word error rate of a hypothesis against a reference word sequence.
+    pub fn wer(&self, reference: &[&str], transcript: &Transcript) -> f64 {
+        let to_ids = |words: &[String]| -> Vec<WordId> {
+            words
+                .iter()
+                .map(|w| self.lexicon.word_id(w).unwrap_or(WordId(u32::MAX)))
+                .collect()
+        };
+        let ref_owned: Vec<String> = reference.iter().map(|s| (*s).to_owned()).collect();
+        wer::wer(&to_ids(&ref_owned), &to_ids(&transcript.words))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_accel::config::DesignPoint;
+
+    #[test]
+    fn demo_pipeline_recognizes_each_word() {
+        let p = AsrPipeline::demo().unwrap();
+        for word in ["go", "stop", "low", "music"] {
+            let audio = p.render_words(&[word]).unwrap();
+            let t = p.recognize(&audio);
+            assert_eq!(t.words, vec![word], "failed on {word:?}");
+            assert!(t.reached_final);
+        }
+    }
+
+    #[test]
+    fn demo_pipeline_recognizes_sequences() {
+        let p = AsrPipeline::demo().unwrap();
+        let audio = p.render_words(&["lights", "on"]).unwrap();
+        let t = p.recognize(&audio);
+        assert_eq!(t.words, vec!["lights", "on"]);
+        assert_eq!(p.wer(&["lights", "on"], &t), 0.0);
+    }
+
+    #[test]
+    fn accelerator_matches_software_decoder() {
+        let p = AsrPipeline::demo().unwrap();
+        let audio = p.render_words(&["play", "music"]).unwrap();
+        let sw = p.recognize(&audio);
+        for design in DesignPoint::ALL {
+            let (hw, result) = p
+                .recognize_on_accelerator(&audio, AcceleratorConfig::for_design(design))
+                .unwrap();
+            assert_eq!(hw.words, sw.words, "{design:?}");
+            assert_eq!(hw.cost, sw.cost, "{design:?}");
+            assert!(result.stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_word_is_reported() {
+        let p = AsrPipeline::demo().unwrap();
+        let err = p.render_words(&["xylophone"]).unwrap_err();
+        assert_eq!(err, PipelineError::UnknownWord("xylophone".into()));
+        assert!(err.to_string().contains("xylophone"));
+    }
+
+    #[test]
+    fn wer_detects_errors() {
+        let p = AsrPipeline::demo().unwrap();
+        let t = Transcript {
+            words: vec!["go".into(), "home".into()],
+            cost: 0.0,
+            reached_final: true,
+        };
+        assert_eq!(p.wer(&["go", "home"], &t), 0.0);
+        assert!(p.wer(&["stop"], &t) > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end ASR: synthetic speech through MFCC, template acoustic
+//! scoring and Viterbi search must recover the words that produced the
+//! audio — on the software decoder and on every accelerator design point.
+
+use asr_repro::accel::config::{AcceleratorConfig, DesignPoint};
+use asr_repro::pipeline::AsrPipeline;
+
+#[test]
+fn every_vocabulary_word_is_recognized() {
+    let p = AsrPipeline::demo().unwrap();
+    let vocab = [
+        "low", "less", "call", "mom", "play", "music", "stop", "go", "home", "lights", "on",
+        "off",
+    ];
+    for word in vocab {
+        let audio = p.render_words(&[word]).unwrap();
+        let t = p.recognize(&audio);
+        assert_eq!(t.words, vec![word], "misrecognized {word:?}");
+        assert!(t.reached_final, "{word:?} did not reach a final state");
+    }
+}
+
+#[test]
+fn multi_word_commands_have_zero_wer() {
+    let p = AsrPipeline::demo().unwrap();
+    let commands: Vec<Vec<&str>> = vec![
+        vec!["call", "mom"],
+        vec!["play", "music"],
+        vec!["lights", "on"],
+        vec!["go", "home"],
+        vec!["stop", "music"],
+        vec!["call", "mom", "stop"],
+    ];
+    for cmd in commands {
+        let audio = p.render_words(&cmd).unwrap();
+        let t = p.recognize(&audio);
+        assert_eq!(p.wer(&cmd, &t), 0.0, "WER > 0 on {cmd:?}: got {:?}", t.words);
+    }
+}
+
+#[test]
+fn accelerator_design_points_agree_end_to_end() {
+    let p = AsrPipeline::demo().unwrap();
+    let audio = p.render_words(&["lights", "off"]).unwrap();
+    let sw = p.recognize(&audio);
+    assert_eq!(sw.words, vec!["lights", "off"]);
+    for design in DesignPoint::ALL {
+        let (hw, result) = p
+            .recognize_on_accelerator(&audio, AcceleratorConfig::for_design(design))
+            .unwrap();
+        assert_eq!(hw.words, sw.words, "{design:?}");
+        assert_eq!(hw.cost, sw.cost, "{design:?}");
+        assert!(result.stats.cycles > 0);
+        assert!(result.stats.arcs_processed > 0);
+    }
+}
+
+#[test]
+fn longer_utterances_remain_stable() {
+    let p = AsrPipeline::demo().unwrap();
+    let cmd = vec!["go", "home", "lights", "on", "play", "music", "stop"];
+    let audio = p.render_words(&cmd).unwrap();
+    let t = p.recognize(&audio);
+    assert_eq!(
+        p.wer(&cmd, &t),
+        0.0,
+        "long utterance degraded: {:?}",
+        t.words
+    );
+}
+
+#[test]
+fn hardware_stats_reflect_utterance_length() {
+    let p = AsrPipeline::demo().unwrap();
+    let short = p.render_words(&["go"]).unwrap();
+    let long = p.render_words(&["go", "home", "lights", "on"]).unwrap();
+    let cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc);
+    let (_, short_r) = p.recognize_on_accelerator(&short, cfg.clone()).unwrap();
+    let (_, long_r) = p.recognize_on_accelerator(&long, cfg).unwrap();
+    assert!(long_r.stats.frames > short_r.stats.frames);
+    assert!(long_r.stats.cycles > short_r.stats.cycles);
+    assert!(long_r.stats.tokens_created > short_r.stats.tokens_created);
+}
+
+#[test]
+fn gmm_acoustic_model_decodes_like_the_template_scorer() {
+    // The accelerator/decoder are agnostic to the acoustic model; a GMM
+    // fitted on the synthetic phones must drive the same pipeline.
+    use asr_repro::acoustic::gmm::GmmModel;
+    use asr_repro::acoustic::signal::{render_phones, SignalConfig};
+    use asr_repro::decoder::search::{DecodeOptions, ViterbiDecoder};
+    use asr_repro::wfst::compose::build_decoding_graph;
+    use asr_repro::wfst::grammar::Grammar;
+    use asr_repro::wfst::lexicon::demo_lexicon;
+    use asr_repro::wfst::WordId;
+
+    let lex = demo_lexicon();
+    let words: Vec<WordId> = (1..=lex.num_words() as u32).map(WordId).collect();
+    let graph = build_decoding_graph(&lex, &Grammar::uniform(&words)).unwrap();
+    let cfg = SignalConfig::default();
+    let model = GmmModel::fit_from_synthetic(lex.num_phones() as u32, &cfg);
+
+    let mut phones = Vec::new();
+    for w in ["go", "home"] {
+        let id = lex.word_id(w).unwrap();
+        let pron = lex.pronunciations().iter().find(|(x, _)| *x == id).unwrap();
+        phones.extend_from_slice(&pron.1);
+    }
+    let wave = render_phones(&phones, 6, &cfg);
+    let scores = model.score_waveform(&wave);
+    let result = ViterbiDecoder::new(DecodeOptions::with_beam(60.0)).decode(&graph, &scores);
+    assert_eq!(lex.transcript(&result.words), vec!["go", "home"]);
+}
