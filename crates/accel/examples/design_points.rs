@@ -12,7 +12,11 @@ use asr_acoustic::scores::AcousticTable;
 use asr_wfst::synth::{SynthConfig, SynthWfst};
 
 fn main() {
-    let arg = |i: usize| std::env::args().nth(i).map(|s| s.parse().expect("numeric argument"));
+    let arg = |i: usize| {
+        std::env::args()
+            .nth(i)
+            .map(|s| s.parse().expect("numeric argument"))
+    };
     let states: usize = arg(1).unwrap_or(200_000);
     let frames: usize = arg(2).map(|f: usize| f).unwrap_or(100);
     let beam: f32 = std::env::args()
@@ -26,12 +30,25 @@ fn main() {
 
     let mut configs: Vec<(String, AcceleratorConfig)> = DesignPoint::ALL
         .iter()
-        .map(|&d| (d.label().to_owned(), AcceleratorConfig::for_design(d).with_beam(beam)))
+        .map(|&d| {
+            (
+                d.label().to_owned(),
+                AcceleratorConfig::for_design(d).with_beam(beam),
+            )
+        })
         .collect();
     for (label, f) in [
-        ("perfect-arc", &(|c: &mut AcceleratorConfig| c.perfect_arc_cache = true) as &dyn Fn(&mut AcceleratorConfig)),
-        ("perfect-state", &|c: &mut AcceleratorConfig| c.perfect_state_cache = true),
-        ("perfect-token", &|c: &mut AcceleratorConfig| c.perfect_token_cache = true),
+        (
+            "perfect-arc",
+            &(|c: &mut AcceleratorConfig| c.perfect_arc_cache = true)
+                as &dyn Fn(&mut AcceleratorConfig),
+        ),
+        ("perfect-state", &|c: &mut AcceleratorConfig| {
+            c.perfect_state_cache = true
+        }),
+        ("perfect-token", &|c: &mut AcceleratorConfig| {
+            c.perfect_token_cache = true
+        }),
     ] {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
         f(&mut cfg);
@@ -56,7 +73,9 @@ fn main() {
         "config", "cycles", "speedup", "cyc/arc", "miss (arc/state/token)", "traffic MB (s/a/t/o)"
     );
     for (name, cfg) in configs {
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("simulation");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("simulation");
         let s = &r.stats;
         if base_cycles == 0 {
             base_cycles = s.cycles;

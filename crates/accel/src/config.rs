@@ -25,7 +25,10 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         assert!(self.line > 0 && self.ways > 0 && self.capacity > 0);
         let lines = self.capacity / self.line;
-        assert!(lines % self.ways == 0, "capacity not divisible into ways");
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "capacity not divisible into ways"
+        );
         lines / self.ways
     }
 }
@@ -313,7 +316,9 @@ mod tests {
 
     #[test]
     fn idealization_builders_set_flags() {
-        let c = AcceleratorConfig::default().with_perfect_caches().with_ideal_hash();
+        let c = AcceleratorConfig::default()
+            .with_perfect_caches()
+            .with_ideal_hash();
         assert!(c.perfect_state_cache && c.perfect_arc_cache && c.perfect_token_cache);
         assert!(c.ideal_hash);
     }

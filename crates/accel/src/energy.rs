@@ -118,8 +118,7 @@ impl EnergyModel {
             + stats.token_cache.accesses() as f64 * p.sram_access_j(cfg.token_cache.capacity);
         // Each hash cycle is one SRAM touch (home bucket or chain hop).
         let hash_j = stats.hash.cycles as f64 * p.sram_access_j(cfg.hash_bytes());
-        let acoustic_j =
-            stats.arcs_processed as f64 * p.sram_access_j(cfg.acoustic_buffer);
+        let acoustic_j = stats.arcs_processed as f64 * p.sram_access_j(cfg.acoustic_buffer);
         let total_bytes = stats.traffic.search_bytes() + stats.traffic.acoustic;
         let dram_j = (total_bytes as f64 / 64.0) * p.dram_line_nj * 1e-9;
         let logic_j = (stats.fp_adds + stats.fp_compares) as f64 * p.fp_op_pj * 1e-12
@@ -265,8 +264,10 @@ mod tests {
     fn more_traffic_means_more_energy() {
         let cfg = AcceleratorConfig::default();
         let model = EnergyModel::default();
-        let mut small = SimStats::default();
-        small.cycles = 1000;
+        let mut small = SimStats {
+            cycles: 1000,
+            ..SimStats::default()
+        };
         small.traffic.arcs = 64 * 100;
         let mut big = small.clone();
         big.traffic.arcs = 64 * 10_000;
@@ -277,13 +278,15 @@ mod tests {
     fn leakage_grows_with_time() {
         let cfg = AcceleratorConfig::default();
         let model = EnergyModel::default();
-        let mut short = SimStats::default();
-        short.cycles = 1_000;
-        let mut long = SimStats::default();
-        long.cycles = 1_000_000;
-        assert!(
-            model.energy(&cfg, &long).leakage_j > 100.0 * model.energy(&cfg, &short).leakage_j
-        );
+        let short = SimStats {
+            cycles: 1_000,
+            ..SimStats::default()
+        };
+        let long = SimStats {
+            cycles: 1_000_000,
+            ..SimStats::default()
+        };
+        assert!(model.energy(&cfg, &long).leakage_j > 100.0 * model.energy(&cfg, &short).leakage_j);
     }
 
     #[test]

@@ -254,5 +254,4 @@ mod tests {
         assert_eq!(d.bulk_transfer(65, TrafficKind::Acoustic), 2);
         assert_eq!(d.bulk_transfer(64, TrafficKind::Acoustic), 1);
     }
-
 }

@@ -118,7 +118,11 @@ impl fmt::Display for SimReport {
             )?;
         }
         writeln!(f, "-- energy / area ----------------------------")?;
-        writeln!(f, "energy            {:>11.3} mJ", self.energy.total_j() * 1e3)?;
+        writeln!(
+            f,
+            "energy            {:>11.3} mJ",
+            self.energy.total_j() * 1e3
+        )?;
         writeln!(
             f,
             "  caches/hash/dram {:>6.2}/{:.2}/{:.2} mJ",
@@ -143,7 +147,9 @@ mod tests {
         let wfst = SynthWfst::generate(&SynthConfig::with_states(3_000)).unwrap();
         let scores = AcousticTable::random(10, wfst.num_phones() as usize, (0.5, 4.0), 1);
         let cfg = AcceleratorConfig::for_design(design).with_beam(8.0);
-        let result = Simulator::new(cfg.clone()).decode_wfst(&wfst, &scores).unwrap();
+        let result = Simulator::new(cfg.clone())
+            .decode_wfst(&wfst, &scores)
+            .unwrap();
         SimReport::new(&cfg, &result)
     }
 
@@ -154,7 +160,10 @@ mod tests {
         assert!(text.contains("memory system"));
         assert!(text.contains("energy / area"));
         assert!(text.contains("cycles per arc"));
-        assert!(!text.contains("direct arc index"), "base has no direct unit");
+        assert!(
+            !text.contains("direct arc index"),
+            "base has no direct unit"
+        );
     }
 
     #[test]

@@ -177,7 +177,11 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a AcceleratorConfig, prepared: &'a PreparedWfst, scores: &'a AcousticTable) -> Self {
+    fn new(
+        cfg: &'a AcceleratorConfig,
+        prepared: &'a PreparedWfst,
+        scores: &'a AcousticTable,
+    ) -> Self {
         let wfst = prepared.wfst();
         // Generous token region: the trace is append-only.
         let map = AddressMap::new(wfst, 1 << 34);
@@ -358,7 +362,11 @@ impl<'a> Engine<'a> {
             let state = StateId(state_raw);
             let entry = wfst.state(state);
             // Resolve the state's arc range: direct computation or fetch.
-            let (range, state_ready) = match self.prepared.direct().and_then(|u| u.direct_arc_index(state)) {
+            let (range, state_ready) = match self
+                .prepared
+                .direct()
+                .and_then(|u| u.direct_arc_index(state))
+            {
                 Some((first, degree)) => {
                     self.stats.state_fetches_avoided += 1;
                     debug_assert_eq!(first, entry.first_arc);
@@ -417,7 +425,14 @@ impl<'a> Engine<'a> {
                         backend_cursor = self.dram.request(backend_cursor, TrafficKind::Overflow);
                     }
                     self.stats.fp_compares += 1;
-                    if self.relax(cur, arc.dest.0, cost, cell.trace, arc.olabel, backend_cursor) {
+                    if self.relax(
+                        cur,
+                        arc.dest.0,
+                        cost,
+                        cell.trace,
+                        arc.olabel,
+                        backend_cursor,
+                    ) {
                         worklist.push_back(arc.dest.0);
                     }
                 } else if emitting {
@@ -431,11 +446,17 @@ impl<'a> Engine<'a> {
                     let hacc = self.hash_next.access(arc.dest.0);
                     backend_cursor += hacc.cycles;
                     if hacc.overflow {
-                        backend_cursor =
-                            self.dram.request(backend_cursor, TrafficKind::Overflow);
+                        backend_cursor = self.dram.request(backend_cursor, TrafficKind::Overflow);
                     }
                     self.stats.fp_compares += 1;
-                    self.relax(&mut next, arc.dest.0, cost, cell.trace, arc.olabel, backend_cursor);
+                    self.relax(
+                        &mut next,
+                        arc.dest.0,
+                        cost,
+                        cell.trace,
+                        arc.olabel,
+                        backend_cursor,
+                    );
                 }
                 // Non-matching arcs in a closure wave are fetched and
                 // dropped (no evaluation slot consumed).
@@ -509,13 +530,13 @@ impl<'a> Engine<'a> {
         let mut states: Vec<(&u32, &Cell)> = cur.iter().collect();
         states.sort_unstable_by_key(|(s, _)| **s);
         for (&state, cell) in states {
-            if best_any.map_or(true, |(_, c, _)| cell.cost < c) {
+            if best_any.is_none_or(|(_, c, _)| cell.cost < c) {
                 best_any = Some((state, cell.cost, cell.trace));
             }
             let f = wfst.final_cost(StateId(state));
             if f.is_finite() {
                 let total = cell.cost + f;
-                if best_final.map_or(true, |(_, c, _)| total < c) {
+                if best_final.is_none_or(|(_, c, _)| total < c) {
                     best_final = Some((state, total, cell.trace));
                 }
             }
@@ -552,11 +573,16 @@ mod tests {
 
     fn workload(states: usize, frames: usize, seed: u64) -> (Wfst, AcousticTable) {
         let w = SynthWfst::generate(&SynthConfig::with_states(states).with_seed(seed)).unwrap();
-        let scores = AcousticTable::random(frames, w.num_phones() as usize, (0.5, 4.0), seed ^ 0xABCD);
+        let scores =
+            AcousticTable::random(frames, w.num_phones() as usize, (0.5, 4.0), seed ^ 0xABCD);
         (w, scores)
     }
 
-    fn reference(wfst: &Wfst, scores: &AcousticTable, beam: f32) -> asr_decoder::search::DecodeResult {
+    fn reference(
+        wfst: &Wfst,
+        scores: &AcousticTable,
+        beam: f32,
+    ) -> asr_decoder::search::DecodeResult {
         ViterbiDecoder::new(DecodeOptions::with_beam(beam)).decode(wfst, scores)
     }
 
@@ -609,9 +635,10 @@ mod tests {
         let base = Simulator::new(AcceleratorConfig::for_design(DesignPoint::Base).with_beam(6.0))
             .decode_wfst(&w, &scores)
             .unwrap();
-        let opt = Simulator::new(AcceleratorConfig::for_design(DesignPoint::StateOpt).with_beam(6.0))
-            .decode_wfst(&w, &scores)
-            .unwrap();
+        let opt =
+            Simulator::new(AcceleratorConfig::for_design(DesignPoint::StateOpt).with_beam(6.0))
+                .decode_wfst(&w, &scores)
+                .unwrap();
         assert!(opt.stats.traffic.states < base.stats.traffic.states / 2);
         assert!(opt.stats.state_fetches_avoided > 0);
         // Total off-chip traffic shrinks (Figure 13).
@@ -632,7 +659,10 @@ mod tests {
         .decode_wfst(&w, &scores)
         .unwrap();
         assert!(perfect.stats.cycles < real.stats.cycles);
-        assert_eq!(perfect.stats.traffic.arcs, 0, "perfect caches fetch nothing");
+        assert_eq!(
+            perfect.stats.traffic.arcs, 0,
+            "perfect caches fetch nothing"
+        );
         assert_eq!(perfect.cost, real.cost, "idealization is timing-only");
     }
 
@@ -640,14 +670,15 @@ mod tests {
     fn prefetch_approaches_perfect_arc_cache() {
         let (w, scores) = workload(30_000, 30, 6);
         let beam = 6.0;
-        let pf = Simulator::new(
-            AcceleratorConfig::for_design(DesignPoint::ArcPrefetch).with_beam(beam),
-        )
-        .decode_wfst(&w, &scores)
-        .unwrap();
+        let pf =
+            Simulator::new(AcceleratorConfig::for_design(DesignPoint::ArcPrefetch).with_beam(beam))
+                .decode_wfst(&w, &scores)
+                .unwrap();
         let mut perfect_cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
         perfect_cfg.perfect_arc_cache = true;
-        let perfect = Simulator::new(perfect_cfg).decode_wfst(&w, &scores).unwrap();
+        let perfect = Simulator::new(perfect_cfg)
+            .decode_wfst(&w, &scores)
+            .unwrap();
         let ratio = perfect.stats.cycles as f64 / pf.stats.cycles as f64;
         assert!(
             ratio > 0.80,
@@ -678,7 +709,9 @@ mod tests {
     fn ideal_hash_never_spends_extra_cycles() {
         let (w, scores) = workload(5_000, 10, 8);
         let r = Simulator::new(
-            AcceleratorConfig::default().with_beam(6.0).with_ideal_hash(),
+            AcceleratorConfig::default()
+                .with_beam(6.0)
+                .with_ideal_hash(),
         )
         .decode_wfst(&w, &scores)
         .unwrap();
@@ -690,7 +723,9 @@ mod tests {
     fn simulation_is_deterministic() {
         let (w, scores) = workload(3_000, 10, 10);
         let cfg = AcceleratorConfig::final_design().with_beam(6.0);
-        let a = Simulator::new(cfg.clone()).decode_wfst(&w, &scores).unwrap();
+        let a = Simulator::new(cfg.clone())
+            .decode_wfst(&w, &scores)
+            .unwrap();
         let b = Simulator::new(cfg).decode_wfst(&w, &scores).unwrap();
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.cost, b.cost);

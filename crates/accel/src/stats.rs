@@ -1,7 +1,7 @@
 //! Aggregated statistics of one simulated decode.
 
-use crate::mem::{CacheStats, TrafficStats};
 use crate::hash::HashStats;
+use crate::mem::{CacheStats, TrafficStats};
 use serde::{Deserialize, Serialize};
 
 /// Activity of one decoded frame (one emitting wave).

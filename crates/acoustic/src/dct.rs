@@ -19,7 +19,10 @@ impl Dct {
     /// Panics if either length is zero or `output_len > input_len`.
     pub fn new(input_len: usize, output_len: usize) -> Self {
         assert!(input_len > 0 && output_len > 0, "degenerate DCT size");
-        assert!(output_len <= input_len, "cannot produce more outputs than inputs");
+        assert!(
+            output_len <= input_len,
+            "cannot produce more outputs than inputs"
+        );
         let mut table = Vec::with_capacity(input_len * output_len);
         let n = input_len as f32;
         for k in 0..output_len {
@@ -68,7 +71,7 @@ mod tests {
     #[test]
     fn constant_input_excites_only_dc() {
         let dct = Dct::new(26, 13);
-        let out = dct.apply(&vec![2.0; 26]);
+        let out = dct.apply(&[2.0; 26]);
         assert!(out[0] > 0.0);
         for &c in &out[1..] {
             assert!(c.abs() < 1e-4, "leakage {c}");
@@ -96,14 +99,19 @@ mod tests {
     #[test]
     fn alternating_input_excites_high_coefficients() {
         let dct = Dct::new(16, 16);
-        let x: Vec<f32> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f32> = (0..16)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = dct.apply(&x);
         let (peak, _) = y
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
             .unwrap();
-        assert!(peak > 8, "alternation should excite the top band, got {peak}");
+        assert!(
+            peak > 8,
+            "alternation should excite the top band, got {peak}"
+        );
     }
 
     #[test]

@@ -144,12 +144,7 @@ impl Mlp {
 /// Numerically-stable in-place log-softmax.
 fn log_softmax(x: &mut [f32]) {
     let max = x.iter().cloned().fold(f32::MIN, f32::max);
-    let log_sum = x
-        .iter()
-        .map(|v| (v - max).exp())
-        .sum::<f32>()
-        .ln()
-        + max;
+    let log_sum = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
     for v in x {
         *v -= log_sum;
     }
@@ -195,7 +190,7 @@ mod tests {
         let table = mlp.score_utterance(&feats);
         assert_eq!(table.num_frames(), 6);
         assert_eq!(table.num_phones(), 6); // 5 classes + epsilon slot
-        // Costs are non-negative (posteriors <= 1).
+                                           // Costs are non-negative (posteriors <= 1).
         for f in 0..6 {
             for p in 1..6u32 {
                 assert!(table.cost(f, asr_wfst::PhoneId(p)) >= 0.0);

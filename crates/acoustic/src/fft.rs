@@ -22,6 +22,7 @@ impl Complex {
 
     /// Complex multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Self) -> Self {
         Self {
             re: self.re * other.re - self.im * other.im,
@@ -31,6 +32,7 @@ impl Complex {
 
     /// Complex addition.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         Self {
             re: self.re + other.re,
@@ -40,6 +42,7 @@ impl Complex {
 
     /// Complex subtraction.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Self) -> Self {
         Self {
             re: self.re - other.re,
@@ -111,7 +114,10 @@ pub fn power_spectrum(samples: &[f32], fft_len: usize) -> Vec<f32> {
         b.re = s;
     }
     fft_in_place(&mut buf);
-    buf[..fft_len / 2 + 1].iter().map(|c| c.norm_sqr()).collect()
+    buf[..fft_len / 2 + 1]
+        .iter()
+        .map(|c| c.norm_sqr())
+        .collect()
 }
 
 #[cfg(test)]

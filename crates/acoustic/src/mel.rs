@@ -30,7 +30,13 @@ impl MelFilterbank {
     ///
     /// Panics if `num_filters == 0`, `num_bins < num_filters + 2`, or the
     /// frequency range is empty.
-    pub fn new(num_filters: usize, num_bins: usize, sample_rate: u32, f_lo: f32, f_hi: f32) -> Self {
+    pub fn new(
+        num_filters: usize,
+        num_bins: usize,
+        sample_rate: u32,
+        f_lo: f32,
+        f_hi: f32,
+    ) -> Self {
         assert!(num_filters > 0, "need at least one filter");
         assert!(
             num_bins >= num_filters + 2,

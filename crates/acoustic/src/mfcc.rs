@@ -148,9 +148,8 @@ mod tests {
         let p = pipeline();
         let fa = p.process(&wave_a);
         let fb = p.process(&wave_b);
-        let dist = |x: &[f32], y: &[f32]| -> f32 {
-            x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum()
-        };
+        let dist =
+            |x: &[f32], y: &[f32]| -> f32 { x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum() };
         // Interior frames of the same phone are close; across phones far.
         // (Use static coefficients only: deltas spike at edges.)
         let within = dist(&fa[2][..13], &fa[3][..13]);

@@ -96,7 +96,7 @@ impl Utterance {
         let samples = render_phones(phones, frames_per_phone, cfg);
         let mut frame_phones = Vec::with_capacity(phones.len() * frames_per_phone);
         for &p in phones {
-            frame_phones.extend(std::iter::repeat(p).take(frames_per_phone));
+            frame_phones.extend(std::iter::repeat_n(p, frames_per_phone));
         }
         Self {
             samples,

@@ -78,28 +78,20 @@ impl TemplateScorer {
         let t = &self.templates[phone.index()];
         assert!(!t.is_empty(), "no template for {phone:?}");
         assert_eq!(features.len(), t.len(), "feature dimension mismatch");
-        let d2: f32 = features
-            .iter()
-            .zip(t)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d2: f32 = features.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum();
         self.scale * d2
     }
 
     /// Scores a full waveform into an [`AcousticTable`].
     pub fn score_waveform(&self, samples: &[f32]) -> AcousticTable {
         let feats = self.pipeline.process(samples);
-        AcousticTable::from_fn(
-            feats.len(),
-            self.templates.len(),
-            |frame, phone| {
-                if phone == 0 {
-                    0.0
-                } else {
-                    self.frame_cost(&feats[frame], PhoneId(phone as u32))
-                }
-            },
-        )
+        AcousticTable::from_fn(feats.len(), self.templates.len(), |frame, phone| {
+            if phone == 0 {
+                0.0
+            } else {
+                self.frame_cost(&feats[frame], PhoneId(phone as u32))
+            }
+        })
     }
 }
 
@@ -169,6 +161,6 @@ mod tests {
     #[should_panic(expected = "no template")]
     fn epsilon_frame_cost_panics() {
         let scorer = TemplateScorer::with_default_signal(2);
-        scorer.frame_cost(&vec![0.0; 39], PhoneId::EPSILON);
+        scorer.frame_cost(&[0.0; 39], PhoneId::EPSILON);
     }
 }

@@ -12,7 +12,8 @@ use asr_acoustic::fft::power_spectrum;
 use asr_acoustic::mfcc::{MfccConfig, MfccPipeline};
 use asr_acoustic::scores::AcousticTable;
 use asr_acoustic::signal::{render_phones, SignalConfig};
-use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
+use asr_decoder::reference::ReferenceDecoder;
+use asr_decoder::search::{DecodeOptions, DecodeScratch, ViterbiDecoder};
 use asr_wfst::synth::{SynthConfig, SynthWfst};
 use asr_wfst::PhoneId;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -102,18 +103,37 @@ fn bench_decoder_and_sim(c: &mut Criterion) {
     group.sample_size(20);
     let wfst = SynthWfst::generate(&SynthConfig::with_states(20_000)).unwrap();
     let scores = AcousticTable::random(10, wfst.num_phones() as usize, (0.5, 4.0), 5);
-    group.bench_function("reference_decoder_10_frames", |b| {
+    group.bench_function("hashmap_reference_10_frames", |b| {
+        let d = ReferenceDecoder::new(DecodeOptions::with_beam(10.0));
+        b.iter(|| black_box(d.decode(black_box(&wfst), black_box(&scores))))
+    });
+    group.bench_function("token_table_decoder_10_frames", |b| {
         let d = ViterbiDecoder::new(DecodeOptions::with_beam(10.0));
         b.iter(|| black_box(d.decode(black_box(&wfst), black_box(&scores))))
     });
+    group.bench_function("token_table_reused_scratch_10_frames", |b| {
+        let d = ViterbiDecoder::new(DecodeOptions::with_beam(10.0));
+        let mut scratch = DecodeScratch::new(wfst.num_states());
+        b.iter(|| black_box(d.decode_with(&mut scratch, black_box(&wfst), black_box(&scores))))
+    });
     group.bench_function("simulator_base_10_frames", |b| {
         let sim = Simulator::new(AcceleratorConfig::for_design(DesignPoint::Base).with_beam(10.0));
-        b.iter(|| black_box(sim.decode_wfst(black_box(&wfst), black_box(&scores)).unwrap()))
+        b.iter(|| {
+            black_box(
+                sim.decode_wfst(black_box(&wfst), black_box(&scores))
+                    .unwrap(),
+            )
+        })
     });
     group.bench_function("simulator_final_10_frames", |b| {
         let sim =
             Simulator::new(AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(10.0));
-        b.iter(|| black_box(sim.decode_wfst(black_box(&wfst), black_box(&scores)).unwrap()))
+        b.iter(|| {
+            black_box(
+                sim.decode_wfst(black_box(&wfst), black_box(&scores))
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

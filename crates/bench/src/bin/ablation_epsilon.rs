@@ -39,7 +39,9 @@ fn main() {
     let mut rows = Vec::new();
     for (name, graph) in [("with epsilons", &wfst), ("epsilon-free", &eps_free)] {
         let cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(scale.beam);
-        let r = Simulator::new(cfg).decode_wfst(graph, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(graph, &scores)
+            .expect("sim");
         rows.push(Row {
             graph: name.to_owned(),
             arcs: graph.num_arcs(),
@@ -66,6 +68,9 @@ fn main() {
     }
     let growth = rows[1].arcs as f64 / rows[0].arcs as f64;
     println!("\narc-count growth from removal: {growth:.2}x");
-    println!("epsilon evaluations eliminated: {}", rows[0].eps_arcs_evaluated);
+    println!(
+        "epsilon evaluations eliminated: {}",
+        rows[0].eps_arcs_evaluated
+    );
     write_json("ablation_epsilon", &rows);
 }

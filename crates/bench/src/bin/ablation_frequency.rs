@@ -41,7 +41,9 @@ fn main() {
         cfg.frequency_hz = mhz * 1_000_000;
         // The DRAM's nanoseconds are constant; its cycle count is not.
         cfg.mem_latency = ((DRAM_NS * mhz as f64) / 1000.0).round() as u64;
-        let r = Simulator::new(cfg.clone()).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg.clone())
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         let energy = model.energy(&cfg, &r.stats);
         let seconds = r.stats.seconds(cfg.frequency_hz);
         rows.push(Row {

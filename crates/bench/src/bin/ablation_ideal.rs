@@ -55,7 +55,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut base_cycles = 0u64;
     for (name, cfg) in configs {
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         if name == "base" {
             base_cycles = r.stats.cycles;
         }
@@ -67,21 +69,49 @@ fn main() {
     }
     println!("{:<22} {:>12} {:>14}", "config", "cycles", "speedup");
     for r in &rows {
-        println!("{:<22} {:>12} {:>13.3}x", r.config, r.cycles, r.speedup_vs_base);
+        println!(
+            "{:<22} {:>12} {:>13.3}x",
+            r.config, r.cycles, r.speedup_vs_base
+        );
     }
     let get = |n: &str| rows.iter().find(|r| r.config == n).unwrap().speedup_vs_base;
     let prefetch_vs_perfect_arc = {
         let pf = rows.iter().find(|r| r.config == "arc prefetcher").unwrap();
-        let pa = rows.iter().find(|r| r.config == "perfect Arc cache").unwrap();
+        let pa = rows
+            .iter()
+            .find(|r| r.config == "perfect Arc cache")
+            .unwrap();
         pa.cycles as f64 / pf.cycles as f64
     };
     println!("\nchecks (paper values in parens):");
-    println!("  perfect caches speedup:   {:.2}x (2.11x)", get("perfect all caches"));
-    println!("  ideal hash speedup:       {:.3}x (1.028x)", get("ideal hash"));
-    println!("  perfect Arc cache:        {:.2}x (1.95x)", get("perfect Arc cache"));
-    println!("  perfect State cache:      {:.2}x (1.09x)", get("perfect State cache"));
-    println!("  perfect Token cache:      {:.2}x (1.02x)", get("perfect Token cache"));
-    println!("  Arc cache dominates:      {}", get("perfect Arc cache") > get("perfect State cache") && get("perfect State cache") >= get("perfect Token cache"));
-    println!("  prefetcher vs perfect Arc: {:.1}% (97%)", 100.0 * prefetch_vs_perfect_arc);
+    println!(
+        "  perfect caches speedup:   {:.2}x (2.11x)",
+        get("perfect all caches")
+    );
+    println!(
+        "  ideal hash speedup:       {:.3}x (1.028x)",
+        get("ideal hash")
+    );
+    println!(
+        "  perfect Arc cache:        {:.2}x (1.95x)",
+        get("perfect Arc cache")
+    );
+    println!(
+        "  perfect State cache:      {:.2}x (1.09x)",
+        get("perfect State cache")
+    );
+    println!(
+        "  perfect Token cache:      {:.2}x (1.02x)",
+        get("perfect Token cache")
+    );
+    println!(
+        "  Arc cache dominates:      {}",
+        get("perfect Arc cache") > get("perfect State cache")
+            && get("perfect State cache") >= get("perfect Token cache")
+    );
+    println!(
+        "  prefetcher vs perfect Arc: {:.1}% (97%)",
+        100.0 * prefetch_vs_perfect_arc
+    );
     write_json("ablation_ideal", &rows);
 }

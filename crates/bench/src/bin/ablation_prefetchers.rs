@@ -60,7 +60,9 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut base_cycles = 0u64;
     for (name, cfg) in configs {
-        let r = Simulator::new(cfg.clone()).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg.clone())
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         if base_cycles == 0 {
             base_cycles = r.stats.cycles;
         }
@@ -105,7 +107,8 @@ fn main() {
     println!("\nchecks (paper claims):");
     println!(
         "  conventional prefetchers increase arc traffic: {}",
-        rows[1].arc_traffic_mb > base.arc_traffic_mb && rows[2].arc_traffic_mb > base.arc_traffic_mb
+        rows[1].arc_traffic_mb > base.arc_traffic_mb
+            && rows[2].arc_traffic_mb > base.arc_traffic_mb
     );
     println!(
         "  conventional prefetchers increase energy: {}",

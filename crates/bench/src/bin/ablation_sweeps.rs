@@ -10,10 +10,10 @@ use serde::Serialize;
 
 #[derive(Serialize, Default)]
 struct Sweeps {
-    beam: Vec<(f32, u64, f64)>,           // beam, cycles, arcs/frame
-    fifo_depth: Vec<(usize, u64)>,        // depth, cycles
-    threshold_n: Vec<(usize, u64, f64)>,  // N, state traffic bytes, direct fraction
-    inflight: Vec<(usize, u64)>,          // mem in-flight, cycles
+    beam: Vec<(f32, u64, f64)>,          // beam, cycles, arcs/frame
+    fifo_depth: Vec<(usize, u64)>,       // depth, cycles
+    threshold_n: Vec<(usize, u64, f64)>, // N, state traffic bytes, direct fraction
+    inflight: Vec<(usize, u64)>,         // mem in-flight, cycles
 }
 
 fn main() {
@@ -29,21 +29,26 @@ fn main() {
     println!("beam width (base design):");
     for beam in [4.0f32, 8.0, 12.0, 16.0] {
         let cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         println!(
             "  beam {:>4}: cycles {:>12}, arcs/frame {:>9.0}",
             beam,
             r.stats.cycles,
             r.stats.arcs_per_frame()
         );
-        out.beam.push((beam, r.stats.cycles, r.stats.arcs_per_frame()));
+        out.beam
+            .push((beam, r.stats.cycles, r.stats.arcs_per_frame()));
     }
 
     println!("\nprefetch FIFO depth (arc-prefetch design):");
     for depth in [8usize, 16, 32, 64, 128] {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::ArcPrefetch).with_beam(scale.beam);
         cfg.prefetch_fifo = depth;
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         println!("  depth {:>4}: cycles {:>12}", depth, r.stats.cycles);
         out.fifo_depth.push((depth, r.stats.cycles));
     }
@@ -52,7 +57,9 @@ fn main() {
     for n in [2usize, 4, 8, 16, 32] {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::StateOpt).with_beam(scale.beam);
         cfg.state_opt_threshold = n;
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         let direct_frac = r.stats.state_fetches_avoided as f64
             / (r.stats.state_fetches + r.stats.state_fetches_avoided).max(1) as f64;
         println!(
@@ -61,15 +68,17 @@ fn main() {
             r.stats.traffic.states,
             100.0 * direct_frac
         );
-        out.threshold_n.push((n, r.stats.traffic.states, direct_frac));
+        out.threshold_n
+            .push((n, r.stats.traffic.states, direct_frac));
     }
 
     println!("\nmemory controller in-flight limit (final design):");
     for inflight in [4usize, 8, 16, 32, 64] {
-        let mut cfg =
-            AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(scale.beam);
+        let mut cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(scale.beam);
         cfg.mem_inflight = inflight;
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         println!("  in-flight {:>3}: cycles {:>12}", inflight, r.stats.cycles);
         out.inflight.push((inflight, r.stats.cycles));
     }

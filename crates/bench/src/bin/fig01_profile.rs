@@ -32,7 +32,10 @@ fn main() {
     );
     let result = decoder.decode(&wfst, &scores);
     let arcs_per_frame = result.stats.mean_arcs_per_frame();
-    println!("workload: {arcs_per_frame:.0} arcs/frame over {} frames\n", scale.frames);
+    println!(
+        "workload: {arcs_per_frame:.0} arcs/frame over {} frames\n",
+        scale.frames
+    );
 
     let cpu = CpuModel::default();
     let gpu = GpuModel::default();
@@ -58,7 +61,10 @@ fn main() {
         })
         .collect();
 
-    println!("{:<6} {:>12} {:>12} {:>16}", "", "Viterbi (s)", "DNN (s)", "Viterbi share");
+    println!(
+        "{:<6} {:>12} {:>12} {:>16}",
+        "", "Viterbi (s)", "DNN (s)", "Viterbi share"
+    );
     for r in &rows {
         println!(
             "{:<6} {:>12.4} {:>12.4} {:>15.1}%",

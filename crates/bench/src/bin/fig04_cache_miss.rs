@@ -32,7 +32,9 @@ fn main() {
         cfg.state_cache.capacity = capacity_kb * 1024;
         cfg.arc_cache.capacity = capacity_kb * 1024;
         cfg.token_cache.capacity = capacity_kb * 1024;
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         rows.push(Row {
             capacity_kb,
             state_miss: r.stats.state_cache.miss_ratio(),

@@ -30,7 +30,9 @@ fn main() {
     for entries in [8 * 1024usize, 16 * 1024, 32 * 1024, 64 * 1024] {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(scale.beam);
         cfg.hash_entries = entries;
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         rows.push(Row {
             entries,
             avg_cycles_per_request: r.stats.hash.avg_cycles_per_request(),
@@ -42,7 +44,10 @@ fn main() {
     for r in &mut rows {
         r.speedup_vs_8k = base_cycles / r.cycles as f64;
     }
-    println!("{:>8} {:>22} {:>14}", "entries", "avg cycles/request", "speedup vs 8K");
+    println!(
+        "{:>8} {:>22} {:>14}",
+        "entries", "avg cycles/request", "speedup vs 8K"
+    );
     for r in &rows {
         println!(
             "{:>7}K {:>22.3} {:>14.3}",
@@ -54,9 +59,13 @@ fn main() {
     println!("\nchecks:");
     println!(
         "  cycles/request decreases with entries: {}",
-        rows.windows(2).all(|w| w[0].avg_cycles_per_request >= w[1].avg_cycles_per_request)
+        rows.windows(2)
+            .all(|w| w[0].avg_cycles_per_request >= w[1].avg_cycles_per_request)
     );
     let gain_32_to_64 = rows[3].speedup_vs_8k / rows[2].speedup_vs_8k;
-    println!("  32K -> 64K speedup gain: {:.4} (paper: very small)", gain_32_to_64);
+    println!(
+        "  32K -> 64K speedup gain: {:.4} (paper: very small)",
+        gain_32_to_64
+    );
     write_json("fig05_hash", &rows);
 }

@@ -34,8 +34,8 @@ fn main() {
 
     let decoder = ViterbiDecoder::new(DecodeOptions {
         beam: scale.beam,
-        max_active: None,
         record_state_accesses: true,
+        ..DecodeOptions::default()
     });
     let result = decoder.decode(&wfst, &scores);
     let dynamic_cdf = DegreeCdf::from_accesses(

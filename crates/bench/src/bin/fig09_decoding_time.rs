@@ -30,7 +30,10 @@ fn main() {
             real_time_factor: p.real_time_factor(),
         })
         .collect();
-    println!("{:<16} {:>16} {:>16}", "config", "decode s/speech-s", "x real time");
+    println!(
+        "{:<16} {:>16} {:>16}",
+        "config", "decode s/speech-s", "x real time"
+    );
     for r in &rows {
         println!(
             "{:<16} {:>16.5} {:>15.1}x",

@@ -50,11 +50,21 @@ fn main() {
     println!("\nchecks (shape):");
     let by = |n: &str| rows.iter().find(|r| r.config.contains(n)).unwrap();
     let base_r = by("ASIC").speedup_vs_gpu;
-    let state = rows.iter().find(|r| r.config == "ASIC+State").unwrap().speedup_vs_gpu;
+    let state = rows
+        .iter()
+        .find(|r| r.config == "ASIC+State")
+        .unwrap()
+        .speedup_vs_gpu;
     let arc = by("+Arc").speedup_vs_gpu;
     let both = by("State&Arc").speedup_vs_gpu;
-    println!("  +State barely changes performance: {}", (state / base_r) < 1.10);
+    println!(
+        "  +State barely changes performance: {}",
+        (state / base_r) < 1.10
+    );
     println!("  +Arc beats the GPU: {}", arc > 1.0);
-    println!("  +State&Arc is the fastest: {}", both >= arc && both > state);
+    println!(
+        "  +State&Arc is the fastest: {}",
+        both >= arc && both > state
+    );
     write_json("fig10_speedup", &rows);
 }

@@ -45,7 +45,10 @@ fn main() {
         );
     }
     println!("\nchecks (shape):");
-    let final_r = rows.iter().find(|r| r.config.contains("State&Arc")).unwrap();
+    let final_r = rows
+        .iter()
+        .find(|r| r.config.contains("State&Arc"))
+        .unwrap();
     let base_r = rows.iter().find(|r| r.config == "ASIC").unwrap();
     println!(
         "  two orders of magnitude vs GPU: {}",

@@ -36,7 +36,10 @@ fn main() {
         }
     }
     println!("\nchecks (shape):");
-    let asics: Vec<&Row> = rows.iter().filter(|r| r.config.starts_with("ASIC")).collect();
+    let asics: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.config.starts_with("ASIC"))
+        .collect();
     let base = asics.iter().find(|r| r.config == "ASIC").unwrap();
     let arc = asics.iter().find(|r| r.config.contains("+Arc")).unwrap();
     println!(

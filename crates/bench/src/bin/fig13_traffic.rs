@@ -34,7 +34,9 @@ fn main() {
     let mut rows = Vec::new();
     for design in [DesignPoint::Base, DesignPoint::StateOpt] {
         let cfg = AcceleratorConfig::for_design(design).with_beam(scale.beam);
-        let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+        let r = Simulator::new(cfg)
+            .decode_wfst(&wfst, &scores)
+            .expect("sim");
         let t = r.stats.traffic;
         let mb = |b: u64| b as f64 / 1e6;
         rows.push(Row {
@@ -58,7 +60,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:<16} {:>7.1}MB {:>7.1}MB {:>7.1}MB {:>7.1}MB {:>7.1}MB {:>10.3}",
-            r.config, r.states_mb, r.arcs_mb, r.tokens_mb, r.overflow_mb, r.total_mb,
+            r.config,
+            r.states_mb,
+            r.arcs_mb,
+            r.tokens_mb,
+            r.overflow_mb,
+            r.total_mb,
             r.normalized_to_base
         );
     }

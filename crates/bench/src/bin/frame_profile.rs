@@ -28,7 +28,9 @@ fn main() {
     );
     let (wfst, scores) = scale.build();
     let cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(scale.beam);
-    let r = Simulator::new(cfg).decode_wfst(&wfst, &scores).expect("sim");
+    let r = Simulator::new(cfg)
+        .decode_wfst(&wfst, &scores)
+        .expect("sim");
     let pf = &r.stats.per_frame;
 
     // Warm-up = frames before the active set first reaches 80% of the
@@ -45,7 +47,10 @@ fn main() {
         steady.iter().map(|f| f.arcs as f64).sum::<f64>() / steady.len() as f64
     };
 
-    println!("{:>6} {:>10} {:>8} {:>8}", "frame", "cycles", "tokens", "arcs");
+    println!(
+        "{:>6} {:>10} {:>8} {:>8}",
+        "frame", "cycles", "tokens", "arcs"
+    );
     let stride = (pf.len() / 20).max(1);
     for (i, f) in pf.iter().enumerate() {
         if i % stride == 0 || i + 1 == pf.len() {

@@ -47,7 +47,10 @@ fn main() {
     println!("per second of speech:");
     println!("  CPU-only (DNN + search):        {:.4} s", out.cpu_only_s);
     println!("  GPU-only (DNN + search):        {:.4} s", out.gpu_only_s);
-    println!("  GPU + accelerator (pipelined):  {:.4} s", out.gpu_plus_accel_s);
+    println!(
+        "  GPU + accelerator (pipelined):  {:.4} s",
+        out.gpu_plus_accel_s
+    );
     println!(
         "\nend-to-end speedup over GPU-only: {:.2}x (paper: 1.87x)",
         out.speedup_over_gpu_only

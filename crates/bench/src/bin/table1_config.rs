@@ -42,16 +42,26 @@ fn main() {
         ),
         (
             "Hash Table",
-            format!("{} KB, {}K entries", c.hash_bytes() / 1024, c.hash_entries / 1024),
+            format!(
+                "{} KB, {}K entries",
+                c.hash_bytes() / 1024,
+                c.hash_entries / 1024
+            ),
         ),
         (
             "Memory Controller",
             format!("{} in-flight requests", c.mem_inflight),
         ),
         ("Memory Latency", format!("{} cycles", c.mem_latency)),
-        ("State Issuer", format!("{} in-flight states", c.state_inflight)),
+        (
+            "State Issuer",
+            format!("{} in-flight states", c.state_inflight),
+        ),
         ("Arc Issuer", format!("{} in-flight arcs", c.arc_inflight)),
-        ("Token Issuer", format!("{} in-flight tokens", c.token_inflight)),
+        (
+            "Token Issuer",
+            format!("{} in-flight tokens", c.token_inflight),
+        ),
         ("Acoustic Likelihood Issuer", "1 in-flight arc".into()),
         (
             "Likelihood Evaluation Unit",

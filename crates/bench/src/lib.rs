@@ -141,12 +141,7 @@ pub struct AccelRun {
 }
 
 /// Runs one accelerator design point on the workload.
-pub fn run_design(
-    design: DesignPoint,
-    wfst: &Wfst,
-    scores: &AcousticTable,
-    beam: f32,
-) -> AccelRun {
+pub fn run_design(design: DesignPoint, wfst: &Wfst, scores: &AcousticTable, beam: f32) -> AccelRun {
     let cfg = AcceleratorConfig::for_design(design).with_beam(beam);
     let sim = Simulator::new(cfg.clone());
     let result = sim.decode_wfst(wfst, scores).expect("simulation");
@@ -192,8 +187,7 @@ pub fn standard_points(scale: &Scale) -> Vec<(String, OperatingPoint, Option<Acc
 
 /// Directory where experiment JSON lands (`target/experiments`).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

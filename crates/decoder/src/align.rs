@@ -135,9 +135,30 @@ mod tests {
         let scores = blocky(4, &[1, 2, 3]);
         let a = force_align(&phones, &scores).unwrap();
         assert_eq!(a.segments.len(), 3);
-        assert_eq!(a.segments[0], Segment { phone: PhoneId(1), start: 0, end: 4 });
-        assert_eq!(a.segments[1], Segment { phone: PhoneId(2), start: 4, end: 8 });
-        assert_eq!(a.segments[2], Segment { phone: PhoneId(3), start: 8, end: 12 });
+        assert_eq!(
+            a.segments[0],
+            Segment {
+                phone: PhoneId(1),
+                start: 0,
+                end: 4
+            }
+        );
+        assert_eq!(
+            a.segments[1],
+            Segment {
+                phone: PhoneId(2),
+                start: 4,
+                end: 8
+            }
+        );
+        assert_eq!(
+            a.segments[2],
+            Segment {
+                phone: PhoneId(3),
+                start: 8,
+                end: 12
+            }
+        );
         assert!((a.cost - 12.0 * 0.1).abs() < 1e-5);
     }
 
@@ -183,7 +204,14 @@ mod tests {
     fn single_phone_takes_all_frames() {
         let scores = blocky(5, &[4]);
         let a = force_align(&[PhoneId(4)], &scores).unwrap();
-        assert_eq!(a.segments, vec![Segment { phone: PhoneId(4), start: 0, end: 5 }]);
+        assert_eq!(
+            a.segments,
+            vec![Segment {
+                phone: PhoneId(4),
+                start: 0,
+                end: 5
+            }]
+        );
     }
 
     #[test]
@@ -198,7 +226,15 @@ mod tests {
         let a = force_align(&phones, &table).unwrap();
         // True boundaries are at frames 6 and 12; allow ±2 frames of slack
         // (window edges blur the features).
-        assert!((a.segments[0].end as i64 - 6).unsigned_abs() <= 2, "{:?}", a.segments);
-        assert!((a.segments[1].end as i64 - 12).unsigned_abs() <= 2, "{:?}", a.segments);
+        assert!(
+            (a.segments[0].end as i64 - 6).unsigned_abs() <= 2,
+            "{:?}",
+            a.segments
+        );
+        assert!(
+            (a.segments[1].end as i64 - 12).unsigned_abs() <= 2,
+            "{:?}",
+            a.segments
+        );
     }
 }

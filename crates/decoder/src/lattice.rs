@@ -107,6 +107,81 @@ impl Lattice {
     pub fn memory_bytes(&self) -> u64 {
         self.entries.len() as u64 * 8
     }
+
+    /// Mark-compact garbage collection over the backpointer chains
+    /// (Kaldi's periodic token GC, `PruneActiveTokens`): every entry
+    /// reachable from `roots` survives with its chain intact, everything
+    /// else — tokens superseded by a better in-going path, or whose whole
+    /// path fell out of the beam — is dropped, and `roots` are rewritten
+    /// to the surviving ids.
+    ///
+    /// Entry order is preserved, so backpointers keep pointing backwards
+    /// and a single forward pass compacts in place. With reused `scratch`
+    /// the collection performs no heap allocation once its buffers have
+    /// grown to the lattice watermark.
+    ///
+    /// Returns the number of retained entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any root is out of range.
+    pub fn compact(&mut self, roots: &mut [TraceId], scratch: &mut CompactScratch) -> usize {
+        let len = self.entries.len();
+        scratch.live.clear();
+        scratch.live.resize(len, false);
+        scratch.remap.clear();
+        scratch.remap.resize(len, 0);
+        // Mark: walk each chain until the root sentinel or an entry the
+        // walk has already claimed.
+        for &root in roots.iter() {
+            let mut cur = root;
+            while !cur.is_root() {
+                let idx = cur.0 as usize;
+                if scratch.live[idx] {
+                    break;
+                }
+                scratch.live[idx] = true;
+                cur = self.entries[idx].prev;
+            }
+        }
+        // Compact: predecessors always precede their successors, so their
+        // new ids are known by the time a successor is rewritten.
+        let mut kept = 0usize;
+        for idx in 0..len {
+            if !scratch.live[idx] {
+                continue;
+            }
+            let mut entry = self.entries[idx];
+            if !entry.prev.is_root() {
+                entry.prev = TraceId(scratch.remap[entry.prev.0 as usize]);
+            }
+            scratch.remap[idx] = kept as u32;
+            self.entries[kept] = entry;
+            kept += 1;
+        }
+        self.entries.truncate(kept);
+        for root in roots.iter_mut() {
+            if !root.is_root() {
+                *root = TraceId(scratch.remap[root.0 as usize]);
+            }
+        }
+        kept
+    }
+}
+
+/// Reusable buffers for [`Lattice::compact`].
+#[derive(Debug, Clone, Default)]
+pub struct CompactScratch {
+    live: Vec<bool>,
+    remap: Vec<u32>,
+}
+
+impl CompactScratch {
+    /// Creates empty scratch; buffers grow to the lattice watermark on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +234,73 @@ mod tests {
         assert!(l.is_empty());
         l.push(TraceId::ROOT, WordId::NONE);
         assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn compact_drops_dead_entries_and_preserves_chains() {
+        let mut l = Lattice::new();
+        let a = l.push(TraceId::ROOT, WordId(1));
+        let dead1 = l.push(TraceId::ROOT, WordId(9));
+        let b = l.push(a, WordId(2));
+        let _dead2 = l.push(dead1, WordId(8));
+        let c = l.push(b, WordId(3));
+        let mut roots = [c];
+        let kept = l.compact(&mut roots, &mut CompactScratch::new());
+        assert_eq!(kept, 3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.backtrack(roots[0]), vec![WordId(1), WordId(2), WordId(3)]);
+    }
+
+    #[test]
+    fn compact_with_shared_prefix_keeps_it_once() {
+        let mut l = Lattice::new();
+        let a = l.push(TraceId::ROOT, WordId(1));
+        let b1 = l.push(a, WordId(2));
+        let b2 = l.push(a, WordId(3));
+        let mut roots = [b1, b2];
+        let kept = l.compact(&mut roots, &mut CompactScratch::new());
+        assert_eq!(kept, 3);
+        assert_eq!(l.backtrack(roots[0]), vec![WordId(1), WordId(2)]);
+        assert_eq!(l.backtrack(roots[1]), vec![WordId(1), WordId(3)]);
+    }
+
+    #[test]
+    fn compact_of_empty_roots_clears_everything() {
+        let mut l = Lattice::new();
+        l.push(TraceId::ROOT, WordId(1));
+        l.push(TraceId::ROOT, WordId(2));
+        let kept = l.compact(&mut [], &mut CompactScratch::new());
+        assert_eq!(kept, 0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn compact_is_idempotent_on_live_data() {
+        let mut l = Lattice::new();
+        let mut cur = TraceId::ROOT;
+        for w in 1..=20u32 {
+            cur = l.push(cur, WordId(w));
+            if w % 3 == 0 {
+                l.push(cur, WordId(100 + w)); // dead branch
+            }
+        }
+        let mut scratch = CompactScratch::new();
+        let mut roots = [cur];
+        let first = l.compact(&mut roots, &mut scratch);
+        let words = l.backtrack(roots[0]);
+        let second = l.compact(&mut roots, &mut scratch);
+        assert_eq!(first, second, "second pass finds nothing new to drop");
+        assert_eq!(l.backtrack(roots[0]), words);
+        assert_eq!(words.len(), 20);
+    }
+
+    #[test]
+    fn root_sentinel_roots_survive_compaction() {
+        let mut l = Lattice::new();
+        l.push(TraceId::ROOT, WordId(1));
+        let mut roots = [TraceId::ROOT];
+        let kept = l.compact(&mut roots, &mut CompactScratch::new());
+        assert_eq!(kept, 0);
+        assert!(roots[0].is_root());
     }
 }

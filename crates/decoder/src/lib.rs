@@ -12,14 +12,42 @@
 //!    `asr-platform` wraps this implementation (measured, then calibrated)
 //!    as the software baseline.
 //!
+//! # Architecture: the token-table hot path
+//!
+//! The decode loop is built as a software twin of the accelerator's hash
+//! datapath (Section III). The mapping, stage by stage:
+//!
+//! | accelerator (paper) | this crate |
+//! |---|---|
+//! | two on-chip token hash tables (current/next frame) | double-buffered [`token_table::TokenTable`]s, swapped at the frame barrier |
+//! | hash lookup-or-insert with likelihood compare | [`token_table::TokenTable::relax`]: dense slot per state, epoch tag for liveness |
+//! | table flush between frames | one epoch-counter bump (`begin_frame`) — no clearing, no rehash |
+//! | insertion-ordered linked list walked by the State Issuer | the table's append-only active list, deduped by the epoch check |
+//! | on-insert beam test against the running frame-best | prune-on-insert in [`search::ViterbiDecoder`]: arcs landing beyond `running_best + beam` skip relax *and* lattice push |
+//! | backpointer/word writes to DRAM | [`lattice::Lattice`] appends, periodically mark-compacted ([`lattice::Lattice::compact`], Kaldi-style token GC) |
+//!
+//! After warm-up the steady-state frame loop performs zero heap
+//! allocations (asserted by an allocation-counting test). The seed
+//! `HashMap` implementation is retained as
+//! [`reference::ReferenceDecoder`]; an equivalence suite asserts the
+//! token-table decoder reproduces its `words`, `cost`, and `best_state`
+//! byte-identically, and `asr-bench`'s `bench_decode` binary records the
+//! speedup (`BENCH_decode.json`).
+//!
 //! Modules:
 //!
 //! * [`lattice`]: the token trace kept in main memory — backpointer plus
 //!   word label per token, exactly the data the accelerator's Token Issuer
-//!   writes out, and the input to backtracking;
+//!   writes out, the input to backtracking, and the target of the periodic
+//!   compaction GC;
+//! * [`token_table`]: the epoch-tagged flat token store;
 //! * [`search`]: the beam search itself ([`search::ViterbiDecoder`]);
-//! * [`parallel`]: a multi-threaded expansion variant standing in for the
-//!   GPU decoder's arc-parallel traversal;
+//! * [`reference`]: the retained seed `HashMap` decoder
+//!   ([`reference::ReferenceDecoder`]), the equivalence and benchmark
+//!   baseline;
+//! * [`parallel`]: a multi-threaded variant standing in for the GPU
+//!   decoder's arc-parallel traversal, sharding the token table by state
+//!   range for lock-free per-shard relaxation;
 //! * [`wer`]: word-error-rate scoring used by functional tests.
 //!
 //! # Example
@@ -45,5 +73,7 @@ pub mod confidence;
 pub mod lattice;
 pub mod nbest;
 pub mod parallel;
+pub mod reference;
 pub mod search;
+pub mod token_table;
 pub mod wer;

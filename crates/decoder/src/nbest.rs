@@ -46,9 +46,7 @@ impl Cell {
     /// Returns `true` when the cell's best cost improved.
     fn insert(&mut self, alt: Alt, cap: usize) -> bool {
         let improved_best = alt.cost < self.best();
-        let pos = self
-            .alts
-            .partition_point(|a| a.cost <= alt.cost);
+        let pos = self.alts.partition_point(|a| a.cost <= alt.cost);
         if pos >= cap {
             return false;
         }
@@ -92,10 +90,7 @@ impl NBestDecoder {
         self.epsilon_closure(wfst, &mut cur, &mut lattice);
 
         for frame in 0..scores.num_frames() {
-            let best = cur
-                .values()
-                .map(Cell::best)
-                .fold(f32::INFINITY, f32::min);
+            let best = cur.values().map(Cell::best).fold(f32::INFINITY, f32::min);
             let threshold = best + self.opts.beam;
             let mut expanded: Vec<(u32, Cell)> = cur
                 .iter()
@@ -166,12 +161,7 @@ impl NBestDecoder {
         out
     }
 
-    fn epsilon_closure(
-        &self,
-        wfst: &Wfst,
-        tokens: &mut HashMap<u32, Cell>,
-        lattice: &mut Lattice,
-    ) {
+    fn epsilon_closure(&self, wfst: &Wfst, tokens: &mut HashMap<u32, Cell>, lattice: &mut Lattice) {
         let mut worklist: Vec<u32> = tokens.keys().copied().collect();
         worklist.sort_unstable();
         let mut idx = 0;

@@ -1,23 +1,59 @@
-//! Multi-threaded arc expansion: the GPU decoder's stand-in.
+//! Multi-threaded arc expansion over a sharded token table: the GPU
+//! decoder's stand-in.
 //!
 //! The paper's GPU baseline (Chong et al.) parallelizes the per-frame arc
 //! expansion across thousands of threads, then reconciles destination
-//! tokens with atomic min operations. This module reproduces that execution
-//! shape on CPU threads: surviving tokens are split into chunks, each chunk
-//! expands its emitting arcs independently, and the candidate tokens are
-//! merged deterministically. Results are bit-identical to the sequential
+//! tokens with atomic min operations. This module reproduces that
+//! execution shape on CPU threads with the token-table engine:
+//!
+//! 1. **Expansion fan-out**: the sorted frontier is split into per-worker
+//!    chunks; each worker expands its tokens' emitting arcs and routes the
+//!    candidates into per-`(worker, shard)` buffers, where a shard is a
+//!    contiguous range of state ids.
+//! 2. **Lock-free sharded relax**: each worker then owns exactly one
+//!    shard of the next frame's epoch-tagged
+//!    [`crate::token_table::TokenTable`] and relaxes every candidate
+//!    destined for it — no locks, no atomics, and candidates are consumed
+//!    in `(worker, arc)` order, which for any one destination state is the
+//!    same relative order the sequential decoder uses, so tie-breaking is
+//!    identical. Prune-on-insert applies per shard against the shard's
+//!    running best.
+//! 3. **Frame-barrier merge**: shard results are folded (in shard order)
+//!    into the sequential engine's resolved table, assigning lattice
+//!    entries deterministically; the epsilon closure then runs under the
+//!    same frozen `emitting_best + beam` threshold as the sequential
+//!    decoder, making the closure byte-identical.
+//!
+//! Results are bit-identical to the sequential
 //! [`crate::search::ViterbiDecoder`] in cost and word sequence — used both
 //! as a correctness cross-check and by `asr-platform` to reason about
 //! parallel efficiency of the search (the paper: a modest 3.7-10x on GPU
-//! versus 26x for the DNN).
+//! versus 26x for the DNN). All frame-loop buffers (candidate matrices,
+//! shard tables, frontier) are reused across frames.
 
-use crate::lattice::{Lattice, TraceId};
-use crate::search::{DecodeOptions, DecodeResult, DecodeStats, FrameStats};
+use crate::lattice::{CompactScratch, Lattice, TraceId};
+use crate::search::{
+    build_frontier, epsilon_closure, finish, maybe_gc, DecodeOptions, DecodeResult, DecodeStats,
+    FrameStats,
+};
+use crate::token_table::TokenTable;
 use asr_acoustic::scores::AcousticTable;
 use asr_wfst::{StateId, Wfst, WordId};
-use std::collections::HashMap;
 
-/// A candidate token produced by one expansion thread.
+/// A deferred backpointer: the lattice entry is allocated at the frame
+/// barrier, after the owning shard's relax settles the winner.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    prev: TraceId,
+    word: WordId,
+}
+
+const PENDING_NONE: Pending = Pending {
+    prev: TraceId::ROOT,
+    word: WordId::NONE,
+};
+
+/// A candidate token produced by one expansion worker.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     dest: u32,
@@ -34,7 +70,8 @@ pub struct ParallelDecoder {
 }
 
 impl ParallelDecoder {
-    /// Creates a decoder with `num_threads` expansion workers.
+    /// Creates a decoder with `num_threads` expansion workers (and as many
+    /// token-table shards).
     ///
     /// # Panics
     ///
@@ -49,191 +86,182 @@ impl ParallelDecoder {
         self.num_threads
     }
 
-    /// Runs the search; semantics match the sequential decoder exactly.
+    /// Runs the search; `words`, `cost`, `best_state`, and
+    /// `reached_final` match the sequential decoder exactly.
     pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
+        let num_states = wfst.num_states();
+        let threads = self.num_threads;
+        let shard_len = num_states.div_ceil(threads).max(1);
+        let beam = self.opts.beam;
+
+        // Resolved double buffer (TraceId payloads) plus one pending
+        // shard per worker; all reused across frames.
+        let mut cur: TokenTable<TraceId> = TokenTable::new(num_states, TraceId::ROOT);
+        let mut next: TokenTable<TraceId> = TokenTable::new(num_states, TraceId::ROOT);
+        let mut shards: Vec<TokenTable<Pending>> = (0..threads)
+            .map(|s| {
+                let base = (s * shard_len).min(num_states);
+                let len = num_states.saturating_sub(base).min(shard_len);
+                TokenTable::new_shard(base as u32, len, PENDING_NONE)
+            })
+            .collect();
+        // Candidate buffers: [worker][shard].
+        let mut candidates: Vec<Vec<Vec<Candidate>>> =
+            (0..threads).map(|_| vec![Vec::new(); threads]).collect();
+        let mut frontier: Vec<u32> = Vec::new();
+        let mut worklist: Vec<u32> = Vec::new();
+        let mut gc_roots: Vec<TraceId> = Vec::new();
+        let mut gc = CompactScratch::new();
+
         let mut lattice = Lattice::new();
         let mut stats = DecodeStats::default();
-        let mut cur: HashMap<u32, (f32, TraceId)> = HashMap::new();
-        let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
-        cur.insert(wfst.start().0, (0.0, start_trace));
-        let mut scratch = FrameStats::default();
-        epsilon_closure(wfst, &mut cur, &mut lattice, &mut scratch);
 
-        for frame in 0..scores.num_frames() {
+        cur.begin_frame();
+        let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
+        cur.relax(wfst.start().0, 0.0, || start_trace);
+        let mut scratch_fs = FrameStats::default();
+        epsilon_closure(
+            wfst,
+            &mut cur,
+            &mut lattice,
+            &mut scratch_fs,
+            f32::INFINITY,
+            &mut worklist,
+        );
+
+        let num_frames = scores.num_frames();
+        for frame in 0..num_frames {
             let mut fs = FrameStats {
                 active_tokens: cur.len(),
                 ..FrameStats::default()
             };
-            let best = cur.values().map(|c| c.0).fold(f32::INFINITY, f32::min);
-            let threshold = best + self.opts.beam;
-            let mut expanded: Vec<(u32, f32, TraceId)> = cur
-                .iter()
-                .filter(|(_, c)| c.0 <= threshold)
-                .map(|(&s, &(c, t))| (s, c, t))
-                .collect();
-            expanded.sort_unstable_by_key(|&(s, _, _)| s);
-            if let Some(cap) = self.opts.max_active {
-                if expanded.len() > cap {
-                    expanded.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-                    expanded.truncate(cap);
-                    expanded.sort_unstable_by_key(|&(s, _, _)| s);
-                }
-            }
-            fs.expanded_tokens = expanded.len();
+            build_frontier(&cur, &mut frontier, beam, self.opts.max_active);
+            fs.expanded_tokens = frontier.len();
             if self.opts.record_state_accesses {
-                for &(s, _, _) in &expanded {
-                    *stats.state_accesses.entry(s).or_insert(0) += 1;
+                for &state in &frontier {
+                    *stats.state_accesses.entry(state).or_insert(0) += 1;
                 }
             }
+            let last_frame = frame + 1 == num_frames;
 
-            // Fan out: each worker expands a contiguous chunk of tokens.
-            let chunk = expanded.len().div_ceil(self.num_threads).max(1);
-            let candidate_lists: Vec<Vec<Candidate>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = expanded
-                    .chunks(chunk)
-                    .map(|tokens| {
-                        scope.spawn(move |_| {
-                            let mut out = Vec::with_capacity(tokens.len() * 3);
-                            for &(state, cost, trace) in tokens {
-                                for arc in wfst.emitting_arcs(StateId(state)) {
-                                    out.push(Candidate {
-                                        dest: arc.dest.0,
-                                        cost: cost
-                                            + arc.weight
-                                            + scores.cost(frame, arc.ilabel),
-                                        prev: trace,
-                                        word: arc.olabel,
-                                    });
-                                }
+            // Phase 1: fan the frontier out; each worker fills its own
+            // candidate row, routed by destination shard.
+            let chunk = frontier.len().div_ceil(threads).max(1);
+            let cur_ref = &cur;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (tokens, row) in frontier.chunks(chunk).zip(candidates.iter_mut()) {
+                    handles.push(scope.spawn(move || {
+                        for bucket in row.iter_mut() {
+                            bucket.clear();
+                        }
+                        for &state in tokens {
+                            let cost0 = cur_ref.cost(state);
+                            let trace = cur_ref.payload(state);
+                            for arc in wfst.emitting_arcs(StateId(state)) {
+                                let shard = (arc.dest.0 as usize / shard_len).min(row.len() - 1);
+                                row[shard].push(Candidate {
+                                    dest: arc.dest.0,
+                                    cost: cost0 + arc.weight + scores.cost(frame, arc.ilabel),
+                                    prev: trace,
+                                    word: arc.olabel,
+                                });
                             }
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("expansion worker panicked");
-
-            // Deterministic merge: chunks arrive in token order, candidates
-            // within a chunk in arc order — the same relaxation order the
-            // sequential decoder uses.
-            let mut next: HashMap<u32, (f32, TraceId)> = HashMap::new();
-            for list in candidate_lists {
-                fs.arcs_traversed += list.len();
-                for c in list {
-                    relax(&mut next, &mut lattice, c, &mut fs);
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("expansion worker panicked");
+                }
+            });
+            // Workers beyond the frontier's chunk count never ran this
+            // frame: clear their buffers so stale candidates from a wider
+            // previous frame cannot leak in.
+            let ran = frontier.chunks(chunk).len();
+            for row in candidates.iter_mut().skip(ran) {
+                for bucket in row.iter_mut() {
+                    bucket.clear();
                 }
             }
-            epsilon_closure(wfst, &mut next, &mut lattice, &mut fs);
-            cur = next;
+            fs.arcs_traversed += candidates
+                .iter()
+                .map(|row| row.iter().map(Vec::len).sum::<usize>())
+                .sum::<usize>();
+
+            // Phase 2: lock-free relax — worker `s` exclusively owns
+            // shard `s` and drains every worker's bucket for it, in
+            // worker order (the sequential relax order restricted to the
+            // shard's states).
+            let candidates_ref = &candidates;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    handles.push(scope.spawn(move || {
+                        shard.begin_frame();
+                        for row in candidates_ref {
+                            for c in &row[s] {
+                                if !last_frame && c.cost > shard.best() + beam {
+                                    continue;
+                                }
+                                shard.relax(c.dest, c.cost, || Pending {
+                                    prev: c.prev,
+                                    word: c.word,
+                                });
+                            }
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("relax worker panicked");
+                }
+            });
+
+            // Frame barrier: fold shards (in shard order) into the
+            // resolved table, allocating one lattice entry per surviving
+            // token — deterministic for any thread count.
+            next.begin_frame();
+            for shard in &shards {
+                for &state in shard.active() {
+                    let (cost, pending) = shard.get(state).expect("active token is live");
+                    let inserted =
+                        next.relax(state, cost, || lattice.push(pending.prev, pending.word));
+                    debug_assert!(inserted, "shards cover disjoint state ranges");
+                    fs.tokens_created += 1;
+                }
+            }
+
+            let closure_threshold = if last_frame {
+                f32::INFINITY
+            } else {
+                next.best() + beam
+            };
+            epsilon_closure(
+                wfst,
+                &mut next,
+                &mut lattice,
+                &mut fs,
+                closure_threshold,
+                &mut worklist,
+            );
+            std::mem::swap(&mut cur, &mut next);
             stats.frames.push(fs);
             if cur.is_empty() {
                 break;
             }
-        }
-
-        finish(wfst, cur, lattice, stats)
-    }
-}
-
-fn relax(
-    map: &mut HashMap<u32, (f32, TraceId)>,
-    lattice: &mut Lattice,
-    c: Candidate,
-    fs: &mut FrameStats,
-) -> bool {
-    match map.get_mut(&c.dest) {
-        Some(cell) if cell.0 <= c.cost => false,
-        slot => {
-            let trace = lattice.push(c.prev, c.word);
-            match slot {
-                Some(existing) => *existing = (c.cost, trace),
-                None => {
-                    map.insert(c.dest, (c.cost, trace));
-                }
-            }
-            fs.tokens_created += 1;
-            true
-        }
-    }
-}
-
-fn epsilon_closure(
-    wfst: &Wfst,
-    tokens: &mut HashMap<u32, (f32, TraceId)>,
-    lattice: &mut Lattice,
-    fs: &mut FrameStats,
-) {
-    let mut worklist: Vec<u32> = tokens.keys().copied().collect();
-    worklist.sort_unstable();
-    let mut idx = 0;
-    while idx < worklist.len() {
-        let state = worklist[idx];
-        idx += 1;
-        let Some(&(cost, trace)) = tokens.get(&state) else {
-            continue;
-        };
-        for arc in wfst.epsilon_arcs(StateId(state)) {
-            fs.arcs_traversed += 1;
-            let cand = Candidate {
-                dest: arc.dest.0,
-                cost: cost + arc.weight,
-                prev: trace,
-                word: arc.olabel,
-            };
-            if relax(tokens, lattice, cand, fs) {
-                worklist.push(arc.dest.0);
+            if !last_frame {
+                maybe_gc(
+                    self.opts.lattice_gc_interval,
+                    frame,
+                    &mut cur,
+                    &mut lattice,
+                    &mut gc_roots,
+                    &mut frontier,
+                    &mut gc,
+                );
             }
         }
-    }
-}
 
-fn finish(
-    wfst: &Wfst,
-    cur: HashMap<u32, (f32, TraceId)>,
-    lattice: Lattice,
-    stats: DecodeStats,
-) -> DecodeResult {
-    let mut best_final: Option<(u32, f32, TraceId)> = None;
-    let mut best_any: Option<(u32, f32, TraceId)> = None;
-    let mut states: Vec<(&u32, &(f32, TraceId))> = cur.iter().collect();
-    states.sort_unstable_by_key(|(s, _)| **s);
-    for (&state, &(cost, trace)) in states {
-        if best_any.map_or(true, |(_, c, _)| cost < c) {
-            best_any = Some((state, cost, trace));
-        }
-        let f = wfst.final_cost(StateId(state));
-        if f.is_finite() {
-            let total = cost + f;
-            if best_final.map_or(true, |(_, c, _)| total < c) {
-                best_final = Some((state, total, trace));
-            }
-        }
-    }
-    let (reached_final, chosen) = match (best_final, best_any) {
-        (Some(f), _) => (true, Some(f)),
-        (None, any) => (false, any),
-    };
-    match chosen {
-        Some((state, cost, trace)) => {
-            let words = lattice.backtrack(trace);
-            DecodeResult {
-                words,
-                cost,
-                reached_final,
-                best_state: StateId(state),
-                stats,
-                lattice,
-            }
-        }
-        None => DecodeResult {
-            words: Vec::new(),
-            cost: f32::INFINITY,
-            reached_final: false,
-            best_state: wfst.start(),
-            stats,
-            lattice,
-        },
+        finish(wfst, &mut cur, &mut frontier, lattice, stats)
     }
 }
 
@@ -285,6 +313,20 @@ mod tests {
             assert_eq!(s.expanded_tokens, p.expanded_tokens);
             assert_eq!(s.arcs_traversed, p.arcs_traversed);
         }
+    }
+
+    #[test]
+    fn more_threads_than_states_still_works() {
+        let (w, scores) = {
+            let w = SynthWfst::generate(&SynthConfig::with_states(50)).unwrap();
+            let scores = AcousticTable::random(6, w.num_phones() as usize, (0.5, 4.0), 5);
+            (w, scores)
+        };
+        let opts = DecodeOptions::with_beam(8.0);
+        let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let par = ParallelDecoder::new(opts, 64).decode(&w, &scores);
+        assert_eq!(par.cost, seq.cost);
+        assert_eq!(par.words, seq.words);
     }
 
     #[test]

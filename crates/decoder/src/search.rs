@@ -1,14 +1,46 @@
-//! Frame-synchronous Viterbi beam search (the algorithm of Section II).
+//! Frame-synchronous Viterbi beam search (the algorithm of Section II),
+//! rebuilt as a software twin of the accelerator's hash datapath.
 //!
 //! Each frame, every surviving token's outgoing non-epsilon arcs are
 //! expanded with the frame's acoustic cost added (Equation 1 in log space:
 //! additions replace multiplications), destination tokens keep only their
 //! best ingoing path, and epsilon arcs are then followed transitively
-//! without consuming a frame. Tokens outside `best + beam` are pruned —
-//! standard Viterbi beam search. Backpointers and word labels go to the
+//! without consuming a frame. Backpointers and word labels go to the
 //! [`crate::lattice::Lattice`]; backtracking recovers the word sequence.
+//!
+//! # The hot path
+//!
+//! Where the retained [`crate::reference::ReferenceDecoder`] drives every
+//! frame through `HashMap` lookups, full re-sorts of the map, and
+//! unconditional lattice pushes, this decoder mirrors the accelerator's
+//! structure (Section III of the paper):
+//!
+//! * **Token storage** is the double-buffered, epoch-tagged
+//!   [`crate::token_table::TokenTable`] — the software stand-in for the
+//!   two on-chip token hash tables. Clearing a frame is one epoch bump;
+//!   after warm-up the whole frame loop performs **zero heap
+//!   allocations** (asserted by `tests/alloc_free.rs`).
+//! * **Prune-on-insert**: the table tracks the running frame-best during
+//!   expansion, and arcs whose destination cost already exceeds
+//!   `running_best + beam` skip both the relax and the lattice push — the
+//!   accelerator's on-insert beam test. Because the running best can only
+//!   over-estimate the final frame best, every skipped token is exactly
+//!   one the next frame's prune would discard: decode results stay
+//!   byte-identical to the reference (the equivalence suite asserts
+//!   `words`, `cost`, and `best_state` match). On the final frame the
+//!   filter is disabled so end-of-utterance final-state selection sees
+//!   the same token set as the reference.
+//! * **Active tracking** is the table's append-only active list (deduped
+//!   by the epoch check); per-frame ordering work is one in-place sort of
+//!   the surviving state ids rather than collect-and-sort of the whole
+//!   map, and `max_active` uses a single rank-selection.
+//! * **Lattice compaction**: every
+//!   [`DecodeOptions::lattice_gc_interval`] frames the backpointer trace
+//!   is mark-compacted from the live tokens (Kaldi's periodic token GC),
+//!   so long utterances stop growing the trace unboundedly.
 
-use crate::lattice::{Lattice, TraceId};
+use crate::lattice::{CompactScratch, Lattice, TraceId};
+use crate::token_table::TokenTable;
 use asr_acoustic::scores::AcousticTable;
 use asr_wfst::{StateId, Wfst, WordId};
 use serde::{Deserialize, Serialize};
@@ -24,6 +56,10 @@ pub struct DecodeOptions {
     pub max_active: Option<usize>,
     /// Record per-state fetch counts (feeds the Figure 7 dynamic CDF).
     pub record_state_accesses: bool,
+    /// Compact the lattice every this many frames (`None` keeps the full
+    /// trace, as the accelerator leaves stale tokens in DRAM). Ignored by
+    /// the reference decoder.
+    pub lattice_gc_interval: Option<u32>,
 }
 
 impl Default for DecodeOptions {
@@ -32,6 +68,7 @@ impl Default for DecodeOptions {
             beam: 8.0,
             max_active: None,
             record_state_accesses: false,
+            lattice_gc_interval: Some(32),
         }
     }
 }
@@ -111,16 +148,51 @@ pub struct DecodeResult {
     pub lattice: Lattice,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Cell {
-    cost: f32,
-    trace: TraceId,
+/// Reusable decode working set: the double-buffered token tables plus the
+/// frontier/worklist/GC buffers. Holding one across decodes makes repeated
+/// decoding of same-sized graphs allocation-free end to end.
+#[derive(Debug, Clone)]
+pub struct DecodeScratch {
+    cur: TokenTable<TraceId>,
+    next: TokenTable<TraceId>,
+    /// Beam survivors of the current frame, sorted by state id.
+    frontier: Vec<u32>,
+    /// Epsilon-closure worklist.
+    worklist: Vec<u32>,
+    /// Live trace roots handed to the lattice GC.
+    gc_roots: Vec<TraceId>,
+    gc: CompactScratch,
 }
 
-/// The reference beam-search decoder.
+impl DecodeScratch {
+    /// Allocates scratch for graphs of up to `num_states` states.
+    pub fn new(num_states: usize) -> Self {
+        Self {
+            cur: TokenTable::new(num_states, TraceId::ROOT),
+            next: TokenTable::new(num_states, TraceId::ROOT),
+            frontier: Vec::with_capacity(num_states.min(1 << 16)),
+            worklist: Vec::with_capacity(num_states.min(1 << 16)),
+            gc_roots: Vec::with_capacity(num_states.min(1 << 16)),
+            gc: CompactScratch::new(),
+        }
+    }
+
+    /// Grows the token tables if `num_states` exceeds their capacity.
+    fn ensure(&mut self, num_states: usize) {
+        if self.cur.capacity() < num_states {
+            self.cur = TokenTable::new(num_states, TraceId::ROOT);
+            self.next = TokenTable::new(num_states, TraceId::ROOT);
+        }
+    }
+}
+
+/// The token-table beam-search decoder.
 ///
 /// Deterministic: tokens are expanded in ascending state order, so equal
-/// inputs produce identical lattices and results on every run and platform.
+/// inputs produce identical lattices and results on every run and
+/// platform. Results (`words`, `cost`, `best_state`, `reached_final`) are
+/// byte-identical to [`crate::reference::ReferenceDecoder`] on the same
+/// inputs.
 #[derive(Debug, Clone, Default)]
 pub struct ViterbiDecoder {
     opts: DecodeOptions,
@@ -143,201 +215,282 @@ impl ViterbiDecoder {
     ///
     /// Panics if the WFST references phone labels outside the score table.
     pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
+        let mut scratch = DecodeScratch::new(wfst.num_states());
+        self.decode_with(&mut scratch, wfst, scores)
+    }
+
+    /// Runs the search reusing `scratch`; repeated decodes through the
+    /// same scratch skip all token-table allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WFST references phone labels outside the score table.
+    pub fn decode_with(
+        &self,
+        scratch: &mut DecodeScratch,
+        wfst: &Wfst,
+        scores: &AcousticTable,
+    ) -> DecodeResult {
+        scratch.ensure(wfst.num_states());
+        let DecodeScratch {
+            cur,
+            next,
+            frontier,
+            worklist,
+            gc_roots,
+            gc,
+        } = scratch;
         let mut lattice = Lattice::new();
         let mut stats = DecodeStats::default();
-        let mut cur: HashMap<u32, Cell> = HashMap::new();
+        let beam = self.opts.beam;
 
+        cur.begin_frame();
         let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
-        cur.insert(
-            wfst.start().0,
-            Cell {
-                cost: 0.0,
-                trace: start_trace,
-            },
+        cur.relax(wfst.start().0, 0.0, || start_trace);
+        // Initial epsilon closure, before any frame is consumed; no beam
+        // applies yet (mirrors the reference).
+        let mut scratch_fs = FrameStats::default();
+        epsilon_closure(
+            wfst,
+            cur,
+            &mut lattice,
+            &mut scratch_fs,
+            f32::INFINITY,
+            worklist,
         );
-        // Initial epsilon closure, before any frame is consumed.
-        let mut scratch = FrameStats::default();
-        epsilon_closure(wfst, &mut cur, &mut lattice, &mut scratch);
 
-        for frame in 0..scores.num_frames() {
+        let num_frames = scores.num_frames();
+        for frame in 0..num_frames {
             let mut fs = FrameStats {
                 active_tokens: cur.len(),
                 ..FrameStats::default()
             };
-            let expanded = self.prune(&cur);
-            fs.expanded_tokens = expanded.len();
-
-            let mut next: HashMap<u32, Cell> = HashMap::with_capacity(expanded.len() * 2);
-            for &(state_raw, cell) in &expanded {
-                let state = StateId(state_raw);
-                if self.opts.record_state_accesses {
-                    *stats.state_accesses.entry(state_raw).or_insert(0) += 1;
+            build_frontier(cur, frontier, beam, self.opts.max_active);
+            fs.expanded_tokens = frontier.len();
+            if self.opts.record_state_accesses {
+                for &state in frontier.iter() {
+                    *stats.state_accesses.entry(state).or_insert(0) += 1;
                 }
-                for arc in wfst.emitting_arcs(state) {
-                    fs.arcs_traversed += 1;
-                    let cost = cell.cost + arc.weight + scores.cost(frame, arc.ilabel);
-                    relax(&mut next, &mut lattice, arc.dest.0, cost, cell.trace, arc.olabel, &mut fs);
-                }
-                // Epsilon arcs of the *source* state were already resolved
-                // by the closure of the previous frame; closure below
-                // handles the new frontier.
             }
-            epsilon_closure(wfst, &mut next, &mut lattice, &mut fs);
-            cur = next;
+
+            // The final frame keeps every token so final-state selection
+            // sees the full set, exactly like the reference.
+            let last_frame = frame + 1 == num_frames;
+            next.begin_frame();
+            for &state_raw in frontier.iter() {
+                let cost0 = cur.cost(state_raw);
+                let trace = cur.payload(state_raw);
+                for arc in wfst.emitting_arcs(StateId(state_raw)) {
+                    fs.arcs_traversed += 1;
+                    let cost = cost0 + arc.weight + scores.cost(frame, arc.ilabel);
+                    // Prune-on-insert: the running frame-best can only
+                    // over-estimate the final best, so anything skipped
+                    // here is a token the next frame's prune would kill.
+                    if !last_frame && cost > next.best() + beam {
+                        continue;
+                    }
+                    if next.relax(arc.dest.0, cost, || lattice.push(trace, arc.olabel)) {
+                        fs.tokens_created += 1;
+                    }
+                }
+            }
+            // Epsilon closure under a threshold frozen at the end of the
+            // emitting phase: order-independent, so the sharded parallel
+            // decoder reproduces the exact same closure.
+            let closure_threshold = if last_frame {
+                f32::INFINITY
+            } else {
+                next.best() + beam
+            };
+            epsilon_closure(
+                wfst,
+                next,
+                &mut lattice,
+                &mut fs,
+                closure_threshold,
+                worklist,
+            );
+            std::mem::swap(cur, next);
             stats.frames.push(fs);
             if cur.is_empty() {
                 break; // the beam killed every path; decode fails gracefully
             }
+            if !last_frame {
+                maybe_gc(
+                    self.opts.lattice_gc_interval,
+                    frame,
+                    cur,
+                    &mut lattice,
+                    gc_roots,
+                    frontier,
+                    gc,
+                );
+            }
         }
 
-        self.finish(wfst, cur, lattice, stats)
-    }
-
-    /// Applies beam (and optional histogram) pruning, returning surviving
-    /// tokens in ascending state order.
-    fn prune(&self, cur: &HashMap<u32, Cell>) -> Vec<(u32, Cell)> {
-        let best = cur
-            .values()
-            .map(|c| c.cost)
-            .fold(f32::INFINITY, f32::min);
-        let threshold = best + self.opts.beam;
-        let mut expanded: Vec<(u32, Cell)> = cur
-            .iter()
-            .filter(|(_, c)| c.cost <= threshold)
-            .map(|(&s, &c)| (s, c))
-            .collect();
-        expanded.sort_unstable_by_key(|&(s, _)| s);
-        if let Some(cap) = self.opts.max_active {
-            if expanded.len() > cap {
-                expanded.sort_by(|a, b| a.1.cost.total_cmp(&b.1.cost).then(a.0.cmp(&b.0)));
-                expanded.truncate(cap);
-                expanded.sort_unstable_by_key(|&(s, _)| s);
-            }
-        }
-        expanded
-    }
-
-    fn finish(
-        &self,
-        wfst: &Wfst,
-        cur: HashMap<u32, Cell>,
-        lattice: Lattice,
-        stats: DecodeStats,
-    ) -> DecodeResult {
-        // Prefer tokens in final states (cost + final cost); fall back to
-        // the globally cheapest token, as Kaldi does for truncated audio.
-        let mut best_final: Option<(u32, f32, TraceId)> = None;
-        let mut best_any: Option<(u32, f32, TraceId)> = None;
-        let mut states: Vec<(&u32, &Cell)> = cur.iter().collect();
-        states.sort_unstable_by_key(|(s, _)| **s);
-        for (&state, cell) in states {
-            let better_any = best_any.map_or(true, |(_, c, _)| cell.cost < c);
-            if better_any {
-                best_any = Some((state, cell.cost, cell.trace));
-            }
-            let f = wfst.final_cost(StateId(state));
-            if f.is_finite() {
-                let total = cell.cost + f;
-                let better = best_final.map_or(true, |(_, c, _)| total < c);
-                if better {
-                    best_final = Some((state, total, cell.trace));
-                }
-            }
-        }
-        let (reached_final, chosen) = match (best_final, best_any) {
-            (Some(f), _) => (true, Some(f)),
-            (None, any) => (false, any),
-        };
-        match chosen {
-            Some((state, cost, trace)) => {
-                let words = lattice.backtrack(trace);
-                DecodeResult {
-                    words,
-                    cost,
-                    reached_final,
-                    best_state: StateId(state),
-                    stats,
-                    lattice,
-                }
-            }
-            None => DecodeResult {
-                words: Vec::new(),
-                cost: f32::INFINITY,
-                reached_final: false,
-                best_state: wfst.start(),
-                stats,
-                lattice,
-            },
-        }
+        finish(wfst, cur, frontier, lattice, stats)
     }
 }
 
-/// Transitively relaxes epsilon arcs inside one frame's token set.
+/// Collects the beam (and optional histogram) survivors of `table` into
+/// `frontier`, sorted by state id — the deterministic expansion order.
+pub(crate) fn build_frontier(
+    table: &TokenTable<TraceId>,
+    frontier: &mut Vec<u32>,
+    beam: f32,
+    max_active: Option<usize>,
+) {
+    frontier.clear();
+    let threshold = table.best() + beam;
+    for &state in table.active() {
+        if table.cost(state) <= threshold {
+            frontier.push(state);
+        }
+    }
+    if let Some(cap) = max_active {
+        if cap == 0 {
+            frontier.clear();
+        } else if frontier.len() > cap {
+            // Rank-select the `cap` cheapest (ties by state id) in one
+            // pass; the survivor set is order-independent, so the single
+            // state-order sort below suffices.
+            frontier.select_nth_unstable_by(cap - 1, |&a, &b| {
+                table.cost(a).total_cmp(&table.cost(b)).then(a.cmp(&b))
+            });
+            frontier.truncate(cap);
+        }
+    }
+    frontier.sort_unstable();
+}
+
+/// Transitively relaxes epsilon arcs inside one frame's token table.
 ///
 /// Worklist algorithm: whenever a token improves, its epsilon arcs are
 /// reconsidered. Non-negative weights guarantee termination (zero-weight
 /// cycles yield no strict improvement and stop). Deterministic because the
-/// initial worklist is sorted by state id.
-fn epsilon_closure(
+/// initial worklist is sorted by state id. Tokens beyond `threshold`
+/// (frozen by the caller at the end of the emitting phase) are neither
+/// stored nor expanded — they could never improve an in-beam token, since
+/// epsilon weights are non-negative.
+pub(crate) fn epsilon_closure(
     wfst: &Wfst,
-    tokens: &mut HashMap<u32, Cell>,
+    table: &mut TokenTable<TraceId>,
     lattice: &mut Lattice,
     fs: &mut FrameStats,
+    threshold: f32,
+    worklist: &mut Vec<u32>,
 ) {
-    let mut worklist: Vec<u32> = tokens.keys().copied().collect();
+    worklist.clear();
+    for &state in table.active() {
+        if table.cost(state) <= threshold {
+            worklist.push(state);
+        }
+    }
     worklist.sort_unstable();
     let mut idx = 0;
     while idx < worklist.len() {
         let state_raw = worklist[idx];
         idx += 1;
-        let Some(&cell) = tokens.get(&state_raw) else {
-            continue;
-        };
+        let cost = table.cost(state_raw);
+        let trace = table.payload(state_raw);
         for arc in wfst.epsilon_arcs(StateId(state_raw)) {
             fs.arcs_traversed += 1;
-            let cost = cell.cost + arc.weight;
-            let improved = relax(
-                tokens,
-                lattice,
-                arc.dest.0,
-                cost,
-                cell.trace,
-                arc.olabel,
-                fs,
-            );
-            if improved {
+            let dest_cost = cost + arc.weight;
+            if dest_cost > threshold {
+                continue;
+            }
+            if table.relax(arc.dest.0, dest_cost, || lattice.push(trace, arc.olabel)) {
+                fs.tokens_created += 1;
                 worklist.push(arc.dest.0);
             }
         }
     }
 }
 
-/// Keeps only the best ingoing path per destination token, appending a
-/// lattice entry when the path improves. Returns whether an improvement
-/// happened.
-fn relax(
-    map: &mut HashMap<u32, Cell>,
+/// Runs lattice GC when `frame` crosses the configured interval: live
+/// roots are the stored tokens' traces, and every surviving token's
+/// backpointer is retargeted to the compacted trace.
+pub(crate) fn maybe_gc(
+    interval: Option<u32>,
+    frame: usize,
+    table: &mut TokenTable<TraceId>,
     lattice: &mut Lattice,
-    dest: u32,
-    cost: f32,
-    prev: TraceId,
-    word: WordId,
-    fs: &mut FrameStats,
-) -> bool {
-    match map.get_mut(&dest) {
-        Some(cell) if cell.cost <= cost => false,
-        slot => {
-            let trace = lattice.push(prev, word);
-            let cell = Cell { cost, trace };
-            match slot {
-                Some(existing) => *existing = cell,
-                None => {
-                    map.insert(dest, cell);
-                }
-            }
-            fs.tokens_created += 1;
-            true
+    gc_roots: &mut Vec<TraceId>,
+    states_scratch: &mut Vec<u32>,
+    gc: &mut CompactScratch,
+) {
+    let Some(interval) = interval else {
+        return;
+    };
+    if interval == 0 || !(frame as u64 + 1).is_multiple_of(interval as u64) {
+        return;
+    }
+    states_scratch.clear();
+    states_scratch.extend_from_slice(table.active());
+    gc_roots.clear();
+    for &state in states_scratch.iter() {
+        gc_roots.push(table.payload(state));
+    }
+    lattice.compact(gc_roots, gc);
+    for (&state, &root) in states_scratch.iter().zip(gc_roots.iter()) {
+        table.set_payload(state, root);
+    }
+}
+
+/// End-of-utterance selection: prefer tokens in final states (cost +
+/// final cost); fall back to the globally cheapest token, as Kaldi does
+/// for truncated audio. Iterates stored tokens in ascending state order —
+/// the reference's deterministic tie-break.
+pub(crate) fn finish(
+    wfst: &Wfst,
+    cur: &mut TokenTable<TraceId>,
+    states_scratch: &mut Vec<u32>,
+    lattice: Lattice,
+    stats: DecodeStats,
+) -> DecodeResult {
+    states_scratch.clear();
+    states_scratch.extend_from_slice(cur.active());
+    states_scratch.sort_unstable();
+    let mut best_final: Option<(u32, f32, TraceId)> = None;
+    let mut best_any: Option<(u32, f32, TraceId)> = None;
+    for &state in states_scratch.iter() {
+        let cost = cur.cost(state);
+        let trace = cur.payload(state);
+        if best_any.is_none_or(|(_, c, _)| cost < c) {
+            best_any = Some((state, cost, trace));
         }
+        let f = wfst.final_cost(StateId(state));
+        if f.is_finite() {
+            let total = cost + f;
+            if best_final.is_none_or(|(_, c, _)| total < c) {
+                best_final = Some((state, total, trace));
+            }
+        }
+    }
+    let (reached_final, chosen) = match (best_final, best_any) {
+        (Some(f), _) => (true, Some(f)),
+        (None, any) => (false, any),
+    };
+    match chosen {
+        Some((state, cost, trace)) => {
+            let words = lattice.backtrack(trace);
+            DecodeResult {
+                words,
+                cost,
+                reached_final,
+                best_state: StateId(state),
+                stats,
+                lattice,
+            }
+        }
+        None => DecodeResult {
+            words: Vec::new(),
+            cost: f32::INFINITY,
+            reached_final: false,
+            best_state: wfst.start(),
+            stats,
+            lattice,
+        },
     }
 }
 
@@ -384,7 +537,12 @@ mod tests {
         assert_eq!(r.best_state, StateId(3));
         // Path cost: 0.51 + 0.22 + 0.36 (graph) + acoustic(l,ow,ow).
         let expect = 0.51 + 0.22 + 0.36 - (0.9f32.ln() + 0.8f32.ln() + 0.9f32.ln());
-        assert!((r.cost - expect).abs() < 1e-4, "cost {} vs {}", r.cost, expect);
+        assert!(
+            (r.cost - expect).abs() < 1e-4,
+            "cost {} vs {}",
+            r.cost,
+            expect
+        );
     }
 
     #[test]
@@ -514,5 +672,48 @@ mod tests {
         assert_eq!(a.words, b.words);
         assert_eq!(a.lattice.len(), b.lattice.len());
         assert_eq!(a.best_state, b.best_state);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decodes() {
+        use asr_wfst::synth::{SynthConfig, SynthWfst};
+        let w = SynthWfst::generate(&SynthConfig::with_states(2_000)).unwrap();
+        let scores = AcousticTable::random(25, w.num_phones() as usize, (0.5, 4.0), 9);
+        let d = ViterbiDecoder::new(DecodeOptions::with_beam(6.0));
+        let fresh = d.decode(&w, &scores);
+        let mut scratch = DecodeScratch::new(w.num_states());
+        for _ in 0..3 {
+            let reused = d.decode_with(&mut scratch, &w, &scores);
+            assert_eq!(reused.cost, fresh.cost);
+            assert_eq!(reused.words, fresh.words);
+            assert_eq!(reused.best_state, fresh.best_state);
+            assert_eq!(reused.lattice.len(), fresh.lattice.len());
+        }
+    }
+
+    #[test]
+    fn lattice_gc_shrinks_the_trace_without_changing_results() {
+        use asr_wfst::synth::{SynthConfig, SynthWfst};
+        let w = SynthWfst::generate(&SynthConfig::with_states(3_000)).unwrap();
+        let scores = AcousticTable::random(60, w.num_phones() as usize, (0.5, 4.0), 21);
+        let keep_all = ViterbiDecoder::new(DecodeOptions {
+            lattice_gc_interval: None,
+            ..DecodeOptions::with_beam(6.0)
+        })
+        .decode(&w, &scores);
+        let gc = ViterbiDecoder::new(DecodeOptions {
+            lattice_gc_interval: Some(8),
+            ..DecodeOptions::with_beam(6.0)
+        })
+        .decode(&w, &scores);
+        assert_eq!(gc.cost, keep_all.cost);
+        assert_eq!(gc.words, keep_all.words);
+        assert_eq!(gc.best_state, keep_all.best_state);
+        assert!(
+            gc.lattice.len() < keep_all.lattice.len(),
+            "GC {} vs full {}",
+            gc.lattice.len(),
+            keep_all.lattice.len()
+        );
     }
 }

@@ -1,0 +1,323 @@
+//! Epoch-tagged flat token store: the software twin of the accelerator's
+//! on-chip token hash tables (`asr-accel`'s `hash` module, Section III of
+//! the paper).
+//!
+//! The hardware keeps the current and next frame's active tokens in two
+//! 32K-entry hash tables whose entries hold the token likelihood plus a
+//! next-pointer chaining all active entries for the State Issuer's walk;
+//! swapping and clearing the tables is what ends a frame. This module
+//! plays that datapath in software with the luxury of a *perfect* hash —
+//! a dense array indexed by state id:
+//!
+//! * **slots** (`costs`/`payloads`) mirror the hash entries: one per
+//!   state, carrying the path cost and a caller-chosen payload (the
+//!   backpointer [`crate::lattice::TraceId`] in the sequential decoder, a
+//!   pending backpointer/word pair in the sharded parallel decoder);
+//! * an **epoch tag** per slot replaces clearing: a slot is live only if
+//!   its tag equals the table's current epoch, so "flushing the hash
+//!   table" between frames is one counter bump ([`TokenTable::begin_frame`])
+//!   instead of an `O(entries)` wipe or a `HashMap` rehash;
+//! * the **active list** mirrors the hardware's insertion-ordered linked
+//!   list: an append-only `Vec<u32>` of the states inserted this epoch,
+//!   deduplicated for free by the epoch check on first touch.
+//!
+//! After warm-up the table performs no heap allocation: lookups, inserts,
+//! improvements, and per-frame resets all reuse the same storage. The
+//! running frame-best cost is tracked on insert so the beam test
+//! (`cost <= best + beam`) — the accelerator's prune-on-insert — is one
+//! compare away.
+
+/// One frame's tokens, stored flat and cleared by epoch bump.
+///
+/// `P` is the per-token payload stored next to the path cost; it must be
+/// `Copy` (slots are recycled wholesale between epochs).
+///
+/// # Example
+///
+/// ```
+/// use asr_decoder::token_table::TokenTable;
+///
+/// let mut table: TokenTable<u32> = TokenTable::new(100, 0);
+/// table.begin_frame();
+/// assert!(table.relax(7, 1.5, || 41));   // insert
+/// assert!(table.relax(7, 1.0, || 42));   // improve
+/// assert!(!table.relax(7, 2.0, || 43));  // worse: rejected
+/// assert_eq!(table.get(7), Some((1.0, 42)));
+/// assert_eq!(table.active(), &[7]);
+/// assert_eq!(table.best(), 1.0);
+/// table.begin_frame();                   // O(1) clear
+/// assert!(table.is_empty());
+/// assert_eq!(table.get(7), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenTable<P: Copy> {
+    /// First state id this table covers (non-zero for shards).
+    base: u32,
+    /// Current epoch; slots are live iff their tag matches.
+    epoch: u32,
+    /// Per-slot epoch tags.
+    epochs: Vec<u32>,
+    /// Per-slot path costs (valid only when the tag matches).
+    costs: Vec<f32>,
+    /// Per-slot payloads (valid only when the tag matches).
+    payloads: Vec<P>,
+    /// States inserted this epoch, in insertion order.
+    active: Vec<u32>,
+    /// Cheapest cost inserted this epoch (`f32::INFINITY` when empty).
+    best: f32,
+}
+
+impl<P: Copy> TokenTable<P> {
+    /// Creates a table covering states `0..num_states`.
+    ///
+    /// `fill` initializes the payload slots; it is never observable (slots
+    /// are read only after a live write) but keeps the storage safe.
+    pub fn new(num_states: usize, fill: P) -> Self {
+        Self::new_shard(0, num_states, fill)
+    }
+
+    /// Creates a shard covering states `base..base + len` (used by the
+    /// parallel decoder to split the state space across workers).
+    pub fn new_shard(base: u32, len: usize, fill: P) -> Self {
+        Self {
+            base,
+            // Tags start at 0, the epoch at 1: every slot is stale by
+            // construction, so a fresh table is empty even before the
+            // first `begin_frame`.
+            epoch: 1,
+            epochs: vec![0; len],
+            costs: vec![f32::INFINITY; len],
+            payloads: vec![fill; len],
+            active: Vec::with_capacity(len.min(1 << 16)),
+            best: f32::INFINITY,
+        }
+    }
+
+    /// Number of state slots.
+    pub fn capacity(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// First state id covered.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Starts a new frame: one counter bump invalidates every slot (the
+    /// hardware's table swap-and-clear).
+    pub fn begin_frame(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap: the only O(n) reset, once every 2^32 frames.
+            self.epochs.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.active.clear();
+        self.best = f32::INFINITY;
+    }
+
+    #[inline]
+    fn slot(&self, state: u32) -> usize {
+        debug_assert!(
+            state >= self.base && ((state - self.base) as usize) < self.epochs.len(),
+            "state {state} outside table range {}..{}",
+            self.base,
+            self.base as usize + self.epochs.len()
+        );
+        (state - self.base) as usize
+    }
+
+    /// Looks up a live token.
+    #[inline]
+    pub fn get(&self, state: u32) -> Option<(f32, P)> {
+        let slot = self.slot(state);
+        if self.epochs[slot] == self.epoch {
+            Some((self.costs[slot], self.payloads[slot]))
+        } else {
+            None
+        }
+    }
+
+    /// Cost of a live token.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) or returns stale data (release) if the token is not
+    /// live; callers iterate [`TokenTable::active`], whose entries always
+    /// are.
+    #[inline]
+    pub fn cost(&self, state: u32) -> f32 {
+        let slot = self.slot(state);
+        debug_assert_eq!(self.epochs[slot], self.epoch, "stale token read");
+        self.costs[slot]
+    }
+
+    /// Payload of a live token (same liveness contract as
+    /// [`TokenTable::cost`]).
+    #[inline]
+    pub fn payload(&self, state: u32) -> P {
+        let slot = self.slot(state);
+        debug_assert_eq!(self.epochs[slot], self.epoch, "stale token read");
+        self.payloads[slot]
+    }
+
+    /// Overwrites the payload of a live token (used by lattice GC to
+    /// retarget backpointers).
+    #[inline]
+    pub fn set_payload(&mut self, state: u32, payload: P) {
+        let slot = self.slot(state);
+        debug_assert_eq!(self.epochs[slot], self.epoch, "stale token write");
+        self.payloads[slot] = payload;
+    }
+
+    /// Keeps only the best in-going path per state — the accelerator's
+    /// lookup-or-insert with likelihood compare. Returns whether the token
+    /// was inserted or improved; `payload` is evaluated only then (the
+    /// sequential decoder allocates its lattice entry inside it).
+    #[inline]
+    pub fn relax(&mut self, state: u32, cost: f32, payload: impl FnOnce() -> P) -> bool {
+        let slot = self.slot(state);
+        if self.epochs[slot] == self.epoch {
+            if self.costs[slot] <= cost {
+                return false;
+            }
+        } else {
+            self.epochs[slot] = self.epoch;
+            self.active.push(state);
+        }
+        self.costs[slot] = cost;
+        self.payloads[slot] = payload();
+        if cost < self.best {
+            self.best = cost;
+        }
+        true
+    }
+
+    /// The states inserted this epoch, in insertion order (the hardware
+    /// linked-list walk).
+    pub fn active(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Sorts the active list by state id in place (the deterministic
+    /// expansion order of the reference decoder).
+    pub fn sort_active(&mut self) {
+        self.active.sort_unstable();
+    }
+
+    /// Number of live tokens.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `true` when no token is live.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Cheapest live cost (`f32::INFINITY` when empty) — the running
+    /// frame-best that drives prune-on-insert.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_improve_reject() {
+        let mut t: TokenTable<u64> = TokenTable::new(16, 0);
+        t.begin_frame();
+        assert!(t.relax(3, 2.0, || 1));
+        assert!(!t.relax(3, 2.0, || 2), "equal cost keeps the first arrival");
+        assert!(t.relax(3, 1.0, || 3));
+        assert_eq!(t.get(3), Some((1.0, 3)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_clears_in_constant_time() {
+        let mut t: TokenTable<()> = TokenTable::new(8, ());
+        t.begin_frame();
+        for s in 0..8 {
+            t.relax(s, s as f32, || ());
+        }
+        assert_eq!(t.len(), 8);
+        t.begin_frame();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.best(), f32::INFINITY);
+        // Slots are reusable immediately.
+        assert!(t.relax(5, 0.25, || ()));
+        assert_eq!(t.active(), &[5]);
+    }
+
+    #[test]
+    fn active_list_dedupes_by_epoch() {
+        let mut t: TokenTable<u32> = TokenTable::new(4, 0);
+        t.begin_frame();
+        t.relax(2, 3.0, || 0);
+        t.relax(2, 1.0, || 1);
+        t.relax(1, 2.0, || 2);
+        t.relax(2, 0.5, || 3);
+        assert_eq!(t.active(), &[2, 1], "insertion order, no duplicates");
+        t.sort_active();
+        assert_eq!(t.active(), &[1, 2]);
+    }
+
+    #[test]
+    fn best_tracks_running_minimum() {
+        let mut t: TokenTable<()> = TokenTable::new(4, ());
+        t.begin_frame();
+        assert_eq!(t.best(), f32::INFINITY);
+        t.relax(0, 4.0, || ());
+        assert_eq!(t.best(), 4.0);
+        t.relax(1, 2.0, || ());
+        assert_eq!(t.best(), 2.0);
+        t.relax(2, 3.0, || ());
+        assert_eq!(t.best(), 2.0);
+    }
+
+    #[test]
+    fn shards_cover_offset_ranges() {
+        let mut t: TokenTable<u8> = TokenTable::new_shard(100, 50, 0);
+        t.begin_frame();
+        assert!(t.relax(120, 1.0, || 7));
+        assert_eq!(t.get(120), Some((1.0, 7)));
+        assert_eq!(t.base(), 100);
+        assert_eq!(t.capacity(), 50);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_tags() {
+        let mut t: TokenTable<()> = TokenTable::new(4, ());
+        t.epoch = u32::MAX - 1;
+        t.begin_frame(); // epoch == MAX
+        t.relax(1, 1.0, || ());
+        t.begin_frame(); // wraps: tags rewritten, epoch restarts
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        t.relax(2, 2.0, || ());
+        assert_eq!(t.active(), &[2]);
+    }
+
+    #[test]
+    fn fresh_table_is_empty_before_first_frame() {
+        let t: TokenTable<u32> = TokenTable::new(8, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.get(3), None, "no phantom live tokens before begin_frame");
+        assert_eq!(t.best(), f32::INFINITY);
+    }
+
+    #[test]
+    fn payload_updates_in_place() {
+        let mut t: TokenTable<u32> = TokenTable::new(4, 0);
+        t.begin_frame();
+        t.relax(0, 1.0, || 10);
+        t.set_payload(0, 99);
+        assert_eq!(t.payload(0), 99);
+        assert_eq!(t.cost(0), 1.0);
+    }
+}

@@ -47,8 +47,8 @@ pub fn align(reference: &[WordId], hypothesis: &[WordId]) -> WerBreakdown {
     for (i, row) in dp.iter_mut().enumerate() {
         row[0] = i;
     }
-    for j in 0..=m {
-        dp[0][j] = j;
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {
@@ -65,8 +65,7 @@ pub fn align(reference: &[WordId], hypothesis: &[WordId]) -> WerBreakdown {
     };
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
-        if i > 0 && j > 0 && dp[i][j] == dp[i - 1][j - 1] && reference[i - 1] == hypothesis[j - 1]
-        {
+        if i > 0 && j > 0 && dp[i][j] == dp[i - 1][j - 1] && reference[i - 1] == hypothesis[j - 1] {
             b.correct += 1;
             i -= 1;
             j -= 1;

@@ -1,0 +1,99 @@
+//! Allocation accounting for the token-table hot path.
+//!
+//! The claim under test: the steady-state frame loop performs **zero heap
+//! allocations per frame**. With a warmed [`DecodeScratch`], the only
+//! allocations a decode may perform are amortized container growth
+//! (lattice doubling, the per-frame stats vector) — counts that grow
+//! logarithmically, not linearly, in the number of frames. A single
+//! allocation per frame would separate a 200-frame decode from a 50-frame
+//! decode by 150+ counts; the test allows a slack of 16 for the
+//! logarithmic growth.
+
+use asr_acoustic::scores::AcousticTable;
+use asr_decoder::search::{DecodeOptions, DecodeScratch, ViterbiDecoder};
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: defers to the system allocator; the counter is metadata only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_frame_loop_is_allocation_free() {
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(5_000).with_seed(3)).unwrap();
+    let phones = wfst.num_phones() as usize;
+    let short_scores = AcousticTable::random(50, phones, (0.5, 4.0), 7);
+    let long_scores = AcousticTable::random(200, phones, (0.5, 4.0), 7);
+    let decoder = ViterbiDecoder::new(DecodeOptions::with_beam(6.0));
+    let mut scratch = DecodeScratch::new(wfst.num_states());
+
+    // Warm every watermark with the longest workload.
+    let warm = decoder.decode_with(&mut scratch, &wfst, &long_scores);
+    assert!(warm.cost.is_finite());
+
+    let mut short_allocs = 0;
+    let short_result = count_allocs(|| {
+        let r = decoder.decode_with(&mut scratch, &wfst, &short_scores);
+        short_allocs = r.lattice.len() as u64; // keep the result alive
+    });
+    let mut long_allocs = 0;
+    let long_result = count_allocs(|| {
+        let r = decoder.decode_with(&mut scratch, &wfst, &long_scores);
+        long_allocs = r.lattice.len() as u64;
+    });
+
+    assert!(
+        long_result <= short_result + 16,
+        "4x the frames cost {long_result} allocations vs {short_result}: \
+         the frame loop is allocating per frame"
+    );
+    // Sanity: both decodes did real work.
+    assert!(short_allocs > 0 && long_allocs > 0);
+}
+
+#[test]
+fn warmed_repeat_decodes_have_identical_allocation_counts() {
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(3_000).with_seed(9)).unwrap();
+    let scores = AcousticTable::random(80, wfst.num_phones() as usize, (0.5, 4.0), 13);
+    let decoder = ViterbiDecoder::new(DecodeOptions::with_beam(6.0));
+    let mut scratch = DecodeScratch::new(wfst.num_states());
+    decoder.decode_with(&mut scratch, &wfst, &scores); // warm
+
+    let first = count_allocs(|| {
+        decoder.decode_with(&mut scratch, &wfst, &scores);
+    });
+    let second = count_allocs(|| {
+        decoder.decode_with(&mut scratch, &wfst, &scores);
+    });
+    assert_eq!(
+        first, second,
+        "identical decodes through warmed scratch must allocate identically"
+    );
+}

@@ -1,0 +1,148 @@
+//! Equivalence suite: the token-table decoder must reproduce the retained
+//! `HashMap` reference decoder byte-for-byte on `words`, `cost`, and
+//! `best_state` — across graph sizes, beams, histogram caps, and the
+//! sharded parallel variant. This is what licenses replacing the hot path:
+//! prune-on-insert may only skip work, never change the answer.
+
+use asr_acoustic::scores::AcousticTable;
+use asr_decoder::parallel::ParallelDecoder;
+use asr_decoder::reference::ReferenceDecoder;
+use asr_decoder::search::{DecodeOptions, DecodeScratch, ViterbiDecoder};
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use asr_wfst::Wfst;
+
+fn workload(states: usize, frames: usize, seed: u64) -> (Wfst, AcousticTable) {
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(states).with_seed(seed)).unwrap();
+    let scores = AcousticTable::random(
+        frames,
+        wfst.num_phones() as usize,
+        (0.5, 4.0),
+        seed.wrapping_mul(0x9E37_79B9),
+    );
+    (wfst, scores)
+}
+
+fn assert_equivalent(opts: &DecodeOptions, wfst: &Wfst, scores: &AcousticTable, label: &str) {
+    let reference = ReferenceDecoder::new(opts.clone()).decode(wfst, scores);
+    let table = ViterbiDecoder::new(opts.clone()).decode(wfst, scores);
+    assert_eq!(
+        table.cost.to_bits(),
+        reference.cost.to_bits(),
+        "{label}: cost"
+    );
+    assert_eq!(table.words, reference.words, "{label}: words");
+    assert_eq!(
+        table.best_state, reference.best_state,
+        "{label}: best_state"
+    );
+    assert_eq!(
+        table.reached_final, reference.reached_final,
+        "{label}: reached_final"
+    );
+}
+
+#[test]
+fn equivalent_across_graph_sizes_and_seeds() {
+    for states in [2_000usize, 10_000, 50_000] {
+        for seed in [1u64, 2, 3] {
+            let (wfst, scores) = workload(states, 20, seed);
+            let opts = DecodeOptions::with_beam(6.0);
+            assert_equivalent(
+                &opts,
+                &wfst,
+                &scores,
+                &format!("{states} states, seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalent_across_beams() {
+    let (wfst, scores) = workload(8_000, 25, 11);
+    for beam in [0.0f32, 2.0, 4.0, 8.0, 16.0, 64.0] {
+        let opts = DecodeOptions::with_beam(beam);
+        assert_equivalent(&opts, &wfst, &scores, &format!("beam {beam}"));
+    }
+}
+
+#[test]
+fn equivalent_under_histogram_pruning() {
+    let (wfst, scores) = workload(6_000, 20, 23);
+    // cap 0 is the degenerate everything-pruned decode; it must not
+    // panic and must agree with the reference's empty result.
+    for cap in [0usize, 1, 8, 64, 512] {
+        let opts = DecodeOptions {
+            beam: 12.0,
+            max_active: Some(cap),
+            ..DecodeOptions::default()
+        };
+        assert_equivalent(&opts, &wfst, &scores, &format!("max_active {cap}"));
+    }
+}
+
+#[test]
+fn equivalent_with_and_without_lattice_gc() {
+    let (wfst, scores) = workload(5_000, 50, 31);
+    for interval in [None, Some(1u32), Some(4), Some(16)] {
+        let opts = DecodeOptions {
+            beam: 6.0,
+            lattice_gc_interval: interval,
+            ..DecodeOptions::default()
+        };
+        assert_equivalent(&opts, &wfst, &scores, &format!("gc {interval:?}"));
+    }
+}
+
+#[test]
+fn equivalent_on_truncated_audio_without_finals_in_beam() {
+    // A tight beam often strands the best path outside final states; the
+    // final-frame handling (pruning disabled) must match the reference's
+    // full-set final-state selection.
+    for seed in [5u64, 17, 40] {
+        let (wfst, scores) = workload(3_000, 7, seed);
+        let opts = DecodeOptions::with_beam(1.5);
+        assert_equivalent(&opts, &wfst, &scores, &format!("tight beam, seed {seed}"));
+    }
+}
+
+#[test]
+fn parallel_decoder_is_deterministic_and_matches_reference() {
+    let (wfst, scores) = workload(10_000, 20, 7);
+    let opts = DecodeOptions::with_beam(6.0);
+    let reference = ReferenceDecoder::new(opts.clone()).decode(&wfst, &scores);
+    for threads in [1usize, 2, 3, 4, 8] {
+        let decoder = ParallelDecoder::new(opts.clone(), threads);
+        let a = decoder.decode(&wfst, &scores);
+        let b = decoder.decode(&wfst, &scores);
+        // Determinism: identical runs, including the lattice.
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{threads} threads");
+        assert_eq!(a.words, b.words, "{threads} threads");
+        assert_eq!(a.lattice.len(), b.lattice.len(), "{threads} threads");
+        // Equivalence: same answer as the seed semantics.
+        assert_eq!(
+            a.cost.to_bits(),
+            reference.cost.to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(a.words, reference.words, "{threads} threads");
+        assert_eq!(a.best_state, reference.best_state, "{threads} threads");
+    }
+}
+
+#[test]
+fn scratch_reuse_across_different_graphs_matches_reference() {
+    // One scratch serving interleaved decodes of differently sized graphs
+    // (the serving pattern): results must not depend on scratch history.
+    let mut scratch = DecodeScratch::new(1);
+    let opts = DecodeOptions::with_beam(6.0);
+    let decoder = ViterbiDecoder::new(opts.clone());
+    for &(states, seed) in &[(2_000usize, 1u64), (9_000, 2), (3_000, 3), (9_000, 4)] {
+        let (wfst, scores) = workload(states, 15, seed);
+        let reference = ReferenceDecoder::new(opts.clone()).decode(&wfst, &scores);
+        let reused = decoder.decode_with(&mut scratch, &wfst, &scores);
+        assert_eq!(reused.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(reused.words, reference.words);
+        assert_eq!(reused.best_state, reference.best_state);
+    }
+}

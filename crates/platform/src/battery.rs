@@ -106,7 +106,10 @@ mod tests {
         );
         // The paper's argument: offload spends radio energy the local
         // accelerator does not.
-        assert!(asic > 10.0 * cloud, "asic {asic:.0} h vs cloud {cloud:.0} h");
+        assert!(
+            asic > 10.0 * cloud,
+            "asic {asic:.0} h vs cloud {cloud:.0} h"
+        );
     }
 
     #[test]

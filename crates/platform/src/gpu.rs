@@ -8,7 +8,9 @@
 //! scaling down GPU time linearly, and it is derived so the published
 //! operating point (25k arcs/frame) is preserved exactly.
 
-use crate::calibration::{Calibration, FRAMES_PER_SECOND, PAPER_ARCS_PER_FRAME, REFERENCE_DNN_FLOPS_PER_FRAME};
+use crate::calibration::{
+    Calibration, FRAMES_PER_SECOND, PAPER_ARCS_PER_FRAME, REFERENCE_DNN_FLOPS_PER_FRAME,
+};
 use crate::metrics::OperatingPoint;
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +64,8 @@ impl GpuModel {
             * PAPER_ARCS_PER_FRAME
             * FRAMES_PER_SECOND;
         let fixed = paper_total * self.overhead.fixed_fraction;
-        let variable = paper_total * (1.0 - self.overhead.fixed_fraction)
+        let variable = paper_total
+            * (1.0 - self.overhead.fixed_fraction)
             * (arcs_per_frame / PAPER_ARCS_PER_FRAME);
         fixed + variable
     }

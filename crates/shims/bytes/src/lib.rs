@@ -1,0 +1,154 @@
+//! Vendored stand-in for `bytes`: little-endian cursor reads over `&[u8]`
+//! and appends onto `Vec<u8>`, covering exactly the accessors the packed
+//! WFST container format uses.
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (as the real crate does).
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn get_u128_le(&mut self) -> u128;
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+macro_rules! slice_get {
+    ($self:ident, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let (head, rest) = $self.split_at(N);
+        let value = <$t>::from_le_bytes(head.try_into().expect("sized split"));
+        *$self = rest;
+        value
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        slice_get!(self, u8)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        slice_get!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        slice_get!(self, u64)
+    }
+
+    fn get_u128_le(&mut self) -> u128 {
+        slice_get!(self, u128)
+    }
+}
+
+/// Little-endian appends onto a growable byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u128_le(&mut self, v: u128) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_u128_le(0xFEED_FACE_CAFE_F00D_0123_4567_89AB_CDEF);
+        out.put_f32_le(1.5);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_u128_le(), 0xFEED_FACE_CAFE_F00D_0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf: &[u8] = &data;
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+        assert_eq!(buf.remaining(), 1);
+    }
+}

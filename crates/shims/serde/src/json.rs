@@ -1,0 +1,151 @@
+//! The in-memory JSON value tree produced by [`crate::Serialize`] and a
+//! deterministic pretty-printer over it.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Finite float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Map-key rendering (JSON object keys are strings).
+pub trait SerializeKey {
+    /// Renders the key.
+    fn to_key(&self) -> String;
+}
+
+macro_rules! impl_key_display {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+impl_key_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for &str {
+    fn to_key(&self) -> String {
+        (*self).to_owned()
+    }
+}
+
+impl<A: SerializeKey, B: SerializeKey> SerializeKey for (A, B) {
+    fn to_key(&self) -> String {
+        format!("{},{}", self.0.to_key(), self.1.to_key())
+    }
+}
+
+impl<A: SerializeKey, B: SerializeKey, C: SerializeKey> SerializeKey for (A, B, C) {
+    fn to_key(&self) -> String {
+        format!(
+            "{},{},{}",
+            self.0.to_key(),
+            self.1.to_key(),
+            self.2.to_key()
+        )
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Value {
+    /// Renders with two-space indentation, `serde_json`-style.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(0, &mut out);
+        out
+    }
+
+    fn write_pretty(&self, indent: usize, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::UInt(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => out.push_str(&float_repr(*v)),
+            Value::Str(s) => escape_into(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Vendored stand-in for `serde`, implementing exactly the surface this
+//! workspace uses: `#[derive(Serialize, Deserialize)]`, a `Serialize`
+//! trait that renders to an in-memory JSON value, and the `#[serde(skip)]`
+//! field attribute. The build environment has no registry access, so the
+//! real crate cannot be fetched; types serialized here are plain data
+//! (figures, stats, configs) and need nothing more than deterministic
+//! JSON output via the sibling `serde_json` shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// Serialization to an in-memory JSON value tree.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker trait kept so `#[derive(Deserialize)]` and trait imports
+/// compile; nothing in the workspace deserializes through serde.
+pub trait Deserialize: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    json::Value::Float(v)
+                } else {
+                    // JSON has no Inf/NaN; degrade to null like
+                    // `serde_json::Value` consumers expect for gaps.
+                    json::Value::Null
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: json::SerializeKey,
+    V: Serialize,
+{
+    fn to_json_value(&self) -> json::Value {
+        let mut entries: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json_value()))
+            .collect();
+        // Deterministic output regardless of hasher state.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(entries)
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: json::SerializeKey,
+    V: Serialize,
+{
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}

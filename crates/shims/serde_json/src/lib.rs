@@ -1,0 +1,44 @@
+//! Vendored stand-in for `serde_json` over the vendored serde shim.
+//! Implements only what the workspace calls: [`to_string_pretty`] (and
+//! compact [`to_string`]), both infallible for the value-tree model but
+//! keeping the `Result` signature callers expect.
+
+use std::fmt;
+
+/// Serialization error (never produced by the shim; kept for signature
+/// compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().pretty())
+}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors the real `serde_json` signature.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let pretty = value.to_json_value().pretty();
+    // The value tree has no string newlines escaped away, so compacting is
+    // a cheap join of the pretty form's trimmed lines.
+    Ok(pretty
+        .lines()
+        .map(str::trim_start)
+        .collect::<Vec<_>>()
+        .join(""))
+}

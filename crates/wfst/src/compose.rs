@@ -59,7 +59,13 @@ pub fn compose(left: &Wfst, right: &Wfst) -> Result<Wfst> {
                     if rarc.ilabel.0 == larc.olabel.0 {
                         let pair = (larc.dest, rarc.dest);
                         let dst = intern(&mut b, &mut index, &mut queue, pair);
-                        b.add_arc(src, dst, larc.ilabel, rarc.olabel, larc.weight + rarc.weight);
+                        b.add_arc(
+                            src,
+                            dst,
+                            larc.ilabel,
+                            rarc.olabel,
+                            larc.weight + rarc.weight,
+                        );
                     }
                 }
             }
@@ -151,7 +157,7 @@ mod tests {
                 let f = w.final_cost(s);
                 if f.is_finite() {
                     let total = cost + f;
-                    if best.as_ref().map_or(true, |(b, _)| total < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| total < *b) {
                         *best = Some((total, words.clone()));
                     }
                 }
@@ -183,11 +189,7 @@ mod tests {
         let mut out = Vec::new();
         for word in words {
             let id = lex.word_id(word).unwrap();
-            let pron = lex
-                .pronunciations()
-                .iter()
-                .find(|(w, _)| *w == id)
-                .unwrap();
+            let pron = lex.pronunciations().iter().find(|(w, _)| *w == id).unwrap();
             out.extend_from_slice(&pron.1);
         }
         out
@@ -198,7 +200,10 @@ mod tests {
         let (lex, graph) = demo_graph();
         let (cost, words) = accepts(&graph, &phones_of(&lex, &["go"])).unwrap();
         assert_eq!(lex.transcript(&words), vec!["go"]);
-        assert!((cost - (12f32).ln()).abs() < 1e-5, "unigram cost, got {cost}");
+        assert!(
+            (cost - (12f32).ln()).abs() < 1e-5,
+            "unigram cost, got {cost}"
+        );
     }
 
     #[test]

@@ -102,7 +102,13 @@ impl Grammar {
             let src = word_state[&prev.0];
             for &next in &self.words {
                 let dst = word_state[&next.0];
-                b.add_arc(src, dst, PhoneId(next.0), next, self.transition_cost(prev, next));
+                b.add_arc(
+                    src,
+                    dst,
+                    PhoneId(next.0),
+                    next,
+                    self.transition_cost(prev, next),
+                );
             }
         }
         b.build()

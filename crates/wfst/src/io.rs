@@ -95,8 +95,7 @@ pub fn save(wfst: &Wfst, path: &Path) -> Result<()> {
 ///
 /// Returns [`WfstError::Corrupt`] for I/O or format failures.
 pub fn load(path: &Path) -> Result<Wfst> {
-    let mut f =
-        File::open(path).map_err(|e| WfstError::Corrupt(format!("open {path:?}: {e}")))?;
+    let mut f = File::open(path).map_err(|e| WfstError::Corrupt(format!("open {path:?}: {e}")))?;
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)
         .map_err(|e| WfstError::Corrupt(format!("read {path:?}: {e}")))?;

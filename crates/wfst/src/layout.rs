@@ -140,7 +140,7 @@ pub fn write_image(wfst: &Wfst, out: &mut Vec<u8>) {
     }
     let pad = (layout.arcs_base() - layout.states_base()) as usize
         - wfst.state_entries().len() * STATE_BYTES as usize;
-    out.extend(std::iter::repeat(0u8).take(pad));
+    out.extend(std::iter::repeat_n(0u8, pad));
     for arc in wfst.arc_entries() {
         out.put_u128_le(pack_arc(*arc));
     }
@@ -229,7 +229,10 @@ mod tests {
         let layout = MemoryLayout::with_counts(5, 7, 4096);
         assert_eq!(layout.states_base(), 4096);
         assert_eq!(layout.arcs_base() % 64, 0);
-        assert_eq!(layout.state_addr(StateId(1)) - layout.state_addr(StateId(0)), 8);
+        assert_eq!(
+            layout.state_addr(StateId(1)) - layout.state_addr(StateId(0)),
+            8
+        );
         assert_eq!(layout.arc_addr(ArcId(1)) - layout.arc_addr(ArcId(0)), 16);
         assert!(layout.arcs_base() >= layout.states_base() + 5 * STATE_BYTES);
     }

@@ -257,10 +257,7 @@ mod tests {
     #[test]
     fn transcript_maps_ids_to_spellings() {
         let lex = demo_lexicon();
-        let ids = vec![
-            lex.word_id("call").unwrap(),
-            lex.word_id("mom").unwrap(),
-        ];
+        let ids = vec![lex.word_id("call").unwrap(), lex.word_id("mom").unwrap()];
         assert_eq!(lex.transcript(&ids), vec!["call", "mom"]);
         assert_eq!(lex.transcript(&[WordId(9999)]), vec!["<?>"]);
     }

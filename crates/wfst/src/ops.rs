@@ -72,11 +72,7 @@ pub fn coaccessible_states(wfst: &Wfst) -> Vec<bool> {
 pub fn connect(wfst: &Wfst) -> Result<Wfst> {
     let acc = accessible_states(wfst);
     let coacc = coaccessible_states(wfst);
-    let keep: Vec<bool> = acc
-        .iter()
-        .zip(&coacc)
-        .map(|(&a, &c)| a && c)
-        .collect();
+    let keep: Vec<bool> = acc.iter().zip(&coacc).map(|(&a, &c)| a && c).collect();
     if !keep[wfst.start().index()] {
         return Err(WfstError::NoFinalStates);
     }
@@ -96,7 +92,13 @@ pub fn connect(wfst: &Wfst) -> Result<Wfst> {
         let old = StateId::from_index(idx);
         for arc in wfst.arcs(old) {
             if keep[arc.dest.index()] {
-                b.add_arc(src, StateId(remap[arc.dest.index()]), arc.ilabel, arc.olabel, arc.weight);
+                b.add_arc(
+                    src,
+                    StateId(remap[arc.dest.index()]),
+                    arc.ilabel,
+                    arc.olabel,
+                    arc.weight,
+                );
             }
         }
         let f = wfst.final_cost(old);
@@ -118,7 +120,10 @@ pub fn connect(wfst: &Wfst) -> Result<Wfst> {
 ///
 /// Panics if `scale` is not finite or is negative.
 pub fn scale_weights(wfst: &Wfst, scale: f32) -> Result<Wfst> {
-    assert!(scale.is_finite() && scale >= 0.0, "scale must be finite and non-negative");
+    assert!(
+        scale.is_finite() && scale >= 0.0,
+        "scale must be finite and non-negative"
+    );
     let mut b = WfstBuilder::with_capacity(wfst.num_states());
     b.add_states(wfst.num_states());
     b.set_start(wfst.start());
@@ -199,7 +204,13 @@ pub fn reverse(wfst: &Wfst) -> Result<Wfst> {
     for idx in 0..wfst.num_states() {
         let s = StateId::from_index(idx);
         for arc in wfst.arcs(s) {
-            b.add_arc(shift(arc.dest), shift(s), arc.ilabel, arc.olabel, arc.weight);
+            b.add_arc(
+                shift(arc.dest),
+                shift(s),
+                arc.ilabel,
+                arc.olabel,
+                arc.weight,
+            );
         }
     }
     b.build()

@@ -310,7 +310,7 @@ mod tests {
         let mut sorted = degrees.clone();
         sorted.sort_unstable();
         assert_eq!(degrees, sorted);
-        assert!(degrees.iter().all(|&d| d >= 1 && d <= 4));
+        assert!(degrees.iter().all(|&d| (1..=4).contains(&d)));
     }
 
     #[test]

@@ -161,7 +161,6 @@ impl DegreeDistribution {
     }
 }
 
-
 fn power_law_cdf(lo: usize, hi: usize, alpha: f64) -> Vec<f64> {
     let mut cdf = Vec::with_capacity(hi - lo + 1);
     let mut acc = 0.0;
@@ -338,8 +337,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SynthWfst::generate(&SynthConfig::with_states(2_000)).unwrap();
-        let b =
-            SynthWfst::generate(&SynthConfig::with_states(2_000).with_seed(99)).unwrap();
+        let b = SynthWfst::generate(&SynthConfig::with_states(2_000).with_seed(99)).unwrap();
         assert_ne!(
             a.arc_entries()[0].weight.to_bits(),
             b.arc_entries()[0].weight.to_bits()
@@ -397,10 +395,7 @@ mod tests {
     #[test]
     fn every_state_has_an_emitting_arc() {
         let w = small();
-        assert!(w
-            .state_entries()
-            .iter()
-            .all(|s| s.num_emitting >= 1));
+        assert!(w.state_entries().iter().all(|s| s.num_emitting >= 1));
     }
 
     #[test]

@@ -52,11 +52,11 @@ fn container_bytes_are_frozen() {
     expected.extend_from_slice(&1u64.to_le_bytes()); // final count
     expected.extend_from_slice(&1u32.to_le_bytes()); // final state id
     expected.extend_from_slice(&1.5f32.to_le_bytes()); // final cost
-    // State array: s0 = (first 0, 1 emitting, 0 eps); s1 = (first 1, 0, 0).
+                                                       // State array: s0 = (first 0, 1 emitting, 0 eps); s1 = (first 1, 0, 0).
     expected.extend_from_slice(&0x0000_0001_0000_0000u64.to_le_bytes());
     expected.extend_from_slice(&0x0000_0000_0000_0001u64.to_le_bytes());
     // Pad the state array to the next 64-byte boundary (2 x 8 -> 64).
-    expected.extend(std::iter::repeat(0u8).take(48));
+    expected.extend(std::iter::repeat_n(0u8, 48));
     // Arc record.
     let arc_word = ((7u128) << 96) | ((3u128) << 64) | ((2.5f32.to_bits() as u128) << 32) | 1;
     expected.extend_from_slice(&arc_word.to_le_bytes());

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("Arc cache capacity (final design):");
-    println!("{:>10} {:>12} {:>10} {:>10}", "capacity", "cycles", "power", "area");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "capacity", "cycles", "power", "area"
+    );
     for kb in [256usize, 512, 1024, 2048, 4096] {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(beam);
         cfg.arc_cache.capacity = kb * 1024;
@@ -61,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cfg = AcceleratorConfig::for_design(DesignPoint::Base).with_beam(beam);
         cfg.hash_entries = entries;
         let (cycles, power, _) = evaluate(cfg);
-        println!("{:>9}K {:>12} {:>8.0}mW", entries / 1024, cycles, power * 1e3);
+        println!(
+            "{:>9}K {:>12} {:>8.0}mW",
+            entries / 1024,
+            cycles,
+            power * 1e3
+        );
     }
 
     println!("\nreading: the Arc cache and FIFO depth move performance;");

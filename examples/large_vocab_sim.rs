@@ -53,8 +53,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let cpu = CpuModel::default().viterbi_point(arcs_per_frame);
     let gpu = GpuModel::default().viterbi_point(arcs_per_frame);
-    rows.insert(0, ("GPU".into(), gpu.decode_s_per_speech_s, gpu.energy_j_per_speech_s));
-    rows.insert(0, ("CPU".into(), cpu.decode_s_per_speech_s, cpu.energy_j_per_speech_s));
+    rows.insert(
+        0,
+        (
+            "GPU".into(),
+            gpu.decode_s_per_speech_s,
+            gpu.energy_j_per_speech_s,
+        ),
+    );
+    rows.insert(
+        0,
+        (
+            "CPU".into(),
+            cpu.decode_s_per_speech_s,
+            cpu.energy_j_per_speech_s,
+        ),
+    );
 
     let gpu_time = rows[1].1;
     let gpu_energy = rows[1].2;

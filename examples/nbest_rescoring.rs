@@ -12,10 +12,10 @@
 
 use asr_repro::decoder::nbest::NBestDecoder;
 use asr_repro::decoder::search::DecodeOptions;
+use asr_repro::pipeline::AsrPipeline;
 use asr_repro::wfst::grammar::Grammar;
 use asr_repro::wfst::lexicon::demo_lexicon;
 use asr_repro::wfst::WordId;
-use asr_repro::pipeline::AsrPipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = AsrPipeline::demo()?;
@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let words: Vec<WordId> = (1..=lexicon.num_words() as u32).map(WordId).collect();
     let mut rescorer = Grammar::uniform(&words);
     rescorer.set_backoff_penalty(2.0);
-    for (a, b) in [("lights", "on"), ("lights", "off"), ("call", "mom"), ("play", "music")] {
+    for (a, b) in [
+        ("lights", "on"),
+        ("lights", "off"),
+        ("call", "mom"),
+        ("play", "music"),
+    ] {
         rescorer.set_bigram(
             lexicon.word_id(a).unwrap(),
             lexicon.word_id(b).unwrap(),

@@ -35,11 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_arcs = 0u64;
     let mut total_frames = 0usize;
 
-    println!("{:<24} {:<24} {:>6} {:>10}", "spoken", "recognized", "WER", "cycles");
+    println!(
+        "{:<24} {:<24} {:>6} {:>10}",
+        "spoken", "recognized", "WER", "cycles"
+    );
     for cmd in &commands {
         let audio = pipeline.render_words(cmd)?;
-        let (transcript, result) =
-            pipeline.recognize_on_accelerator(&audio, cfg.clone())?;
+        let (transcript, result) = pipeline.recognize_on_accelerator(&audio, cfg.clone())?;
         let wer = pipeline.wer(cmd, &transcript);
         total_wer += wer;
         total_cycles += result.stats.cycles;

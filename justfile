@@ -1,0 +1,30 @@
+# Developer entry points for the MICRO 2016 ASR accelerator reproduction.
+# Usage: `just <target>` (or copy the command lines directly; everything is
+# plain cargo, offline, no external dependencies).
+
+# Build everything in release mode.
+build:
+    cargo build --release
+
+# Run the full workspace test suite (tier-1 verify).
+test:
+    cargo build --release && cargo test -q
+
+# Formatting and lints, as CI runs them.
+check:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Decode-throughput benchmark: token-table engine vs the HashMap
+# reference; writes BENCH_decode.json at the repo root.
+bench-decode:
+    cargo run --release -p asr-bench --bin bench_decode
+
+# Criterion microbenchmarks (hardware building blocks + decoders).
+bench-micro:
+    cargo bench -p asr-bench --bench micro
+
+# Per-figure experiment binaries land JSON under target/experiments/.
+figures:
+    cargo run --release -p asr-bench --bin fig09_decoding_time -- --scale small
+    cargo run --release -p asr-bench --bin fig10_speedup -- --scale small

@@ -135,7 +135,11 @@ impl AsrPipeline {
                 .expect("lexicon invariant: every word has a pronunciation");
             phones.extend_from_slice(&pron.1);
         }
-        Ok(Utterance::render(&phones, self.frames_per_phone, &self.signal))
+        Ok(Utterance::render(
+            &phones,
+            self.frames_per_phone,
+            &self.signal,
+        ))
     }
 
     /// Recognizes a waveform with the reference software decoder.

@@ -9,8 +9,7 @@ use asr_repro::pipeline::AsrPipeline;
 fn every_vocabulary_word_is_recognized() {
     let p = AsrPipeline::demo().unwrap();
     let vocab = [
-        "low", "less", "call", "mom", "play", "music", "stop", "go", "home", "lights", "on",
-        "off",
+        "low", "less", "call", "mom", "play", "music", "stop", "go", "home", "lights", "on", "off",
     ];
     for word in vocab {
         let audio = p.render_words(&[word]).unwrap();
@@ -34,7 +33,12 @@ fn multi_word_commands_have_zero_wer() {
     for cmd in commands {
         let audio = p.render_words(&cmd).unwrap();
         let t = p.recognize(&audio);
-        assert_eq!(p.wer(&cmd, &t), 0.0, "WER > 0 on {cmd:?}: got {:?}", t.words);
+        assert_eq!(
+            p.wer(&cmd, &t),
+            0.0,
+            "WER > 0 on {cmd:?}: got {:?}",
+            t.words
+        );
     }
 }
 

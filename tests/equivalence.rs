@@ -32,7 +32,10 @@ fn simulator_matches_decoder_across_seeds_and_designs() {
             let sim = Simulator::new(cfg).decode_wfst(&wfst, &scores).unwrap();
             assert_eq!(sim.cost, reference.cost, "seed {seed}, {design:?}");
             assert_eq!(sim.words, reference.words, "seed {seed}, {design:?}");
-            assert_eq!(sim.best_state, reference.best_state, "seed {seed}, {design:?}");
+            assert_eq!(
+                sim.best_state, reference.best_state,
+                "seed {seed}, {design:?}"
+            );
             assert_eq!(sim.reached_final, reference.reached_final);
         }
     }
@@ -43,8 +46,12 @@ fn idealizations_never_change_function() {
     let (wfst, scores) = workload(5_000, 12, 77);
     let reference = ViterbiDecoder::new(DecodeOptions::with_beam(6.0)).decode(&wfst, &scores);
     let cfgs = [
-        AcceleratorConfig::default().with_beam(6.0).with_perfect_caches(),
-        AcceleratorConfig::default().with_beam(6.0).with_ideal_hash(),
+        AcceleratorConfig::default()
+            .with_beam(6.0)
+            .with_perfect_caches(),
+        AcceleratorConfig::default()
+            .with_beam(6.0)
+            .with_ideal_hash(),
         AcceleratorConfig::final_design()
             .with_beam(6.0)
             .with_perfect_caches()
@@ -75,8 +82,7 @@ fn beam_width_changes_work_not_result_validity() {
     // must keep simulator and decoder in lockstep.
     let (wfst, scores) = workload(3_000, 10, 13);
     for beam in [2.0f32, 4.0, 8.0, 16.0] {
-        let reference =
-            ViterbiDecoder::new(DecodeOptions::with_beam(beam)).decode(&wfst, &scores);
+        let reference = ViterbiDecoder::new(DecodeOptions::with_beam(beam)).decode(&wfst, &scores);
         let cfg = AcceleratorConfig::final_design().with_beam(beam);
         let sim = Simulator::new(cfg).decode_wfst(&wfst, &scores).unwrap();
         assert_eq!(sim.cost, reference.cost, "beam {beam}");

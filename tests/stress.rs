@@ -35,7 +35,7 @@ fn undersized_hash_overflows_but_stays_correct() {
 
 #[test]
 fn tiny_caches_thrash_but_stay_correct() {
-    let wfst = SynthWfst::generate(&SynthConfig::with_states(20_000).with_seed(5)).unwrap();
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(20_000).with_seed(7)).unwrap();
     let scores = AcousticTable::random(10, wfst.num_phones() as usize, (0.5, 4.0), 6);
     let reference = ViterbiDecoder::new(DecodeOptions::with_beam(10.0)).decode(&wfst, &scores);
     let mut cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc).with_beam(10.0);
