@@ -46,7 +46,8 @@ pub enum HwPrefetcher {
     None,
     /// Next-line: on a demand miss to line `L`, also fetch `L + 1`.
     NextLine,
-    /// Stride: on a miss, fetch `L + (L - previous miss line)` [23].
+    /// Stride: on a miss, fetch `L + (L - previous miss line)`
+    /// (reference \[23\] of the paper).
     Stride,
 }
 

@@ -164,7 +164,12 @@ fn main() {
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    // Rewriting the file must not drop bench_serving's spliced section.
+    let serving = asr_bench::extract_json_section(&path, "serving");
     std::fs::write(&path, json).expect("write BENCH_decode.json");
+    if let Some(serving) = serving {
+        asr_bench::splice_json_section(&path, "serving", &serving);
+    }
     println!("\nheadline speedup at 50k states, beam {BEAM}: {headline:.2}x");
     println!("[wrote {}]", path.display());
 }

@@ -1,0 +1,185 @@
+//! Serving-path benchmark: what the persistent pools buy.
+//!
+//! Quantifies the two pooling layers of the serving pipeline on the
+//! acceptance workload (50k-state Kaldi-statistics graph, beam 8):
+//!
+//! * **pool vs spawn** — the persistent-lane `ParallelDecoder` against
+//!   its retired spawn-two-thread-rounds-per-frame strategy, and against
+//!   the sequential `ViterbiDecoder` it must beat wall-clock;
+//! * **pooled vs fresh scratch** — the facade's `ScratchPool` serving
+//!   path against per-request scratch allocation;
+//! * **streaming session** — rows through `StreamingDecode` with a
+//!   pooled scratch, the facade's `open_session` shape.
+//!
+//! Results are spliced into `BENCH_decode.json` (section `"serving"`)
+//! next to the decode-throughput trajectory.
+//!
+//! ```text
+//! cargo run --release -p asr-bench --bin bench_serving
+//! ```
+
+use asr_acoustic::scores::AcousticTable;
+use asr_decoder::parallel::ParallelDecoder;
+use asr_decoder::pool::{ScratchPool, WorkerPool};
+use asr_decoder::search::{DecodeOptions, DecodeResult, ViterbiDecoder};
+use asr_decoder::stream::StreamingDecode;
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use asr_wfst::Wfst;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const STATES: usize = 50_000;
+const FRAMES: usize = 50;
+const BEAM: f32 = 8.0;
+const REPS: usize = 7;
+
+#[derive(Debug, Clone, Serialize)]
+struct Sample {
+    seconds: f64,
+    frames_per_second: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    benchmark: String,
+    unit: String,
+    states: usize,
+    frames: usize,
+    beam: f32,
+    /// Lanes the pooled/spawning parallel decoders use (the machine's
+    /// available parallelism).
+    parallel_lanes: usize,
+    /// Sequential decoder, fresh scratch per request (the pre-pool
+    /// serving path, and the wall-clock bar the pool must beat).
+    sequential_fresh_scratch: Sample,
+    /// Sequential decoder through the facade's `ScratchPool`.
+    sequential_pooled_scratch: Sample,
+    /// Streaming rows through `StreamingDecode` with a pooled scratch.
+    session_pooled: Sample,
+    /// Persistent-pool `ParallelDecoder::decode`.
+    parallel_pool: Sample,
+    /// Retired spawn-per-frame `ParallelDecoder::decode_spawning`.
+    parallel_spawn: Sample,
+    /// parallel_pool over parallel_spawn throughput.
+    pool_vs_spawn_speedup: f64,
+    /// sequential_pooled_scratch over sequential_fresh_scratch.
+    pooled_vs_fresh_scratch_speedup: f64,
+    /// parallel_pool over sequential_fresh_scratch — the acceptance
+    /// headline: the persistent pool must beat the sequential decoder.
+    parallel_vs_sequential_speedup: f64,
+    /// All strategies agreed with the sequential result byte-for-byte.
+    equivalent: bool,
+}
+
+fn time_decode(reps: usize, mut run: impl FnMut() -> DecodeResult) -> (Sample, DecodeResult) {
+    let mut result = run(); // untimed warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (
+        Sample {
+            seconds: best,
+            frames_per_second: FRAMES as f64 / best,
+        },
+        result,
+    )
+}
+
+fn stream_decode(wfst: &Wfst, scores: &AcousticTable, pool: &ScratchPool) -> DecodeResult {
+    let mut decode = StreamingDecode::new(wfst, DecodeOptions::with_beam(BEAM), pool.checkout());
+    for frame in 0..FRAMES - 1 {
+        decode.step(scores.frame_row(frame));
+    }
+    let (result, scratch) = decode.finish(Some(scores.frame_row(FRAMES - 1)));
+    pool.restore(scratch);
+    result
+}
+
+fn main() {
+    asr_bench::banner(
+        "bench_serving",
+        "persistent pools vs per-request construction on the serving path",
+        "Section VI (pipelined system), software serving twin",
+    );
+    let wfst: Wfst =
+        SynthWfst::generate(&SynthConfig::with_states(STATES).with_seed(0xBEA7)).unwrap();
+    let scores = AcousticTable::random(FRAMES, wfst.num_phones() as usize, (0.5, 4.0), 0xACC0);
+    let opts = DecodeOptions::with_beam(BEAM);
+    let lanes = WorkerPool::default_lanes();
+
+    let sequential = ViterbiDecoder::new(opts.clone());
+    let (fresh, fresh_result) = time_decode(REPS, || sequential.decode(&wfst, &scores));
+
+    let scratch_pool = ScratchPool::new(wfst.num_states());
+    let (pooled, pooled_result) = time_decode(REPS, || {
+        let mut scratch = scratch_pool.scratch();
+        sequential.decode_with(&mut scratch, &wfst, &scores)
+    });
+
+    let (session, session_result) =
+        time_decode(REPS, || stream_decode(&wfst, &scores, &scratch_pool));
+
+    let parallel = ParallelDecoder::new(opts, lanes);
+    let (pool, pool_result) = time_decode(REPS, || parallel.decode(&wfst, &scores));
+    let (spawn, spawn_result) = time_decode(REPS, || parallel.decode_spawning(&wfst, &scores));
+
+    let equivalent = [&pooled_result, &session_result, &pool_result, &spawn_result]
+        .iter()
+        .all(|r| {
+            r.cost.to_bits() == fresh_result.cost.to_bits()
+                && r.words == fresh_result.words
+                && r.best_state == fresh_result.best_state
+        });
+
+    let report = Report {
+        benchmark: "serving_throughput".to_owned(),
+        unit: "frames_per_second".to_owned(),
+        states: STATES,
+        frames: FRAMES,
+        beam: BEAM,
+        parallel_lanes: lanes,
+        pool_vs_spawn_speedup: pool.frames_per_second / spawn.frames_per_second,
+        pooled_vs_fresh_scratch_speedup: pooled.frames_per_second / fresh.frames_per_second,
+        parallel_vs_sequential_speedup: pool.frames_per_second / fresh.frames_per_second,
+        sequential_fresh_scratch: fresh,
+        sequential_pooled_scratch: pooled,
+        session_pooled: session,
+        parallel_pool: pool,
+        parallel_spawn: spawn,
+        equivalent,
+    };
+
+    println!(
+        "{STATES} states, {FRAMES} frames, beam {BEAM}, {lanes} lane(s)\n\
+         sequential fresh scratch  {:>9.1} fps\n\
+         sequential pooled scratch {:>9.1} fps  ({:.2}x over fresh)\n\
+         session (pooled scratch)  {:>9.1} fps\n\
+         parallel persistent pool  {:>9.1} fps  ({:.2}x over sequential fresh)\n\
+         parallel spawn-per-frame  {:>9.1} fps  (pool is {:.2}x faster)\n\
+         equivalent to sequential: {}",
+        report.sequential_fresh_scratch.frames_per_second,
+        report.sequential_pooled_scratch.frames_per_second,
+        report.pooled_vs_fresh_scratch_speedup,
+        report.session_pooled.frames_per_second,
+        report.parallel_pool.frames_per_second,
+        report.parallel_vs_sequential_speedup,
+        report.parallel_spawn.frames_per_second,
+        report.pool_vs_spawn_speedup,
+        report.equivalent,
+    );
+    if report.parallel_vs_sequential_speedup < 1.0 {
+        println!(
+            "WARNING: persistent-pool parallel decoder did not beat the \
+             sequential decoder on this machine"
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    asr_bench::splice_json_section(&path, "serving", &json);
+    println!("[spliced section \"serving\" into {}]", path.display());
+}

@@ -200,6 +200,67 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     println!("\n[wrote {}]", path.display());
 }
 
+/// Splices `"key": value` in as the **last** member of the top-level JSON
+/// object in `file`, replacing any section this helper added before.
+///
+/// The offline `serde_json` shim serializes but does not parse, so
+/// benchmarks that co-locate their numbers in one file (`bench_serving`
+/// appending to `BENCH_decode.json`) splice textually: everything from a
+/// previously spliced `"key"` onward is dropped, then the new section is
+/// appended before the closing brace. `value_json` is re-indented one
+/// level so the result stays readable.
+///
+/// # Panics
+///
+/// Panics if the existing file does not end with a top-level `}`.
+pub fn splice_json_section(file: &std::path::Path, key: &str, value_json: &str) {
+    // Top-level members are indented exactly two spaces, so this matches
+    // whether or not a member (and its comma) precedes the spliced key.
+    let marker = format!("\n  \"{key}\":");
+    let body = match std::fs::read_to_string(file) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            match trimmed.find(&marker) {
+                Some(at) => {
+                    let base = existing[..at].trim_end();
+                    base.strip_suffix(',').unwrap_or(base).trim_end().to_owned()
+                }
+                None => trimmed
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("{} is not a JSON object", file.display()))
+                    .trim_end()
+                    .to_owned(),
+            }
+        }
+        Err(_) => "{".to_owned(),
+    };
+    let indented = value_json.replace('\n', "\n  ");
+    let separator = if body.trim_end().ends_with('{') {
+        ""
+    } else {
+        ","
+    };
+    let merged = format!("{body}{separator}\n  \"{key}\": {indented}\n}}\n");
+    std::fs::write(file, merged).expect("write spliced json");
+}
+
+/// Extracts the value of a top-level `key` previously added with
+/// [`splice_json_section`], de-indented so it can be re-spliced verbatim.
+/// `None` when the file or the section is absent.
+///
+/// Used by writers that regenerate a whole file (`bench_decode`) to
+/// carry foreign sections (`bench_serving`'s numbers) across the rewrite.
+pub fn extract_json_section(file: &std::path::Path, key: &str) -> Option<String> {
+    let existing = std::fs::read_to_string(file).ok()?;
+    let marker = format!("\n  \"{key}\": ");
+    let value_start = existing.find(&marker)? + marker.len();
+    // Spliced sections are always the last member: the value runs to the
+    // object's closing brace.
+    let value_end = existing.trim_end().strip_suffix('}')?.trim_end().len();
+    let value = existing.get(value_start..value_end)?.trim_end();
+    Some(value.replace("\n  ", "\n"))
+}
+
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, title: &str, paper: &str) {
     println!("================================================================");
@@ -232,6 +293,61 @@ mod tests {
         assert_eq!(wfst.num_states(), 5_000);
         assert_eq!(scores.num_frames(), 10);
         assert!(scores.num_phones() >= wfst.num_phones() as usize);
+    }
+
+    #[test]
+    fn splice_json_section_appends_and_replaces() {
+        let path = std::env::temp_dir().join(format!(
+            "asr-bench-splice-{}-{}.json",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // Missing file: creates a fresh object.
+        splice_json_section(&path, "serving", "{\n  \"a\": 1\n}");
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert!(first.contains("\"serving\""));
+        assert!(first.trim_end().ends_with('}'));
+        // Existing object: appended after prior members.
+        std::fs::write(&path, "{\n  \"benchmark\": \"x\"\n}\n").unwrap();
+        splice_json_section(&path, "serving", "{\n  \"a\": 1\n}");
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert!(second.contains("\"benchmark\": \"x\","));
+        assert!(second.contains("\"serving\""));
+        // Re-splicing replaces rather than duplicates.
+        splice_json_section(&path, "serving", "{\n  \"a\": 2\n}");
+        let third = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(third.matches("\"serving\"").count(), 1);
+        assert!(third.contains("\"a\": 2"));
+        assert!(!third.contains("\"a\": 1"));
+        // Re-splicing a file the helper itself created (key is the first
+        // member, no leading comma) must also replace, not duplicate.
+        let _ = std::fs::remove_file(&path);
+        splice_json_section(&path, "serving", "{\n  \"a\": 3\n}");
+        splice_json_section(&path, "serving", "{\n  \"a\": 4\n}");
+        let fourth = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(fourth.matches("\"serving\"").count(), 1);
+        assert!(fourth.contains("\"a\": 4"));
+        assert!(!fourth.contains("\"a\": 3"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extract_json_section_round_trips_through_splice() {
+        let path =
+            std::env::temp_dir().join(format!("asr-bench-extract-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\n  \"benchmark\": \"x\"\n}\n").unwrap();
+        let value = "{\n  \"a\": 1,\n  \"nested\": {\n    \"b\": 2\n  }\n}";
+        splice_json_section(&path, "serving", value);
+        assert_eq!(
+            extract_json_section(&path, "serving").as_deref(),
+            Some(value),
+            "extraction must undo the splice's re-indentation exactly"
+        );
+        assert!(extract_json_section(&path, "absent").is_none());
+        let _ = std::fs::remove_file(&path);
+        assert!(extract_json_section(&path, "serving").is_none());
     }
 
     #[test]

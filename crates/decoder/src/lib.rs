@@ -42,12 +42,20 @@
 //!   compaction GC;
 //! * [`token_table`]: the epoch-tagged flat token store;
 //! * [`search`]: the beam search itself ([`search::ViterbiDecoder`]);
-//! * [`reference`]: the retained seed `HashMap` decoder
+//! * [`reference`](mod@reference): the retained seed `HashMap` decoder
 //!   ([`reference::ReferenceDecoder`]), the equivalence and benchmark
 //!   baseline;
 //! * [`parallel`]: a multi-threaded variant standing in for the GPU
 //!   decoder's arc-parallel traversal, sharding the token table by state
-//!   range for lock-free per-shard relaxation;
+//!   range for lock-free per-shard relaxation on a persistent worker
+//!   pool;
+//! * [`pool`]: the serving substrate — the long-lived fork-join
+//!   [`pool::WorkerPool`] behind the parallel decoder and the
+//!   checkout/restore [`pool::ScratchPool`] that makes repeated facade
+//!   decodes allocation-free;
+//! * [`stream`]: the batch frame loop cut open for streaming
+//!   ([`stream::StreamingDecode`]): rows in, partial hypotheses out,
+//!   byte-identical finalization;
 //! * [`wer`]: word-error-rate scoring used by functional tests.
 //!
 //! # Example
@@ -65,7 +73,7 @@
 //! # Ok::<(), asr_wfst::WfstError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod align;
@@ -73,7 +81,9 @@ pub mod confidence;
 pub mod lattice;
 pub mod nbest;
 pub mod parallel;
+pub mod pool;
 pub mod reference;
 pub mod search;
+pub mod stream;
 pub mod token_table;
 pub mod wer;

@@ -1,20 +1,20 @@
-//! Multi-threaded arc expansion over a sharded token table: the GPU
-//! decoder's stand-in.
+//! Multi-threaded arc expansion over a sharded token table, driven by a
+//! persistent worker pool: the GPU decoder's stand-in, built to serve.
 //!
 //! The paper's GPU baseline (Chong et al.) parallelizes the per-frame arc
 //! expansion across thousands of threads, then reconciles destination
 //! tokens with atomic min operations. This module reproduces that
 //! execution shape on CPU threads with the token-table engine:
 //!
-//! 1. **Expansion fan-out**: the sorted frontier is split into per-worker
-//!    chunks; each worker expands its tokens' emitting arcs and routes the
-//!    candidates into per-`(worker, shard)` buffers, where a shard is a
+//! 1. **Expansion fan-out**: the sorted frontier is split into per-lane
+//!    chunks; each lane expands its tokens' emitting arcs and routes the
+//!    candidates into per-`(lane, shard)` buffers, where a shard is a
 //!    contiguous range of state ids.
-//! 2. **Lock-free sharded relax**: each worker then owns exactly one
-//!    shard of the next frame's epoch-tagged
+//! 2. **Lock-free sharded relax**: each lane then owns exactly one shard
+//!    of the next frame's epoch-tagged
 //!    [`crate::token_table::TokenTable`] and relaxes every candidate
 //!    destined for it — no locks, no atomics, and candidates are consumed
-//!    in `(worker, arc)` order, which for any one destination state is the
+//!    in `(lane, arc)` order, which for any one destination state is the
 //!    same relative order the sequential decoder uses, so tie-breaking is
 //!    identical. Prune-on-insert applies per shard against the shard's
 //!    running best.
@@ -24,21 +24,39 @@
 //!    same frozen `emitting_best + beam` threshold as the sequential
 //!    decoder, making the closure byte-identical.
 //!
+//! # Persistent execution
+//!
+//! Earlier revisions spawned two rounds of scoped threads *per frame*;
+//! at real workloads the spawn cost dwarfed the search itself. The decoder
+//! now owns a [`WorkerPool`] whose lanes live as long as the decoder: a
+//! frame phase is one fork-join job (two condvar signals), lane 0 runs on
+//! the calling thread, and a one-lane decoder executes entirely inline
+//! with no synchronization at all. All frame-loop buffers — candidate
+//! matrices, shard tables, the resolved double buffer, the frontier — are
+//! likewise owned by the decoder and persist across `decode` calls, so a
+//! serving loop pays the allocation cost once. The retired
+//! spawn-per-frame strategy is kept as
+//! [`ParallelDecoder::decode_spawning`], the benchmark baseline that
+//! `bench_serving` quantifies the pool against.
+//!
 //! Results are bit-identical to the sequential
-//! [`crate::search::ViterbiDecoder`] in cost and word sequence — used both
-//! as a correctness cross-check and by `asr-platform` to reason about
-//! parallel efficiency of the search (the paper: a modest 3.7-10x on GPU
-//! versus 26x for the DNN). All frame-loop buffers (candidate matrices,
-//! shard tables, frontier) are reused across frames.
+//! [`crate::search::ViterbiDecoder`] in cost and word sequence — for any
+//! lane count, strategy, and machine — used both as a correctness
+//! cross-check and by `asr-platform` to reason about parallel efficiency
+//! of the search (the paper: a modest 3.7-10x on GPU versus 26x for the
+//! DNN).
 
 use crate::lattice::{CompactScratch, Lattice, TraceId};
+use crate::pool::WorkerPool;
 use crate::search::{
-    build_frontier, epsilon_closure, finish, maybe_gc, DecodeOptions, DecodeResult, DecodeStats,
-    FrameStats,
+    build_frontier, epsilon_closure, finish, maybe_gc, relax_frame, DecodeOptions, DecodeResult,
+    DecodeStats, FrameStats,
 };
 use crate::token_table::TokenTable;
 use asr_acoustic::scores::AcousticTable;
 use asr_wfst::{StateId, Wfst, WordId};
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
 
 /// A deferred backpointer: the lattice entry is allocated at the frame
 /// barrier, after the owning shard's relax settles the winner.
@@ -53,7 +71,7 @@ const PENDING_NONE: Pending = Pending {
     word: WordId::NONE,
 };
 
-/// A candidate token produced by one expansion worker.
+/// A candidate token produced by one expansion lane.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     dest: u32,
@@ -62,165 +80,337 @@ struct Candidate {
     word: WordId,
 }
 
-/// Parallel beam-search decoder.
-#[derive(Debug, Clone)]
+/// Interior-mutable slot accessed by exactly one pool lane per phase.
+///
+/// The parallel phases index these by lane id, so accesses are disjoint by
+/// construction; the coordinator touches them only between fork-joins,
+/// when it holds `&mut`.
+struct LaneCell<T>(UnsafeCell<T>);
+
+// SAFETY: every `&mut` projection is taken by at most one lane at a time
+// (callers index by lane id), and shared reads never overlap writes (the
+// fork-join barrier separates the phases).
+unsafe impl<T: Send> Sync for LaneCell<T> {}
+
+impl<T> LaneCell<T> {
+    fn new(value: T) -> Self {
+        Self(UnsafeCell::new(value))
+    }
+
+    /// Exclusive access from the lane that owns this cell for the current
+    /// phase.
+    ///
+    /// # Safety
+    ///
+    /// No other reference to the contents may exist for the duration.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn lane_mut(&self) -> &mut T {
+        unsafe { &mut *self.0.get() }
+    }
+
+    /// Shared access during a phase in which no lane mutates this cell.
+    ///
+    /// # Safety
+    ///
+    /// No mutable reference to the contents may exist for the duration.
+    unsafe fn lane_ref(&self) -> &T {
+        unsafe { &*self.0.get() }
+    }
+
+    fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for LaneCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // SAFETY: `&self` with no phase in flight (Debug runs on the
+        // coordinator between decodes).
+        unsafe { self.lane_ref() }.fmt(f)
+    }
+}
+
+/// Per-decoder working set, persistent across `decode` calls.
+#[derive(Debug)]
+struct ParallelScratch {
+    /// State count the buffers are currently sized for (`usize::MAX`
+    /// before first use).
+    sized_for: usize,
+    shard_len: usize,
+    /// Resolved double buffer (the sequential engine's table pair).
+    cur: TokenTable<TraceId>,
+    next: TokenTable<TraceId>,
+    /// One pending-token shard per lane.
+    shards: Vec<LaneCell<TokenTable<Pending>>>,
+    /// Candidate buffers: `candidates[lane][shard]`.
+    candidates: Vec<LaneCell<Vec<Vec<Candidate>>>>,
+    frontier: Vec<u32>,
+    worklist: Vec<u32>,
+    gc_roots: Vec<TraceId>,
+    gc: CompactScratch,
+}
+
+impl ParallelScratch {
+    fn new() -> Self {
+        Self {
+            sized_for: usize::MAX,
+            shard_len: 1,
+            cur: TokenTable::new(0, TraceId::ROOT),
+            next: TokenTable::new(0, TraceId::ROOT),
+            shards: Vec::new(),
+            candidates: Vec::new(),
+            frontier: Vec::new(),
+            worklist: Vec::new(),
+            gc_roots: Vec::new(),
+            gc: CompactScratch::new(),
+        }
+    }
+
+    /// (Re)builds the tables when the graph size changes; a serving loop
+    /// over one graph hits this once.
+    fn ensure(&mut self, lanes: usize, num_states: usize) {
+        if self.sized_for == num_states && self.shards.len() == lanes {
+            return;
+        }
+        let shard_len = num_states.div_ceil(lanes).max(1);
+        self.cur = TokenTable::new(num_states, TraceId::ROOT);
+        self.next = TokenTable::new(num_states, TraceId::ROOT);
+        self.shards = (0..lanes)
+            .map(|s| {
+                let base = (s * shard_len).min(num_states);
+                let len = num_states.saturating_sub(base).min(shard_len);
+                LaneCell::new(TokenTable::new_shard(base as u32, len, PENDING_NONE))
+            })
+            .collect();
+        self.candidates = (0..lanes)
+            .map(|_| LaneCell::new(vec![Vec::new(); lanes]))
+            .collect();
+        self.sized_for = num_states;
+        self.shard_len = shard_len;
+    }
+}
+
+/// How a frame phase is executed across lanes.
+trait Fork {
+    fn lanes(&self) -> usize;
+    /// Runs `f(lane)` for every lane and waits for all of them.
+    fn fork(&mut self, f: &(impl Fn(usize) + Sync));
+}
+
+/// The serving strategy: persistent lanes, condvar handoff.
+struct PoolFork<'a>(&'a mut WorkerPool);
+
+impl Fork for PoolFork<'_> {
+    fn lanes(&self) -> usize {
+        self.0.lanes()
+    }
+
+    fn fork(&mut self, f: &(impl Fn(usize) + Sync)) {
+        self.0.run(f);
+    }
+}
+
+/// The retired baseline strategy: scoped thread spawns per phase.
+struct SpawnFork {
+    lanes: usize,
+}
+
+impl Fork for SpawnFork {
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn fork(&mut self, f: &(impl Fn(usize) + Sync)) {
+        if self.lanes == 1 {
+            f(0);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.lanes - 1);
+            for lane in 1..self.lanes {
+                handles.push(scope.spawn(move || f(lane)));
+            }
+            f(0);
+            for handle in handles {
+                handle.join().expect("expansion lane panicked");
+            }
+        });
+    }
+}
+
+/// Parallel beam-search decoder over a persistent worker pool.
+///
+/// Construction spawns the pool; every [`ParallelDecoder::decode`] call
+/// reuses its lanes and buffers. The decoder is `Sync` — concurrent
+/// callers serialize on an internal lock, each decode getting exclusive
+/// use of the pool.
+#[derive(Debug)]
 pub struct ParallelDecoder {
     opts: DecodeOptions,
-    num_threads: usize,
+    lanes: usize,
+    engine: Mutex<Engine>,
+}
+
+#[derive(Debug)]
+struct Engine {
+    pool: WorkerPool,
+    scratch: ParallelScratch,
 }
 
 impl ParallelDecoder {
-    /// Creates a decoder with `num_threads` expansion workers (and as many
-    /// token-table shards).
+    /// Creates a decoder with `num_threads` persistent lanes (and as many
+    /// token-table shards). Lane 0 is the calling thread, so
+    /// `num_threads - 1` worker threads are spawned; a one-lane decoder
+    /// runs fully inline.
     ///
     /// # Panics
     ///
     /// Panics if `num_threads == 0`.
     pub fn new(opts: DecodeOptions, num_threads: usize) -> Self {
         assert!(num_threads > 0, "need at least one worker");
-        Self { opts, num_threads }
+        Self {
+            opts,
+            lanes: num_threads,
+            engine: Mutex::new(Engine {
+                pool: WorkerPool::new(num_threads),
+                scratch: ParallelScratch::new(),
+            }),
+        }
     }
 
-    /// Worker count.
+    /// Creates a decoder sized to the machine's available parallelism.
+    pub fn with_default_lanes(opts: DecodeOptions) -> Self {
+        Self::new(opts, WorkerPool::default_lanes())
+    }
+
+    /// Lane count.
     pub fn num_threads(&self) -> usize {
-        self.num_threads
+        self.lanes
     }
 
-    /// Runs the search; `words`, `cost`, `best_state`, and
-    /// `reached_final` match the sequential decoder exactly.
+    /// Runs the search on the persistent pool; `words`, `cost`,
+    /// `best_state`, and `reached_final` match the sequential decoder
+    /// exactly.
+    ///
+    /// Buffers and threads persist across calls: in a serving loop over
+    /// one graph the steady state allocates only the per-decode lattice.
     pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
-        let num_states = wfst.num_states();
-        let threads = self.num_threads;
-        let shard_len = num_states.div_ceil(threads).max(1);
-        let beam = self.opts.beam;
+        // A panicked decode (bad scores, poisoned lattice) must not brick
+        // the long-lived decoder: the pool survives panicked jobs and
+        // every buffer is epoch-reset/rebuilt below, so recovering the
+        // engine from a poisoned lock is safe.
+        let mut engine = self
+            .engine
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Engine { pool, scratch } = &mut *engine;
+        scratch.ensure(self.lanes, wfst.num_states());
+        run_search(&self.opts, PoolFork(pool), scratch, wfst, scores)
+    }
 
-        // Resolved double buffer (TraceId payloads) plus one pending
-        // shard per worker; all reused across frames.
-        let mut cur: TokenTable<TraceId> = TokenTable::new(num_states, TraceId::ROOT);
-        let mut next: TokenTable<TraceId> = TokenTable::new(num_states, TraceId::ROOT);
-        let mut shards: Vec<TokenTable<Pending>> = (0..threads)
-            .map(|s| {
-                let base = (s * shard_len).min(num_states);
-                let len = num_states.saturating_sub(base).min(shard_len);
-                TokenTable::new_shard(base as u32, len, PENDING_NONE)
-            })
-            .collect();
-        // Candidate buffers: [worker][shard].
-        let mut candidates: Vec<Vec<Vec<Candidate>>> =
-            (0..threads).map(|_| vec![Vec::new(); threads]).collect();
-        let mut frontier: Vec<u32> = Vec::new();
-        let mut worklist: Vec<u32> = Vec::new();
-        let mut gc_roots: Vec<TraceId> = Vec::new();
-        let mut gc = CompactScratch::new();
-
-        let mut lattice = Lattice::new();
-        let mut stats = DecodeStats::default();
-
-        cur.begin_frame();
-        let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
-        cur.relax(wfst.start().0, 0.0, || start_trace);
-        let mut scratch_fs = FrameStats::default();
-        epsilon_closure(
+    /// Runs the search with the retired spawn-per-frame strategy: fresh
+    /// buffers and two rounds of scoped thread spawns every frame.
+    ///
+    /// Kept as the benchmark baseline (`bench_serving` records pool vs
+    /// spawn); results are byte-identical to [`ParallelDecoder::decode`].
+    pub fn decode_spawning(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
+        let mut scratch = ParallelScratch::new();
+        scratch.ensure(self.lanes, wfst.num_states());
+        run_search(
+            &self.opts,
+            SpawnFork { lanes: self.lanes },
+            &mut scratch,
             wfst,
-            &mut cur,
-            &mut lattice,
-            &mut scratch_fs,
-            f32::INFINITY,
-            &mut worklist,
-        );
+            scores,
+        )
+    }
+}
 
-        let num_frames = scores.num_frames();
-        for frame in 0..num_frames {
-            let mut fs = FrameStats {
-                active_tokens: cur.len(),
-                ..FrameStats::default()
-            };
-            build_frontier(&cur, &mut frontier, beam, self.opts.max_active);
-            fs.expanded_tokens = frontier.len();
-            if self.opts.record_state_accesses {
-                for &state in &frontier {
-                    *stats.state_accesses.entry(state).or_insert(0) += 1;
-                }
+/// The sharded frame loop, generic over the fork strategy.
+fn run_search(
+    opts: &DecodeOptions,
+    mut fork: impl Fork,
+    scratch: &mut ParallelScratch,
+    wfst: &Wfst,
+    scores: &AcousticTable,
+) -> DecodeResult {
+    let lanes = fork.lanes();
+    let shard_len = scratch.shard_len;
+    let beam = opts.beam;
+    let ParallelScratch {
+        cur,
+        next,
+        shards,
+        candidates,
+        frontier,
+        worklist,
+        gc_roots,
+        gc,
+        ..
+    } = scratch;
+
+    let mut lattice = Lattice::new();
+    let mut stats = DecodeStats::default();
+
+    cur.begin_frame();
+    let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
+    cur.relax(wfst.start().0, 0.0, || start_trace);
+    let mut scratch_fs = FrameStats::default();
+    epsilon_closure(
+        wfst,
+        cur,
+        &mut lattice,
+        &mut scratch_fs,
+        f32::INFINITY,
+        worklist,
+    );
+
+    let num_frames = scores.num_frames();
+    for frame in 0..num_frames {
+        let mut fs = FrameStats {
+            active_tokens: cur.len(),
+            ..FrameStats::default()
+        };
+        build_frontier(cur, frontier, beam, opts.max_active);
+        fs.expanded_tokens = frontier.len();
+        if opts.record_state_accesses {
+            for &state in frontier.iter() {
+                *stats.state_accesses.entry(state).or_insert(0) += 1;
             }
-            let last_frame = frame + 1 == num_frames;
+        }
+        let last_frame = frame + 1 == num_frames;
 
-            // Phase 1: fan the frontier out; each worker fills its own
-            // candidate row, routed by destination shard.
-            let chunk = frontier.len().div_ceil(threads).max(1);
-            let cur_ref = &cur;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (tokens, row) in frontier.chunks(chunk).zip(candidates.iter_mut()) {
-                    handles.push(scope.spawn(move || {
-                        for bucket in row.iter_mut() {
-                            bucket.clear();
-                        }
-                        for &state in tokens {
-                            let cost0 = cur_ref.cost(state);
-                            let trace = cur_ref.payload(state);
-                            for arc in wfst.emitting_arcs(StateId(state)) {
-                                let shard = (arc.dest.0 as usize / shard_len).min(row.len() - 1);
-                                row[shard].push(Candidate {
-                                    dest: arc.dest.0,
-                                    cost: cost0 + arc.weight + scores.cost(frame, arc.ilabel),
-                                    prev: trace,
-                                    word: arc.olabel,
-                                });
-                            }
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("expansion worker panicked");
-                }
-            });
-            // Workers beyond the frontier's chunk count never ran this
-            // frame: clear their buffers so stale candidates from a wider
-            // previous frame cannot leak in.
-            let ran = frontier.chunks(chunk).len();
-            for row in candidates.iter_mut().skip(ran) {
-                for bucket in row.iter_mut() {
-                    bucket.clear();
-                }
-            }
-            fs.arcs_traversed += candidates
-                .iter()
-                .map(|row| row.iter().map(Vec::len).sum::<usize>())
-                .sum::<usize>();
-
-            // Phase 2: lock-free relax — worker `s` exclusively owns
-            // shard `s` and drains every worker's bucket for it, in
-            // worker order (the sequential relax order restricted to the
-            // shard's states).
-            let candidates_ref = &candidates;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (s, shard) in shards.iter_mut().enumerate() {
-                    handles.push(scope.spawn(move || {
-                        shard.begin_frame();
-                        for row in candidates_ref {
-                            for c in &row[s] {
-                                if !last_frame && c.cost > shard.best() + beam {
-                                    continue;
-                                }
-                                shard.relax(c.dest, c.cost, || Pending {
-                                    prev: c.prev,
-                                    word: c.word,
-                                });
-                            }
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("relax worker panicked");
-                }
-            });
+        if lanes == 1 {
+            // Single-lane special case (the common shape on small
+            // machines): expansion relaxes straight into the resolved
+            // table with inline lattice pushes — the sequential frame
+            // body on the decoder's persistent buffers. No candidate
+            // staging, no shard, no forks: a one-lane pooled decoder is
+            // the sequential decoder plus buffer persistence, which is
+            // exactly what lets it win serving wall-clock on one core.
+            relax_frame(
+                wfst,
+                cur,
+                next,
+                frontier,
+                &mut lattice,
+                &mut fs,
+                beam,
+                last_frame,
+                scores.frame_row(frame),
+            );
+        } else {
+            run_sharded_phases(
+                &mut fork, shard_len, beam, last_frame, frame, wfst, scores, cur, shards,
+                candidates, frontier, &mut fs,
+            );
 
             // Frame barrier: fold shards (in shard order) into the
             // resolved table, allocating one lattice entry per surviving
-            // token — deterministic for any thread count.
+            // token — deterministic for any lane count.
             next.begin_frame();
-            for shard in &shards {
+            for cell in shards.iter_mut() {
+                let shard = cell.get_mut();
                 for &state in shard.active() {
                     let (cost, pending) = shard.get(state).expect("active token is live");
                     let inserted =
@@ -229,39 +419,119 @@ impl ParallelDecoder {
                     fs.tokens_created += 1;
                 }
             }
-
-            let closure_threshold = if last_frame {
-                f32::INFINITY
-            } else {
-                next.best() + beam
-            };
-            epsilon_closure(
-                wfst,
-                &mut next,
-                &mut lattice,
-                &mut fs,
-                closure_threshold,
-                &mut worklist,
-            );
-            std::mem::swap(&mut cur, &mut next);
-            stats.frames.push(fs);
-            if cur.is_empty() {
-                break;
-            }
-            if !last_frame {
-                maybe_gc(
-                    self.opts.lattice_gc_interval,
-                    frame,
-                    &mut cur,
-                    &mut lattice,
-                    &mut gc_roots,
-                    &mut frontier,
-                    &mut gc,
-                );
-            }
         }
 
-        finish(wfst, &mut cur, &mut frontier, lattice, stats)
+        let closure_threshold = if last_frame {
+            f32::INFINITY
+        } else {
+            next.best() + beam
+        };
+        epsilon_closure(
+            wfst,
+            next,
+            &mut lattice,
+            &mut fs,
+            closure_threshold,
+            worklist,
+        );
+        std::mem::swap(cur, next);
+        stats.frames.push(fs);
+        if cur.is_empty() {
+            break;
+        }
+        if !last_frame {
+            maybe_gc(
+                opts.lattice_gc_interval,
+                frame,
+                cur,
+                &mut lattice,
+                gc_roots,
+                frontier,
+                gc,
+            );
+        }
+    }
+
+    finish(wfst, cur, frontier, lattice, stats)
+}
+
+/// The two forked phases of one frame: expansion fan-out into per-lane
+/// candidate rows, then the lock-free sharded relax.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_phases(
+    fork: &mut impl Fork,
+    shard_len: usize,
+    beam: f32,
+    last_frame: bool,
+    frame: usize,
+    wfst: &Wfst,
+    scores: &AcousticTable,
+    cur: &TokenTable<TraceId>,
+    shards: &mut [LaneCell<TokenTable<Pending>>],
+    candidates: &mut [LaneCell<Vec<Vec<Candidate>>>],
+    frontier: &[u32],
+    fs: &mut FrameStats,
+) {
+    let lanes = fork.lanes();
+    // Phase 1: fan the frontier out; each lane fills its own candidate
+    // row, routed by destination shard. Every lane first clears its row,
+    // so stale candidates from a wider previous frame cannot leak in.
+    let chunk = frontier.len().div_ceil(lanes).max(1);
+    {
+        let cells: &[LaneCell<Vec<Vec<Candidate>>>] = candidates;
+        fork.fork(&|lane| {
+            // SAFETY: each lane writes only its own candidate row.
+            let row = unsafe { cells[lane].lane_mut() };
+            for bucket in row.iter_mut() {
+                bucket.clear();
+            }
+            let lo = (lane * chunk).min(frontier.len());
+            let hi = ((lane + 1) * chunk).min(frontier.len());
+            for &state in &frontier[lo..hi] {
+                let cost0 = cur.cost(state);
+                let trace = cur.payload(state);
+                for arc in wfst.emitting_arcs(StateId(state)) {
+                    let shard = (arc.dest.0 as usize / shard_len).min(lanes - 1);
+                    row[shard].push(Candidate {
+                        dest: arc.dest.0,
+                        cost: cost0 + arc.weight + scores.cost(frame, arc.ilabel),
+                        prev: trace,
+                        word: arc.olabel,
+                    });
+                }
+            }
+        });
+    }
+    fs.arcs_traversed += candidates
+        .iter_mut()
+        .map(|cell| cell.get_mut().iter().map(Vec::len).sum::<usize>())
+        .sum::<usize>();
+
+    // Phase 2: lock-free relax — lane `s` exclusively owns shard `s` and
+    // drains every lane's bucket for it, in lane order (the sequential
+    // relax order restricted to the shard's states).
+    {
+        let cells: &[LaneCell<Vec<Vec<Candidate>>>] = candidates;
+        let shard_cells: &[LaneCell<TokenTable<Pending>>] = shards;
+        fork.fork(&|lane| {
+            // SAFETY: each lane mutates only its own shard; candidate
+            // rows are read-only in this phase (writes ended at the
+            // phase-1 barrier).
+            let shard = unsafe { shard_cells[lane].lane_mut() };
+            shard.begin_frame();
+            for cell in cells {
+                let row = unsafe { cell.lane_ref() };
+                for c in &row[lane] {
+                    if !last_frame && c.cost > shard.best() + beam {
+                        continue;
+                    }
+                    shard.relax(c.dest, c.cost, || Pending {
+                        prev: c.prev,
+                        word: c.word,
+                    });
+                }
+            }
+        });
     }
 }
 
@@ -292,6 +562,20 @@ mod tests {
     }
 
     #[test]
+    fn spawning_strategy_matches_pool() {
+        let (w, scores) = workload();
+        let opts = DecodeOptions::with_beam(6.0);
+        for threads in [1, 3] {
+            let d = ParallelDecoder::new(opts.clone(), threads);
+            let pooled = d.decode(&w, &scores);
+            let spawned = d.decode_spawning(&w, &scores);
+            assert_eq!(pooled.cost, spawned.cost);
+            assert_eq!(pooled.words, spawned.words);
+            assert_eq!(pooled.lattice.len(), spawned.lattice.len());
+        }
+    }
+
+    #[test]
     fn parallel_runs_are_reproducible() {
         let (w, scores) = workload();
         let d = ParallelDecoder::new(DecodeOptions::with_beam(6.0), 4);
@@ -300,6 +584,60 @@ mod tests {
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.words, b.words);
         assert_eq!(a.lattice.len(), b.lattice.len());
+    }
+
+    #[test]
+    fn persistent_buffers_survive_graph_changes() {
+        let opts = DecodeOptions::with_beam(6.0);
+        let d = ParallelDecoder::new(opts.clone(), 2);
+        for states in [500usize, 3_000, 500] {
+            let w = SynthWfst::generate(&SynthConfig::with_states(states)).unwrap();
+            let scores = AcousticTable::random(15, w.num_phones() as usize, (0.5, 4.0), 23);
+            let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+            let par = d.decode(&w, &scores);
+            assert_eq!(par.cost, seq.cost, "{states} states");
+            assert_eq!(par.words, seq.words, "{states} states");
+        }
+    }
+
+    #[test]
+    fn concurrent_decodes_on_one_decoder_serialize_safely() {
+        let (w, scores) = workload();
+        let opts = DecodeOptions::with_beam(6.0);
+        let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let d = ParallelDecoder::new(opts, 2);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                handles.push(scope.spawn(|| d.decode(&w, &scores)));
+            }
+            for handle in handles {
+                let par = handle.join().expect("decode thread");
+                assert_eq!(par.cost, seq.cost);
+                assert_eq!(par.words, seq.words);
+            }
+        });
+    }
+
+    #[test]
+    fn decoder_survives_a_panicked_decode() {
+        let (w, scores) = workload();
+        let opts = DecodeOptions::with_beam(6.0);
+        let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        for threads in [1, 2] {
+            let d = ParallelDecoder::new(opts.clone(), threads);
+            // Scores with too few phone columns panic mid-search (out of
+            // range) while the engine lock is held...
+            let bad = AcousticTable::random(5, 1, (0.5, 4.0), 3);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.decode(&w, &bad);
+            }));
+            assert!(outcome.is_err(), "truncated score table must panic");
+            // ...but the long-lived decoder must recover and keep serving.
+            let par = d.decode(&w, &scores);
+            assert_eq!(par.cost, seq.cost, "{threads} threads");
+            assert_eq!(par.words, seq.words, "{threads} threads");
+        }
     }
 
     #[test]

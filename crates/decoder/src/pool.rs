@@ -1,0 +1,434 @@
+//! Persistent resources for the serving path: a long-lived fork-join
+//! worker pool and a checkout/restore pool of [`DecodeScratch`] working
+//! sets.
+//!
+//! The paper's end-to-end system (Section VI) wins by keeping everything
+//! warm: the accelerator's tables, the DMA buffers, and the GPU's score
+//! batches all persist across utterances, so serving a request costs only
+//! the work of that request. This module gives the software decoders the
+//! same property:
+//!
+//! * [`WorkerPool`] keeps decode threads alive across frames *and*
+//!   utterances, replacing the thread-per-frame spawns the parallel
+//!   decoder used to pay. A frame phase is one fork-join "job" announced
+//!   under a mutex and picked up by parked lanes — two condvar signals per
+//!   phase instead of two thread spawns per lane.
+//! * [`ScratchPool`] recycles warmed [`DecodeScratch`] working sets, so a
+//!   serving facade that decodes request after request performs zero
+//!   steady-state allocations in the frame loop: checkout pops a warm
+//!   scratch, restore pushes it back.
+
+use crate::search::DecodeScratch;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A fork-join job: an erased closure pointer plus its trampoline.
+///
+/// The pointer is only dereferenced between publication and the final
+/// barrier of [`WorkerPool::run`], while the borrowed closure is pinned on
+/// the coordinator's stack.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+}
+
+// SAFETY: the context pointer crosses threads, but `WorkerPool::run` does
+// not return (or unwind) until every lane has finished with it.
+unsafe impl Send for Job {}
+
+/// Coordination state shared between the coordinator and the lanes.
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    /// Signalled when a new job is published (lanes wait here).
+    work: Condvar,
+    /// Signalled when the last lane finishes (the coordinator waits here).
+    done: Condvar,
+}
+
+struct JobSlot {
+    /// Monotonic job counter; lanes run each sequence number once.
+    seq: u64,
+    job: Option<Job>,
+    /// Worker lanes still running the current job.
+    remaining: usize,
+    /// A lane's closure panicked; re-raised on the coordinator.
+    panicked: bool,
+    shutdown: bool,
+}
+
+/// Long-lived fork-join worker pool.
+///
+/// A pool of `lanes` executes closures of the form `f(lane)` for
+/// `lane in 0..lanes`: lane 0 runs inline on the calling thread (so a
+/// one-lane pool has **zero** synchronization overhead and spawns no
+/// threads at all), lanes `1..` run on persistent worker threads that park
+/// between jobs. [`WorkerPool::run`] returns only after every lane has
+/// finished — the frame barrier of the parallel decoder.
+///
+/// # Example
+///
+/// ```
+/// use asr_decoder::pool::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let mut pool = WorkerPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|lane| {
+///     hits.fetch_add(1 << lane, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 0b1111);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `lanes` execution lanes (spawning `lanes - 1`
+    /// worker threads; lane 0 is the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                seq: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asr-decode-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn decode worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            lanes,
+        }
+    }
+
+    /// The number of execution lanes (including the caller's lane 0).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The default lane count for this machine: the available hardware
+    /// parallelism, `1` when it cannot be determined.
+    pub fn default_lanes() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Runs `f(lane)` once per lane and waits for all lanes to finish.
+    ///
+    /// `&mut self` guarantees exclusive use of the pool for the duration,
+    /// which is what makes handing stack-borrowed closures to the
+    /// persistent threads sound.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic if `f` panicked on any lane (after every other
+    /// lane has finished, so borrowed data stays pinned throughout).
+    pub fn run<F: Fn(usize) + Sync>(&mut self, f: &F) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        /// Recovers the concrete closure type on a worker lane.
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), lane: usize) {
+            // SAFETY: `ctx` was erased from an `&F` that `run` keeps
+            // borrowed until after the completion barrier below.
+            let f = unsafe { &*(ctx.cast::<F>()) };
+            f(lane);
+        }
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.seq += 1;
+            slot.job = Some(Job {
+                run: trampoline::<F>,
+                ctx: (f as *const F).cast(),
+            });
+            slot.remaining = self.handles.len();
+            slot.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // Lane 0 runs inline; a panic here must still wait for the other
+        // lanes before unwinding releases the borrows they're using.
+        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut slot = self.shared.slot.lock().expect("pool lock");
+        while slot.remaining != 0 {
+            slot = self.shared.done.wait(slot).expect("pool lock");
+        }
+        slot.job = None;
+        let lane_panicked = slot.panicked;
+        drop(slot);
+        if let Err(payload) = local {
+            resume_unwind(payload);
+        }
+        assert!(!lane_panicked, "worker pool lane panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = match self.shared.slot.lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.seq != seen {
+                    seen = slot.seq;
+                    break slot.job.expect("published job");
+                }
+                slot = shared.work.wait(slot).expect("pool lock");
+            }
+        };
+        // SAFETY: the coordinator keeps the closure alive until the
+        // barrier below observes `remaining == 0`.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx, lane) }));
+        let mut slot = shared.slot.lock().expect("pool lock");
+        if outcome.is_err() {
+            slot.panicked = true;
+        }
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A checkout/restore pool of warmed [`DecodeScratch`] working sets.
+///
+/// The serving facade holds one of these per decoding graph: every
+/// `recognize` call and every streaming session checks a scratch out, and
+/// returns it when done. After the pool's high-water mark is reached, the
+/// steady state allocates nothing — checkout is a `Vec::pop`, restore a
+/// `Vec::push` within capacity, and the scratch itself keeps the token
+/// tables warm (see `tests/alloc_free.rs` and the facade's
+/// `facade_alloc` test).
+///
+/// Thread-safe: concurrent sessions each pop their own scratch; the mutex
+/// is held only for the pop/push itself.
+#[derive(Debug)]
+pub struct ScratchPool {
+    num_states: usize,
+    idle: Mutex<Vec<DecodeScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool sizing scratches for `num_states`-state
+    /// graphs.
+    pub fn new(num_states: usize) -> Self {
+        Self {
+            num_states,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The state count scratches are sized for.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of scratches currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.lock().expect("scratch pool lock").len()
+    }
+
+    /// Takes a scratch out of the pool, allocating a fresh one only when
+    /// the pool is empty (first use, or more concurrent checkouts than
+    /// ever before).
+    pub fn checkout(&self) -> DecodeScratch {
+        let recycled = self.idle.lock().expect("scratch pool lock").pop();
+        recycled.unwrap_or_else(|| DecodeScratch::new(self.num_states))
+    }
+
+    /// Returns a scratch to the pool for the next checkout to reuse.
+    pub fn restore(&self, scratch: DecodeScratch) {
+        self.idle.lock().expect("scratch pool lock").push(scratch);
+    }
+
+    /// Checks a scratch out as an RAII guard that restores it on drop.
+    pub fn scratch(&self) -> PooledScratch<'_> {
+        PooledScratch {
+            pool: self,
+            scratch: Some(self.checkout()),
+        }
+    }
+}
+
+/// RAII guard over a checked-out [`DecodeScratch`]; derefs to the scratch
+/// and restores it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<DecodeScratch>,
+}
+
+impl Deref for PooledScratch<'_> {
+    type Target = DecodeScratch;
+
+    fn deref(&self) -> &DecodeScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut DecodeScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool.restore(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_lane_runs_exactly_once() {
+        let mut pool = WorkerPool::new(4);
+        let mask = AtomicUsize::new(0);
+        pool.run(&|lane| {
+            let prev = mask.fetch_or(1 << lane, Ordering::SeqCst);
+            assert_eq!(prev & (1 << lane), 0, "lane {lane} ran twice");
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
+    }
+
+    #[test]
+    fn run_is_a_barrier_between_jobs() {
+        let mut pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for round in 0..50 {
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3);
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline_without_threads() {
+        let mut pool = WorkerPool::new(1);
+        let thread_id = std::thread::current().id();
+        let ran = AtomicUsize::new(0);
+        pool.run(&|lane| {
+            assert_eq!(lane, 0);
+            assert_eq!(std::thread::current().id(), thread_id);
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn lane_panic_propagates_to_coordinator() {
+        let outcome = catch_unwind(|| {
+            let mut pool = WorkerPool::new(2);
+            pool.run(&|lane| {
+                if lane == 1 {
+                    panic!("lane failure");
+                }
+            });
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        let mut pool = WorkerPool::new(2);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 1 {
+                    panic!("transient failure");
+                }
+            });
+        }));
+        // The pool still works after the failed job.
+        let counter = AtomicUsize::new(0);
+        pool.run(&|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn scratch_pool_recycles() {
+        let pool = ScratchPool::new(256);
+        assert_eq!(pool.idle(), 0);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        pool.restore(a);
+        pool.restore(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.checkout();
+        assert_eq!(pool.idle(), 1, "checkout reuses an idle scratch");
+    }
+
+    #[test]
+    fn pooled_scratch_guard_restores_on_drop() {
+        let pool = ScratchPool::new(64);
+        {
+            let mut guard = pool.scratch();
+            guard.ensure(64);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1);
+    }
+}

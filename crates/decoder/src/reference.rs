@@ -11,9 +11,9 @@
 //! benchmark (`BENCH_decode.json`) reports the speedup over this
 //! baseline.
 //!
-//! The only change from the seed is the `max_active` path of
-//! [`ReferenceDecoder::prune`]: survivors are now rank-selected with one
-//! `select_nth_unstable_by` instead of being fully sorted twice.
+//! The only change from the seed is the `max_active` path of the
+//! (private) `ReferenceDecoder::prune`: survivors are now rank-selected
+//! with one `select_nth_unstable_by` instead of being fully sorted twice.
 
 use crate::lattice::{Lattice, TraceId};
 use crate::search::{DecodeOptions, DecodeResult, DecodeStats, FrameStats};

@@ -153,15 +153,15 @@ pub struct DecodeResult {
 /// decoding of same-sized graphs allocation-free end to end.
 #[derive(Debug, Clone)]
 pub struct DecodeScratch {
-    cur: TokenTable<TraceId>,
-    next: TokenTable<TraceId>,
+    pub(crate) cur: TokenTable<TraceId>,
+    pub(crate) next: TokenTable<TraceId>,
     /// Beam survivors of the current frame, sorted by state id.
-    frontier: Vec<u32>,
+    pub(crate) frontier: Vec<u32>,
     /// Epsilon-closure worklist.
-    worklist: Vec<u32>,
+    pub(crate) worklist: Vec<u32>,
     /// Live trace roots handed to the lattice GC.
-    gc_roots: Vec<TraceId>,
-    gc: CompactScratch,
+    pub(crate) gc_roots: Vec<TraceId>,
+    pub(crate) gc: CompactScratch,
 }
 
 impl DecodeScratch {
@@ -178,7 +178,7 @@ impl DecodeScratch {
     }
 
     /// Grows the token tables if `num_states` exceeds their capacity.
-    fn ensure(&mut self, num_states: usize) {
+    pub(crate) fn ensure(&mut self, num_states: usize) {
         if self.cur.capacity() < num_states {
             self.cur = TokenTable::new(num_states, TraceId::ROOT);
             self.next = TokenTable::new(num_states, TraceId::ROOT);
@@ -276,24 +276,17 @@ impl ViterbiDecoder {
             // The final frame keeps every token so final-state selection
             // sees the full set, exactly like the reference.
             let last_frame = frame + 1 == num_frames;
-            next.begin_frame();
-            for &state_raw in frontier.iter() {
-                let cost0 = cur.cost(state_raw);
-                let trace = cur.payload(state_raw);
-                for arc in wfst.emitting_arcs(StateId(state_raw)) {
-                    fs.arcs_traversed += 1;
-                    let cost = cost0 + arc.weight + scores.cost(frame, arc.ilabel);
-                    // Prune-on-insert: the running frame-best can only
-                    // over-estimate the final best, so anything skipped
-                    // here is a token the next frame's prune would kill.
-                    if !last_frame && cost > next.best() + beam {
-                        continue;
-                    }
-                    if next.relax(arc.dest.0, cost, || lattice.push(trace, arc.olabel)) {
-                        fs.tokens_created += 1;
-                    }
-                }
-            }
+            relax_frame(
+                wfst,
+                cur,
+                next,
+                frontier,
+                &mut lattice,
+                &mut fs,
+                beam,
+                last_frame,
+                scores.frame_row(frame),
+            );
             // Epsilon closure under a threshold frozen at the end of the
             // emitting phase: order-independent, so the sharded parallel
             // decoder reproduces the exact same closure.
@@ -361,6 +354,47 @@ pub(crate) fn build_frontier(
         }
     }
     frontier.sort_unstable();
+}
+
+/// Expands one frame's emitting arcs from `frontier` into `next` with
+/// prune-on-insert and inline lattice pushes — the sequential frame body,
+/// shared by the batch decoder, the streaming decoder, and the parallel
+/// decoder's single-lane path so the three can never drift apart.
+///
+/// Prune-on-insert: the running frame-best can only over-estimate the
+/// final best, so anything skipped here is a token the next frame's prune
+/// would kill. The final frame keeps every token so final-state selection
+/// sees the full set, exactly like the reference.
+///
+/// `row[p]` is the acoustic cost of phone `p` this frame (an
+/// [`AcousticTable`] row or a streamed score row).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn relax_frame(
+    wfst: &Wfst,
+    cur: &TokenTable<TraceId>,
+    next: &mut TokenTable<TraceId>,
+    frontier: &[u32],
+    lattice: &mut Lattice,
+    fs: &mut FrameStats,
+    beam: f32,
+    last_frame: bool,
+    row: &[f32],
+) {
+    next.begin_frame();
+    for &state_raw in frontier {
+        let cost0 = cur.cost(state_raw);
+        let trace = cur.payload(state_raw);
+        for arc in wfst.emitting_arcs(StateId(state_raw)) {
+            fs.arcs_traversed += 1;
+            let cost = cost0 + arc.weight + row[arc.ilabel.index()];
+            if !last_frame && cost > next.best() + beam {
+                continue;
+            }
+            if next.relax(arc.dest.0, cost, || lattice.push(trace, arc.olabel)) {
+                fs.tokens_created += 1;
+            }
+        }
+    }
 }
 
 /// Transitively relaxes epsilon arcs inside one frame's token table.

@@ -1,0 +1,349 @@
+//! Incremental (streaming) decoding: the batch frame loop of
+//! [`crate::search::ViterbiDecoder`], cut open so frames can arrive one at
+//! a time.
+//!
+//! The paper's full system pipelines its stages: the GPU scores acoustic
+//! batch *i + 1* while the accelerator searches batch *i*, handing score
+//! rows over through the double-buffered Acoustic Likelihood Buffer. A
+//! [`StreamingDecode`] is the search side of that handoff — it consumes
+//! score rows as they are produced and keeps the full decode state (token
+//! tables, lattice, statistics) alive between rows, so hypotheses can be
+//! read out mid-utterance.
+//!
+//! # Byte-identical to the batch decoder
+//!
+//! The batch decoder treats the final frame specially (prune-on-insert
+//! off, unbounded epsilon-closure threshold) so end-of-utterance
+//! final-state selection sees every token. A stream does not know which
+//! frame is last — so the caller holds back one row:
+//! [`StreamingDecode::step`] advances one *non-final* frame, and
+//! [`StreamingDecode::finish`] takes the held-back final row and applies
+//! the batch decoder's last-frame semantics. Feeding rows `0..n-1` through
+//! `step` and row `n-1` through `finish` produces a [`DecodeResult`] that
+//! is byte-identical — `words`, `cost`, `best_state`, `reached_final`,
+//! lattice length — to `ViterbiDecoder::decode` over the same `n` rows,
+//! which is exactly how the facade's streaming sessions pin their
+//! correctness. The held-back row lives in the session's double-buffered
+//! row pair, mirroring the ALB swap.
+
+use crate::lattice::{Lattice, TraceId};
+use crate::search::{
+    build_frontier, epsilon_closure, finish as finish_decode, maybe_gc, relax_frame, DecodeOptions,
+    DecodeResult, DecodeScratch, DecodeStats, FrameStats,
+};
+use asr_wfst::{StateId, Wfst, WordId};
+
+/// A mid-utterance best hypothesis, read without disturbing the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialHypothesis {
+    /// Words on the current best path, in utterance order.
+    pub words: Vec<WordId>,
+    /// Path cost of the current best token (no final cost applied).
+    pub cost: f32,
+    /// State of the current best token.
+    pub state: StateId,
+    /// Frames consumed so far.
+    pub frames: usize,
+}
+
+/// An in-flight incremental decode over a borrowed WFST.
+///
+/// Create one per utterance with a (pooled) [`DecodeScratch`], feed score
+/// rows through [`StreamingDecode::step`], and recover the scratch from
+/// [`StreamingDecode::finish`] for the next utterance.
+#[derive(Debug)]
+pub struct StreamingDecode<'w> {
+    wfst: &'w Wfst,
+    opts: DecodeOptions,
+    scratch: DecodeScratch,
+    lattice: Lattice,
+    stats: DecodeStats,
+    frames: usize,
+    alive: bool,
+}
+
+impl<'w> StreamingDecode<'w> {
+    /// Starts a decode: seeds the start state and runs the initial
+    /// epsilon closure, exactly like the batch decoder's preamble.
+    pub fn new(wfst: &'w Wfst, opts: DecodeOptions, mut scratch: DecodeScratch) -> Self {
+        scratch.ensure(wfst.num_states());
+        let mut lattice = Lattice::new();
+        scratch.cur.begin_frame();
+        let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
+        scratch.cur.relax(wfst.start().0, 0.0, || start_trace);
+        let mut preamble_fs = FrameStats::default();
+        epsilon_closure(
+            wfst,
+            &mut scratch.cur,
+            &mut lattice,
+            &mut preamble_fs,
+            f32::INFINITY,
+            &mut scratch.worklist,
+        );
+        Self {
+            wfst,
+            opts,
+            scratch,
+            lattice,
+            stats: DecodeStats::default(),
+            frames: 0,
+            alive: true,
+        }
+    }
+
+    /// Frames consumed so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// `false` once the beam has pruned every path; further rows are
+    /// ignored, matching the batch decoder's early exit.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Consumes one frame's score row (`row[p]` = acoustic cost of phone
+    /// `p`, `row[0]` the unread epsilon column), treating it as a
+    /// *non-final* frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WFST references a phone label at or beyond
+    /// `row.len()`.
+    pub fn step(&mut self, row: &[f32]) {
+        self.advance(row, false);
+    }
+
+    /// The current best hypothesis: the cheapest live token (ties broken
+    /// toward the lowest state id), backtracked through the lattice. A
+    /// fresh stream already has live tokens (the start state's epsilon
+    /// closure), so this returns `Some` with empty words and `frames: 0`
+    /// before any row is consumed; `None` only once the beam has killed
+    /// every path.
+    pub fn partial(&self) -> Option<PartialHypothesis> {
+        if !self.alive {
+            return None;
+        }
+        let cur = &self.scratch.cur;
+        let mut best: Option<(u32, f32)> = None;
+        for &state in cur.active() {
+            let cost = cur.cost(state);
+            let better = match best {
+                None => true,
+                Some((bs, bc)) => cost < bc || (cost == bc && state < bs),
+            };
+            if better {
+                best = Some((state, cost));
+            }
+        }
+        best.map(|(state, cost)| PartialHypothesis {
+            words: self.lattice.backtrack(cur.payload(state)),
+            cost,
+            state: StateId(state),
+            frames: self.frames,
+        })
+    }
+
+    /// Ends the utterance: consumes the held-back final row (if any) with
+    /// the batch decoder's last-frame semantics, runs final-state
+    /// selection, and hands the scratch back for reuse.
+    pub fn finish(mut self, last_row: Option<&[f32]>) -> (DecodeResult, DecodeScratch) {
+        if let Some(row) = last_row {
+            self.advance(row, true);
+        }
+        let Self {
+            wfst,
+            mut scratch,
+            lattice,
+            stats,
+            ..
+        } = self;
+        let result = finish_decode(
+            wfst,
+            &mut scratch.cur,
+            &mut scratch.frontier,
+            lattice,
+            stats,
+        );
+        (result, scratch)
+    }
+
+    /// Abandons the decode, recovering the scratch (used by sessions
+    /// dropped without finalizing).
+    pub fn into_scratch(self) -> DecodeScratch {
+        self.scratch
+    }
+
+    /// One iteration of the batch decoder's frame loop.
+    fn advance(&mut self, row: &[f32], last_frame: bool) {
+        if !self.alive {
+            return;
+        }
+        let wfst = self.wfst;
+        let lattice = &mut self.lattice;
+        let DecodeScratch {
+            cur,
+            next,
+            frontier,
+            worklist,
+            gc_roots,
+            gc,
+        } = &mut self.scratch;
+        let beam = self.opts.beam;
+
+        let mut fs = FrameStats {
+            active_tokens: cur.len(),
+            ..FrameStats::default()
+        };
+        build_frontier(cur, frontier, beam, self.opts.max_active);
+        fs.expanded_tokens = frontier.len();
+        if self.opts.record_state_accesses {
+            for &state in frontier.iter() {
+                *self.stats.state_accesses.entry(state).or_insert(0) += 1;
+            }
+        }
+
+        relax_frame(
+            wfst, cur, next, frontier, lattice, &mut fs, beam, last_frame, row,
+        );
+        let closure_threshold = if last_frame {
+            f32::INFINITY
+        } else {
+            next.best() + beam
+        };
+        epsilon_closure(wfst, next, lattice, &mut fs, closure_threshold, worklist);
+        std::mem::swap(cur, next);
+        self.stats.frames.push(fs);
+        self.frames += 1;
+        if cur.is_empty() {
+            self.alive = false;
+            return;
+        }
+        if !last_frame {
+            maybe_gc(
+                self.opts.lattice_gc_interval,
+                self.frames - 1,
+                cur,
+                lattice,
+                gc_roots,
+                frontier,
+                gc,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::ViterbiDecoder;
+    use asr_acoustic::scores::AcousticTable;
+    use asr_wfst::synth::{SynthConfig, SynthWfst};
+
+    fn workload(states: usize, frames: usize, seed: u64) -> (Wfst, AcousticTable) {
+        let w = SynthWfst::generate(&SynthConfig::with_states(states)).unwrap();
+        let scores = AcousticTable::random(frames, w.num_phones() as usize, (0.5, 4.0), seed);
+        (w, scores)
+    }
+
+    fn stream_decode(wfst: &Wfst, scores: &AcousticTable, opts: DecodeOptions) -> DecodeResult {
+        let mut d = StreamingDecode::new(wfst, opts, DecodeScratch::new(wfst.num_states()));
+        let n = scores.num_frames();
+        for frame in 0..n.saturating_sub(1) {
+            d.step(scores.frame_row(frame));
+        }
+        let last = if n > 0 {
+            Some(scores.frame_row(n - 1))
+        } else {
+            None
+        };
+        d.finish(last).0
+    }
+
+    #[test]
+    fn streaming_matches_batch_byte_for_byte() {
+        let (w, scores) = workload(3_000, 40, 29);
+        let opts = DecodeOptions::with_beam(6.0);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let streamed = stream_decode(&w, &scores, opts);
+        assert_eq!(streamed.cost.to_bits(), batch.cost.to_bits());
+        assert_eq!(streamed.words, batch.words);
+        assert_eq!(streamed.best_state, batch.best_state);
+        assert_eq!(streamed.reached_final, batch.reached_final);
+        assert_eq!(streamed.lattice.len(), batch.lattice.len());
+        assert_eq!(streamed.stats.frames.len(), batch.stats.frames.len());
+    }
+
+    #[test]
+    fn single_frame_utterance_matches_batch() {
+        let (w, scores) = workload(500, 1, 31);
+        let opts = DecodeOptions::with_beam(8.0);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let streamed = stream_decode(&w, &scores, opts);
+        assert_eq!(streamed.cost.to_bits(), batch.cost.to_bits());
+        assert_eq!(streamed.words, batch.words);
+    }
+
+    #[test]
+    fn empty_utterance_matches_batch() {
+        let (w, _) = workload(500, 1, 37);
+        let empty = AcousticTable::from_fn(0, w.num_phones() as usize, |_, _| 0.0);
+        let opts = DecodeOptions::with_beam(8.0);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &empty);
+        let streamed = stream_decode(&w, &empty, opts);
+        assert_eq!(streamed.cost, batch.cost);
+        assert_eq!(streamed.words, batch.words);
+        assert_eq!(streamed.best_state, batch.best_state);
+    }
+
+    #[test]
+    fn partials_become_available_and_track_frames() {
+        let (w, scores) = workload(2_000, 30, 41);
+        let mut d = StreamingDecode::new(
+            &w,
+            DecodeOptions::with_beam(6.0),
+            DecodeScratch::new(w.num_states()),
+        );
+        for frame in 0..scores.num_frames() - 1 {
+            d.step(scores.frame_row(frame));
+            let p = d.partial().expect("live decode has a best token");
+            assert_eq!(p.frames, frame + 1);
+            assert!(p.cost.is_finite());
+        }
+        let (result, _) = d.finish(Some(scores.frame_row(scores.num_frames() - 1)));
+        assert!(result.cost.is_finite());
+    }
+
+    #[test]
+    fn scratch_recycles_across_streamed_utterances() {
+        let (w, scores) = workload(2_000, 25, 43);
+        let opts = DecodeOptions::with_beam(6.0);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let mut scratch = DecodeScratch::new(w.num_states());
+        for _ in 0..3 {
+            let mut d = StreamingDecode::new(&w, opts.clone(), scratch);
+            for frame in 0..scores.num_frames() - 1 {
+                d.step(scores.frame_row(frame));
+            }
+            let (result, recovered) = d.finish(Some(scores.frame_row(scores.num_frames() - 1)));
+            assert_eq!(result.cost.to_bits(), batch.cost.to_bits());
+            assert_eq!(result.words, batch.words);
+            scratch = recovered;
+        }
+    }
+
+    #[test]
+    fn tight_beam_still_matches_batch() {
+        // A zero-width beam exercises the prune-on-insert and closure
+        // thresholds at their most aggressive; the stream must follow the
+        // batch decoder through every pruning decision (and through the
+        // early exit, should the beam ever kill every path).
+        let (w, scores) = workload(300, 10, 47);
+        let opts = DecodeOptions::with_beam(0.0);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let streamed = stream_decode(&w, &scores, opts);
+        assert_eq!(streamed.cost.to_bits(), batch.cost.to_bits());
+        assert_eq!(streamed.words, batch.words);
+        assert_eq!(streamed.stats.frames.len(), batch.stats.frames.len());
+    }
+}

@@ -17,6 +17,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+/// The counter is process-global, so tests in this binary must not run
+/// their allocating phases concurrently; each test body holds this lock.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 struct CountingAllocator;
 
 // SAFETY: defers to the system allocator; the counter is metadata only.
@@ -47,6 +57,7 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 
 #[test]
 fn steady_state_frame_loop_is_allocation_free() {
+    let _guard = serialized();
     let wfst = SynthWfst::generate(&SynthConfig::with_states(5_000).with_seed(3)).unwrap();
     let phones = wfst.num_phones() as usize;
     let short_scores = AcousticTable::random(50, phones, (0.5, 4.0), 7);
@@ -80,6 +91,7 @@ fn steady_state_frame_loop_is_allocation_free() {
 
 #[test]
 fn warmed_repeat_decodes_have_identical_allocation_counts() {
+    let _guard = serialized();
     let wfst = SynthWfst::generate(&SynthConfig::with_states(3_000).with_seed(9)).unwrap();
     let scores = AcousticTable::random(80, wfst.num_phones() as usize, (0.5, 4.0), 13);
     let decoder = ViterbiDecoder::new(DecodeOptions::with_beam(6.0));

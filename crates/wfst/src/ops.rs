@@ -9,7 +9,7 @@
 //! * [`reverse`] — swap arc directions (used to check coaccessibility);
 //! * [`project_input`] / [`project_output`] — forget one label side;
 //! * [`scale_weights`] — apply a language-model scale;
-//! * [`union`] / [`concat`] — combine transducers;
+//! * [`union`] / [`concat`](fn@concat) — combine transducers;
 //! * [`accessible_states`] / [`coaccessible_states`] — reachability
 //!   analyses.
 //!

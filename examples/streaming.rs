@@ -1,20 +1,30 @@
-//! Streaming recognition with voice-activity endpointing.
+//! Streaming recognition with voice-activity endpointing and incremental
+//! decode sessions.
 //!
 //! An always-on device records a long audio stream in which short commands
 //! are separated by silence. A cheap energy VAD gates the expensive
-//! pipeline: only detected speech segments reach the (simulated)
-//! accelerator, exactly how a mobile deployment of the paper's design
-//! would conserve power.
+//! pipeline, and each detected speech segment is served through a
+//! [`StreamingSession`]: the scorer produces acoustic rows in batches (the
+//! paper's GPU stage) and hands them to the search through the session's
+//! double-buffered row pair (the Acoustic Likelihood Buffer), with partial
+//! hypotheses available after every batch — the shape of the paper's
+//! Section VI pipelined system, in software.
 //!
 //! ```text
 //! cargo run --release --example streaming
 //! ```
+//!
+//! [`StreamingSession`]: asr_repro::pipeline::StreamingSession
 
-use asr_repro::accel::config::{AcceleratorConfig, DesignPoint};
 use asr_repro::acoustic::signal::{render_phones, SignalConfig, Utterance};
 use asr_repro::acoustic::vad::{Vad, VadConfig};
 use asr_repro::pipeline::AsrPipeline;
 use asr_repro::wfst::PhoneId;
+
+/// Frames handed from scorer to search per batch (the pipelined handoff
+/// granularity; the paper overlaps scoring of batch i+1 with the search
+/// of batch i).
+const BATCH_FRAMES: usize = 10;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = AsrPipeline::demo()?;
@@ -28,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec!["call", "mom"],
     ];
     let mut stream: Vec<f32> = silence(40);
-    let mut boundaries = Vec::new();
     for cmd in &commands {
         let utt = pipeline.render_words(cmd)?;
-        boundaries.push(stream.len());
         stream.extend_from_slice(&utt.samples);
         stream.extend(silence(40));
     }
@@ -54,11 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         segments.len()
     );
 
-    // Decode each detected segment on the accelerator.
-    let cfg = AcceleratorConfig::for_design(DesignPoint::StateAndArc);
+    // Serve each detected segment through a streaming session. The
+    // session's scratch comes from (and returns to) the pipeline's pool,
+    // so segment after segment decodes without fresh allocation.
     let frame = 160usize;
     let mut decoded = Vec::new();
-    let mut total_cycles = 0u64;
     for &(first, last) in &segments {
         let lo = first * frame;
         let hi = ((last + 1) * frame).min(stream.len());
@@ -66,13 +74,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             samples: stream[lo..hi].to_vec(),
             frame_phones: Vec::new(), // unknown: this is recognition
         };
-        let (transcript, result) = pipeline.recognize_on_accelerator(&utt, cfg.clone())?;
+        // Scoring stage: the "GPU" fills the score table for the segment.
+        let scores = pipeline.score(&utt);
+
+        // Search stage: rows stream into the session batch by batch.
+        let mut session = pipeline.open_session();
+        println!("  frames {first:>3}-{last:<3}");
+        let mut next_frame = 0;
+        while next_frame < scores.num_frames() {
+            let end = (next_frame + BATCH_FRAMES).min(scores.num_frames());
+            for f in next_frame..end {
+                session.push_row(scores.frame_row(f));
+            }
+            next_frame = end;
+            if let Some(partial) = session.partial() {
+                println!(
+                    "    after {:>3} frames: {:?} (cost {:.2})",
+                    partial.frames_decoded, partial.words, partial.cost
+                );
+            }
+        }
+        let transcript = session.finalize();
         println!(
-            "  frames {first:>3}-{last:<3} -> {:?} ({} cycles)",
-            transcript.words, result.stats.cycles
+            "    final: {:?} (cost {:.2}, reached final: {})",
+            transcript.words, transcript.cost, transcript.reached_final
         );
         decoded.push(transcript.words.join(" "));
-        total_cycles += result.stats.cycles;
     }
 
     let expected: Vec<String> = commands.iter().map(|c| c.join(" ")).collect();
@@ -84,11 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(d, e)| d == e)
         .count();
     println!(
-        "{}/{} commands correct; {} accelerator cycles total ({:.1} us at 600 MHz)",
+        "{}/{} commands correct; pool now holds {} warm scratch set(s)",
         correct,
         expected.len(),
-        total_cycles,
-        total_cycles as f64 / 600.0
+        pipeline.scratch_pool().idle()
     );
     // The VAD advantage: decode time covers only active audio.
     let active_fraction = activity.activity_ratio();

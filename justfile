@@ -20,6 +20,15 @@ check:
 bench-decode:
     cargo run --release -p asr-bench --bin bench_decode
 
+# Serving-path benchmark: persistent pools vs per-request construction;
+# splices a "serving" section into BENCH_decode.json.
+bench-serving:
+    cargo run --release -p asr-bench --bin bench_serving
+
+# Rustdoc for the whole workspace, warnings denied (as CI runs it).
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # Criterion microbenchmarks (hardware building blocks + decoders).
 bench-micro:
     cargo bench -p asr-bench --bench micro

@@ -14,6 +14,12 @@
 //!
 //! This crate re-exports them and adds [`pipeline::AsrPipeline`], a
 //! high-level "microphone to words" API used by the runnable examples.
+//! The pipeline is a *serving* facade: it pools warmed decode working
+//! sets ([`decoder::pool::ScratchPool`]) so repeated recognitions are
+//! allocation-free per frame, and it exposes streaming sessions
+//! ([`pipeline::StreamingSession`]) that consume acoustic score rows as
+//! they are produced — the software image of the paper's batch-pipelined
+//! GPU-to-accelerator handoff.
 //!
 //! # Quick start
 //!
@@ -26,8 +32,13 @@
 //! assert_eq!(transcript.words, vec!["call", "mom"]);
 //! # Ok::<(), asr_repro::PipelineError>(())
 //! ```
+//!
+//! For incremental input, open a session (see
+//! [`AsrPipeline::open_session`] for a runnable example): push score
+//! rows, pull [`pipeline::Hypothesis`] partials, and `finalize()` into
+//! the same transcript the batch path produces.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub use asr_accel as accel;
@@ -38,4 +49,4 @@ pub use asr_wfst as wfst;
 
 pub mod pipeline;
 
-pub use pipeline::{AsrPipeline, PipelineError, Transcript};
+pub use pipeline::{AsrPipeline, Hypothesis, PipelineError, StreamingSession, Transcript};

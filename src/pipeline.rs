@@ -5,12 +5,27 @@
 //! scoring 10 ms frames, and a Viterbi beam search — either the reference
 //! software decoder (the "CPU" path) or the cycle-accurate accelerator
 //! simulator (the "ASIC" path, which also yields hardware statistics).
+//!
+//! # Serving
+//!
+//! The pipeline is built to be held for the lifetime of a service, not a
+//! single request. It owns a [`ScratchPool`] of warmed decode working
+//! sets: every [`AsrPipeline::recognize`] call and every streaming
+//! [`StreamingSession`] checks one out and returns it, so after the pool's
+//! high-water mark is reached, the decode frame loop performs **zero
+//! steady-state heap allocations** (pinned by `tests/facade_alloc.rs`).
+//! Concurrent callers are fine — the pool grows to the peak concurrency
+//! and stays there. For utterances that arrive incrementally, use
+//! [`AsrPipeline::open_session`].
 
 use asr_accel::config::AcceleratorConfig;
 use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
+use asr_acoustic::scores::AcousticTable;
 use asr_acoustic::signal::{SignalConfig, Utterance};
 use asr_acoustic::template::TemplateScorer;
+use asr_decoder::pool::ScratchPool;
 use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
+use asr_decoder::stream::StreamingDecode;
 use asr_decoder::wer;
 use asr_wfst::compose::build_decoding_graph;
 use asr_wfst::grammar::Grammar;
@@ -63,6 +78,18 @@ pub struct Transcript {
     pub reached_final: bool,
 }
 
+/// A mid-utterance hypothesis pulled from a [`StreamingSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// Words on the current best path, in utterance order.
+    pub words: Vec<String>,
+    /// Path cost of the current best token (no final cost applied).
+    pub cost: f32,
+    /// Frames the search has consumed so far (one behind the frames
+    /// pushed: the newest row waits in the session's score buffer).
+    pub frames_decoded: usize,
+}
+
 /// A complete small-vocabulary ASR system.
 #[derive(Debug)]
 pub struct AsrPipeline {
@@ -71,6 +98,7 @@ pub struct AsrPipeline {
     scorer: TemplateScorer,
     signal: SignalConfig,
     options: DecodeOptions,
+    scratch_pool: ScratchPool,
     frames_per_phone: usize,
 }
 
@@ -84,12 +112,15 @@ impl AsrPipeline {
     pub fn new(lexicon: Lexicon, grammar: &Grammar) -> Result<Self, PipelineError> {
         let graph = build_decoding_graph(&lexicon, grammar)?;
         let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
+        let options = DecodeOptions::with_beam(40.0);
+        let scratch_pool = ScratchPool::new(graph.num_states());
         Ok(Self {
             lexicon,
             graph,
             scorer,
             signal: SignalConfig::default(),
-            options: DecodeOptions::with_beam(40.0),
+            options,
+            scratch_pool,
             frames_per_phone: 6,
         })
     }
@@ -113,6 +144,17 @@ impl AsrPipeline {
     /// The lexicon.
     pub fn lexicon(&self) -> &Lexicon {
         &self.lexicon
+    }
+
+    /// The beam-search options every software decode uses.
+    pub fn options(&self) -> &DecodeOptions {
+        &self.options
+    }
+
+    /// The scratch pool backing the serving path (for observability:
+    /// [`ScratchPool::idle`] is the warm-set high-water mark).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.scratch_pool
     }
 
     /// Renders a synthetic utterance speaking `words`.
@@ -142,14 +184,81 @@ impl AsrPipeline {
         ))
     }
 
-    /// Recognizes a waveform with the reference software decoder.
+    /// Scores a waveform into the per-frame acoustic cost table the
+    /// search consumes — the scoring stage of the paper's pipeline,
+    /// exposed so callers can split scoring from search (batch scoring,
+    /// then streaming the rows through a session).
+    pub fn score(&self, utterance: &Utterance) -> AcousticTable {
+        self.scorer.score_waveform(&utterance.samples)
+    }
+
+    /// Recognizes a waveform with the software decoder, through the
+    /// pooled serving path.
     pub fn recognize(&self, utterance: &Utterance) -> Transcript {
-        let scores = self.scorer.score_waveform(&utterance.samples);
-        let result = ViterbiDecoder::new(self.options.clone()).decode(&self.graph, &scores);
+        let scores = self.score(utterance);
+        self.recognize_scores(&scores)
+    }
+
+    /// Recognizes a pre-scored utterance (the accelerator-style
+    /// deployment, where the acoustic model runs elsewhere) through the
+    /// pooled serving path: the decode reuses a warmed scratch from the
+    /// pool and is allocation-free per frame in the steady state.
+    pub fn recognize_scores(&self, scores: &AcousticTable) -> Transcript {
+        let mut scratch = self.scratch_pool.scratch();
+        let decoder = ViterbiDecoder::new(self.options.clone());
+        let result = decoder.decode_with(&mut scratch, &self.graph, scores);
         Transcript {
             words: self.lexicon.transcript(&result.words),
             cost: result.cost,
             reached_final: result.reached_final,
+        }
+    }
+
+    /// Opens a streaming recognition session: push score frames as they
+    /// are produced, pull partial hypotheses, then
+    /// [`StreamingSession::finalize`].
+    ///
+    /// The session mirrors the paper's batch-pipelined handoff (Section
+    /// VI): incoming rows land in the *staging* half of a double-buffered
+    /// row pair — the software image of the Acoustic Likelihood Buffer —
+    /// and the search consumes the *front* half one row behind, so the
+    /// final row can receive the batch decoder's end-of-utterance
+    /// treatment. Finalizing therefore yields exactly the transcript
+    /// [`AsrPipeline::recognize_scores`] produces for the same rows.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asr_repro::pipeline::AsrPipeline;
+    ///
+    /// let pipeline = AsrPipeline::demo()?;
+    /// let audio = pipeline.render_words(&["play", "music"])?;
+    /// let scores = pipeline.score(&audio);
+    ///
+    /// let mut session = pipeline.open_session();
+    /// for frame in 0..scores.num_frames() {
+    ///     session.push_row(scores.frame_row(frame));
+    /// }
+    /// if let Some(partial) = session.partial() {
+    ///     assert!(partial.frames_decoded < scores.num_frames());
+    /// }
+    /// let transcript = session.finalize();
+    /// assert_eq!(transcript.words, vec!["play", "music"]);
+    /// # Ok::<(), asr_repro::PipelineError>(())
+    /// ```
+    pub fn open_session(&self) -> StreamingSession<'_> {
+        let scratch = self.scratch_pool.checkout();
+        StreamingSession {
+            pipeline: self,
+            decode: Some(StreamingDecode::new(
+                &self.graph,
+                self.options.clone(),
+                scratch,
+            )),
+            front: Vec::new(),
+            staging: Vec::new(),
+            have_front: false,
+            frames_pushed: 0,
         }
     }
 
@@ -191,6 +300,108 @@ impl AsrPipeline {
     }
 }
 
+/// An in-flight streaming recognition over a borrowed [`AsrPipeline`].
+///
+/// Created by [`AsrPipeline::open_session`]. Push acoustic score rows with
+/// [`StreamingSession::push_row`]/[`StreamingSession::push_frames`], read
+/// the evolving best hypothesis with [`StreamingSession::partial`], and
+/// end with [`StreamingSession::finalize`]. Dropping a session without
+/// finalizing returns its warmed scratch to the pipeline's pool.
+///
+/// Sessions are independent: any number may be open concurrently, from
+/// any threads, against one pipeline.
+#[derive(Debug)]
+pub struct StreamingSession<'p> {
+    pipeline: &'p AsrPipeline,
+    decode: Option<StreamingDecode<'p>>,
+    /// Front half of the score double buffer: the row the search will
+    /// consume next (held back one row for last-frame semantics).
+    front: Vec<f32>,
+    /// Staging half: where an incoming row lands before the swap.
+    staging: Vec<f32>,
+    have_front: bool,
+    frames_pushed: usize,
+}
+
+impl StreamingSession<'_> {
+    /// Pushes one frame's acoustic score row (`row[p]` = cost of phone
+    /// `p`; use [`AcousticTable::frame_row`] or a scorer's output).
+    ///
+    /// The row is staged in the back half of the session's score buffer
+    /// while the search consumes the previously staged row — the
+    /// double-buffered handoff of the paper's Acoustic Likelihood Buffer.
+    /// After the first few rows the push itself is allocation-free.
+    pub fn push_row(&mut self, row: &[f32]) {
+        self.staging.clear();
+        self.staging.extend_from_slice(row);
+        if self.have_front {
+            if let Some(decode) = self.decode.as_mut() {
+                decode.step(&self.front);
+            }
+        }
+        std::mem::swap(&mut self.front, &mut self.staging);
+        self.have_front = true;
+        self.frames_pushed += 1;
+    }
+
+    /// Pushes every frame of a scored batch, in order — the per-batch
+    /// handoff a pipelined scorer would perform.
+    pub fn push_frames(&mut self, scores: &AcousticTable) {
+        for frame in 0..scores.num_frames() {
+            self.push_row(scores.frame_row(frame));
+        }
+    }
+
+    /// Frames pushed into the session so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frames_pushed
+    }
+
+    /// The current best hypothesis (empty words before any audio: the
+    /// start state's closure), or `None` after the beam pruned every
+    /// path or the session was finalized. The search runs one row behind
+    /// the pushes, so `frames_decoded` lags [`Self::frames_pushed`] by
+    /// one.
+    pub fn partial(&self) -> Option<Hypothesis> {
+        let decode = self.decode.as_ref()?;
+        decode.partial().map(|p| Hypothesis {
+            words: self.pipeline.lexicon.transcript(&p.words),
+            cost: p.cost,
+            frames_decoded: p.frames,
+        })
+    }
+
+    /// Ends the utterance: the held-back final row gets the batch
+    /// decoder's end-of-utterance treatment, final states are selected,
+    /// and the warmed scratch returns to the pipeline's pool.
+    ///
+    /// The transcript is byte-identical to
+    /// [`AsrPipeline::recognize_scores`] over the same rows.
+    pub fn finalize(mut self) -> Transcript {
+        let decode = self.decode.take().expect("session not yet finalized");
+        let last = if self.have_front {
+            Some(self.front.as_slice())
+        } else {
+            None
+        };
+        let (result, scratch) = decode.finish(last);
+        self.pipeline.scratch_pool.restore(scratch);
+        Transcript {
+            words: self.pipeline.lexicon.transcript(&result.words),
+            cost: result.cost,
+            reached_final: result.reached_final,
+        }
+    }
+}
+
+impl Drop for StreamingSession<'_> {
+    fn drop(&mut self) {
+        if let Some(decode) = self.decode.take() {
+            self.pipeline.scratch_pool.restore(decode.into_scratch());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +425,90 @@ mod tests {
         let t = p.recognize(&audio);
         assert_eq!(t.words, vec!["lights", "on"]);
         assert_eq!(p.wer(&["lights", "on"], &t), 0.0);
+    }
+
+    #[test]
+    fn repeated_recognize_reuses_pooled_scratch() {
+        let p = AsrPipeline::demo().unwrap();
+        let audio = p.render_words(&["go"]).unwrap();
+        assert_eq!(p.scratch_pool().idle(), 0);
+        let first = p.recognize(&audio);
+        assert_eq!(p.scratch_pool().idle(), 1, "scratch returned to the pool");
+        for _ in 0..3 {
+            assert_eq!(p.recognize(&audio), first);
+        }
+        assert_eq!(
+            p.scratch_pool().idle(),
+            1,
+            "sequential decodes share one scratch"
+        );
+    }
+
+    #[test]
+    fn session_matches_batch_recognize() {
+        let p = AsrPipeline::demo().unwrap();
+        for words in [vec!["go"], vec!["lights", "on"], vec!["call", "mom"]] {
+            let audio = p.render_words(&words).unwrap();
+            let scores = p.score(&audio);
+            let batch = p.recognize_scores(&scores);
+            let mut session = p.open_session();
+            session.push_frames(&scores);
+            assert_eq!(session.frames_pushed(), scores.num_frames());
+            let streamed = session.finalize();
+            assert_eq!(streamed.words, batch.words);
+            assert_eq!(streamed.cost.to_bits(), batch.cost.to_bits());
+            assert_eq!(streamed.reached_final, batch.reached_final);
+        }
+    }
+
+    #[test]
+    fn session_partials_evolve_toward_the_transcript() {
+        let p = AsrPipeline::demo().unwrap();
+        let audio = p.render_words(&["play", "music"]).unwrap();
+        let scores = p.score(&audio);
+        let mut session = p.open_session();
+        let opening = session.partial().expect("start closure is live");
+        assert_eq!(opening.frames_decoded, 0);
+        assert!(opening.words.is_empty(), "nothing recognized before audio");
+        let mut partials = 0;
+        for frame in 0..scores.num_frames() {
+            session.push_row(scores.frame_row(frame));
+            if let Some(h) = session.partial() {
+                assert_eq!(h.frames_decoded, frame, "search runs one row behind");
+                partials += 1;
+            }
+        }
+        assert!(partials > 0, "partials became available mid-utterance");
+        let t = session.finalize();
+        assert_eq!(t.words, vec!["play", "music"]);
+    }
+
+    #[test]
+    fn dropped_session_returns_its_scratch() {
+        let p = AsrPipeline::demo().unwrap();
+        let audio = p.render_words(&["stop"]).unwrap();
+        let scores = p.score(&audio);
+        {
+            let mut session = p.open_session();
+            session.push_frames(&scores);
+            // Dropped without finalize (caller went away mid-utterance).
+        }
+        assert_eq!(p.scratch_pool().idle(), 1);
+        // The recovered scratch serves the next request.
+        let t = p.recognize(&audio);
+        assert_eq!(t.words, vec!["stop"]);
+        assert_eq!(p.scratch_pool().idle(), 1);
+    }
+
+    #[test]
+    fn empty_session_finalizes_gracefully() {
+        let p = AsrPipeline::demo().unwrap();
+        let t = p.open_session().finalize();
+        assert!(t.words.is_empty());
+        // Identical to a batch decode of zero frames.
+        let empty = AcousticTable::from_fn(0, p.lexicon().num_phones() + 1, |_, _| 0.0);
+        let batch = p.recognize_scores(&empty);
+        assert_eq!(t, batch);
     }
 
     #[test]
