@@ -49,13 +49,24 @@ impl Dct {
     ///
     /// Panics if `input.len()` differs from the configured length.
     pub fn apply(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.output_len];
+        self.apply_into(input, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Dct::apply`] into caller-owned storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the configured input length or
+    /// `out.len()` from the output length.
+    pub fn apply_into(&self, input: &[f32], out: &mut [f32]) {
         assert_eq!(input.len(), self.input_len, "DCT input length mismatch");
-        (0..self.output_len)
-            .map(|k| {
-                let row = &self.table[k * self.input_len..(k + 1) * self.input_len];
-                row.iter().zip(input).map(|(c, x)| c * x).sum()
-            })
-            .collect()
+        assert_eq!(out.len(), self.output_len, "DCT output length mismatch");
+        for (k, o) in out.iter_mut().enumerate() {
+            let row = &self.table[k * self.input_len..(k + 1) * self.input_len];
+            *o = row.iter().zip(input).map(|(c, x)| c * x).sum();
+        }
     }
 
     /// Number of output coefficients.

@@ -46,13 +46,25 @@ impl Dense {
     ///
     /// Panics if `input.len() != in_dim`.
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Dense::forward`]: `out` is cleared and
+    /// refilled (no allocation once its capacity reaches the layer
+    /// width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim`.
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
         assert_eq!(input.len(), self.in_dim, "layer input dimension mismatch");
-        (0..self.out_dim)
-            .map(|o| {
-                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>() + self.bias[o]
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.out_dim).map(|o| {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            row.iter().zip(input).map(|(w, x)| w * x).sum::<f32>() + self.bias[o]
+        }));
     }
 
     /// Multiply-accumulate count of one forward pass.
@@ -107,18 +119,35 @@ impl Mlp {
     ///
     /// Panics if `features.len()` differs from the input dimension.
     pub fn log_posteriors(&self, features: &[f32]) -> Vec<f32> {
-        let mut x = features.to_vec();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        self.log_posteriors_into(features, &mut x, &mut y);
+        x
+    }
+
+    /// Allocation-free form of [`Mlp::log_posteriors`] over two
+    /// caller-owned activation buffers (ping-ponged between layers); the
+    /// log-posteriors are left in `x`. Once both buffers have grown to
+    /// the widest layer, repeated calls allocate nothing — this is what
+    /// [`crate::online::MlpScorer`] pumps per streamed frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the input dimension.
+    pub fn log_posteriors_into(&self, features: &[f32], x: &mut Vec<f32>, y: &mut Vec<f32>) {
+        x.clear();
+        x.extend_from_slice(features);
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(&x);
+            layer.forward_into(x, y);
+            std::mem::swap(x, y);
             if i != last {
-                for v in &mut x {
+                for v in x.iter_mut() {
                     *v = v.max(0.0); // ReLU
                 }
             }
         }
-        log_softmax(&mut x);
-        x
+        log_softmax(x);
     }
 
     /// Scores a whole utterance into an [`AcousticTable`] of costs

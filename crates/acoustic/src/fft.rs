@@ -107,17 +107,33 @@ pub fn fft_in_place(buf: &mut [Complex]) {
 /// Panics if `fft_len` is not a power of two or the input is longer than
 /// `fft_len`.
 pub fn power_spectrum(samples: &[f32], fft_len: usize) -> Vec<f32> {
+    let mut buf = vec![Complex::default(); fft_len];
+    let mut out = vec![0.0f32; fft_len / 2 + 1];
+    power_spectrum_into(samples, &mut buf, &mut out);
+    out
+}
+
+/// Allocation-free form of [`power_spectrum`] over caller-owned scratch:
+/// `buf` (length = the FFT length) is cleared, loaded, and transformed in
+/// place; the one-sided squared magnitudes land in `out`.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a power of two, the input is longer than
+/// `buf`, or `out.len() != buf.len() / 2 + 1`.
+pub fn power_spectrum_into(samples: &[f32], buf: &mut [Complex], out: &mut [f32]) {
+    let fft_len = buf.len();
     assert!(fft_len.is_power_of_two());
     assert!(samples.len() <= fft_len, "input longer than FFT length");
-    let mut buf = vec![Complex::default(); fft_len];
+    assert_eq!(out.len(), fft_len / 2 + 1, "spectrum output length");
+    buf.fill(Complex::default());
     for (b, &s) in buf.iter_mut().zip(samples) {
         b.re = s;
     }
-    fft_in_place(&mut buf);
-    buf[..fft_len / 2 + 1]
-        .iter()
-        .map(|c| c.norm_sqr())
-        .collect()
+    fft_in_place(buf);
+    for (o, c) in out.iter_mut().zip(buf.iter()) {
+        *o = c.norm_sqr();
+    }
 }
 
 #[cfg(test)]

@@ -26,16 +26,68 @@ impl Default for FrameConfig {
     }
 }
 
+/// Streaming pre-emphasis state: carries `x[t-1]` across pushes so a
+/// sample-by-sample front-end produces exactly the filter output of the
+/// batch [`pre_emphasize`] over the concatenated signal.
+#[derive(Debug, Clone, Copy)]
+pub struct PreEmphasis {
+    coefficient: f32,
+    prev: f32,
+}
+
+impl PreEmphasis {
+    /// Creates the filter state (the first sample sees `x[-1] = 0`).
+    pub fn new(coefficient: f32) -> Self {
+        Self {
+            coefficient,
+            prev: 0.0,
+        }
+    }
+
+    /// Filters one sample: `y[t] = x[t] - a * x[t-1]` (identity when the
+    /// coefficient is zero, matching the batch form).
+    #[inline]
+    pub fn step(&mut self, sample: f32) -> f32 {
+        let out = if self.coefficient == 0.0 {
+            sample
+        } else {
+            sample - self.coefficient * self.prev
+        };
+        self.prev = sample;
+        out
+    }
+
+    /// Forgets the carried sample (start of a new utterance).
+    pub fn reset(&mut self) {
+        self.prev = 0.0;
+    }
+}
+
 /// Applies the pre-emphasis filter `y[t] = x[t] - a * x[t-1]` in place.
 pub fn pre_emphasize(samples: &mut [f32], coefficient: f32) {
-    if coefficient == 0.0 {
-        return;
-    }
-    let mut prev = 0.0;
+    let mut filter = PreEmphasis::new(coefficient);
     for s in samples {
-        let cur = *s;
-        *s = cur - coefficient * prev;
-        prev = cur;
+        *s = filter.step(*s);
+    }
+}
+
+/// Windows one frame of already-emphasized samples into `out`: each output
+/// is `samples[i] * window[i]`, zero past the end of `samples` (the batch
+/// framer's zero-padding of a trailing partial frame).
+///
+/// # Panics
+///
+/// Panics if `out` and `window` lengths differ or `samples` is longer than
+/// the window.
+pub fn window_frame_into(samples: &[f32], window: &[f32], out: &mut [f32]) {
+    assert_eq!(out.len(), window.len(), "window/output length mismatch");
+    assert!(samples.len() <= window.len(), "frame longer than window");
+    for (i, (o, w)) in out.iter_mut().zip(window).enumerate() {
+        *o = if i < samples.len() {
+            samples[i] * w
+        } else {
+            0.0
+        };
     }
 }
 
@@ -69,10 +121,7 @@ pub fn frames(samples: &[f32], cfg: &FrameConfig) -> Vec<Vec<f32>> {
     while start < emphasized.len() {
         let end = (start + cfg.frame_len).min(emphasized.len());
         let mut frame = vec![0.0f32; cfg.frame_len];
-        frame[..end - start].copy_from_slice(&emphasized[start..end]);
-        for (f, w) in frame.iter_mut().zip(&window) {
-            *f *= w;
-        }
+        window_frame_into(&emphasized[start..end], &window, &mut frame);
         out.push(frame);
         start += cfg.hop;
     }

@@ -20,7 +20,10 @@
 //!   trained acoustic model on the synthetic speech, so functional tests can
 //!   decode utterances back to the words that produced them;
 //! * [`scores`]: the per-frame acoustic cost table the accelerator's
-//!   Acoustic Likelihood Buffer is filled from.
+//!   Acoustic Likelihood Buffer is filled from;
+//! * [`online`]: the incremental front-end — push raw samples, pop feature
+//!   vectors ([`online::OnlineMfcc`]) or acoustic cost rows
+//!   ([`online::OnlineScorer`]), bit-identical to the batch pipeline.
 //!
 //! Scores follow the same convention as `asr-wfst`: *costs* (negative log
 //! probabilities), added along paths.
@@ -40,7 +43,7 @@
 //! assert_eq!(feats[0].len(), 39); // 13 MFCC + deltas + delta-deltas
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dct;
@@ -50,6 +53,7 @@ pub mod frame;
 pub mod gmm;
 pub mod mel;
 pub mod mfcc;
+pub mod online;
 pub mod scores;
 pub mod signal;
 pub mod template;

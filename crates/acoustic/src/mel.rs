@@ -93,14 +93,25 @@ impl MelFilterbank {
     ///
     /// Panics if `spectrum.len()` differs from the configured bin count.
     pub fn apply(&self, spectrum: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.filters.len()];
+        self.apply_into(spectrum, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`MelFilterbank::apply`] into caller-owned
+    /// storage (one slot per filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len()` differs from the configured bin count or
+    /// `out.len()` from the filter count.
+    pub fn apply_into(&self, spectrum: &[f32], out: &mut [f32]) {
         assert_eq!(spectrum.len(), self.num_bins, "spectrum bin mismatch");
-        self.filters
-            .iter()
-            .map(|taps| {
-                let energy: f32 = taps.iter().map(|&(bin, w)| spectrum[bin] * w).sum();
-                energy.max(1e-10).ln()
-            })
-            .collect()
+        assert_eq!(out.len(), self.filters.len(), "filter output length");
+        for (o, taps) in out.iter_mut().zip(&self.filters) {
+            let energy: f32 = taps.iter().map(|&(bin, w)| spectrum[bin] * w).sum();
+            *o = energy.max(1e-10).ln();
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! appending, matching the standard ASR front-end the paper assumes.
 
 use crate::dct::Dct;
-use crate::fft::power_spectrum;
+use crate::fft::{power_spectrum_into, Complex};
 use crate::frame::{frames, FrameConfig};
 use crate::mel::MelFilterbank;
 
@@ -66,6 +66,11 @@ impl MfccPipeline {
         }
     }
 
+    /// The configuration the pipeline was built with.
+    pub fn config(&self) -> &MfccConfig {
+        &self.cfg
+    }
+
     /// Feature dimension of the output vectors.
     pub fn dim(&self) -> usize {
         if self.cfg.deltas {
@@ -75,15 +80,48 @@ impl MfccPipeline {
         }
     }
 
+    /// Allocates the caller-owned scratch [`MfccPipeline::static_features_into`]
+    /// works over (FFT buffer, spectrum, filterbank energies).
+    pub fn frame_scratch(&self) -> FrameScratch {
+        FrameScratch {
+            fft: vec![Complex::default(); self.cfg.fft_len],
+            spectrum: vec![0.0; self.cfg.fft_len / 2 + 1],
+            fbank: vec![0.0; self.cfg.num_filters],
+        }
+    }
+
+    /// Static cepstra of one pre-emphasized, windowed frame, written into
+    /// `out` (`num_ceps` slots) without allocating: the per-frame step the
+    /// batch [`MfccPipeline::process`] and the streaming
+    /// [`crate::online::OnlineMfcc`] both run, so their outputs are
+    /// bit-identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was built for a different configuration or
+    /// `out.len() != num_ceps`.
+    pub fn static_features_into(
+        &self,
+        windowed: &[f32],
+        scratch: &mut FrameScratch,
+        out: &mut [f32],
+    ) {
+        power_spectrum_into(windowed, &mut scratch.fft, &mut scratch.spectrum);
+        self.filterbank
+            .apply_into(&scratch.spectrum, &mut scratch.fbank);
+        self.dct.apply_into(&scratch.fbank, out);
+    }
+
     /// Extracts one feature vector per frame of `samples`.
     pub fn process(&self, samples: &[f32]) -> Vec<Vec<f32>> {
         let framed = frames(samples, &self.cfg.frame);
+        let mut scratch = self.frame_scratch();
         let mut base: Vec<Vec<f32>> = framed
             .iter()
             .map(|frame| {
-                let spec = power_spectrum(frame, self.cfg.fft_len);
-                let fbank = self.filterbank.apply(&spec);
-                self.dct.apply(&fbank)
+                let mut ceps = vec![0.0f32; self.cfg.num_ceps];
+                self.static_features_into(frame, &mut scratch, &mut ceps);
+                ceps
             })
             .collect();
         if self.cfg.deltas {
@@ -98,6 +136,33 @@ impl MfccPipeline {
     }
 }
 
+/// Caller-owned scratch for [`MfccPipeline::static_features_into`]: the
+/// FFT working buffer, the power spectrum, and the filterbank energies,
+/// sized once by [`MfccPipeline::frame_scratch`] and reused frame after
+/// frame.
+#[derive(Debug, Clone)]
+pub struct FrameScratch {
+    fft: Vec<Complex>,
+    spectrum: Vec<f32>,
+    fbank: Vec<f32>,
+}
+
+/// One step of the delta-feature recurrence: `out[i] = (next[i] - prev[i]) / 2`
+/// — the two-point symmetric difference both the batch delta pass and the
+/// streaming front-end apply, per coefficient.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn delta_into(prev: &[f32], next: &[f32], out: &mut [f32]) {
+    assert_eq!(prev.len(), next.len(), "delta input length mismatch");
+    assert_eq!(out.len(), next.len(), "delta output length mismatch");
+    for ((o, p), q) in out.iter_mut().zip(prev).zip(next) {
+        *o = (q - p) / 2.0;
+    }
+}
+
 /// Two-point symmetric difference per coefficient, with clamped edges —
 /// the standard delta-feature recurrence with a window of 1.
 fn deltas(feats: &[Vec<f32>]) -> Vec<Vec<f32>> {
@@ -106,7 +171,9 @@ fn deltas(feats: &[Vec<f32>]) -> Vec<Vec<f32>> {
         .map(|t| {
             let prev = &feats[t.saturating_sub(1)];
             let next = &feats[(t + 1).min(n - 1)];
-            prev.iter().zip(next).map(|(p, q)| (q - p) / 2.0).collect()
+            let mut out = vec![0.0f32; prev.len()];
+            delta_into(prev, next, &mut out);
+            out
         })
         .collect()
 }

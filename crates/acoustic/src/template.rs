@@ -68,6 +68,14 @@ impl TemplateScorer {
         (self.templates.len() - 1) as u32
     }
 
+    /// The MFCC configuration the scorer extracts features with — an
+    /// [`crate::online::OnlineMfcc`] built from it feeds
+    /// [`TemplateScorer::frame_cost`] features bit-identical to the batch
+    /// path.
+    pub fn mfcc_config(&self) -> &MfccConfig {
+        self.pipeline.config()
+    }
+
     /// Cost of `phone` given one frame's feature vector.
     ///
     /// # Panics

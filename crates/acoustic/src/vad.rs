@@ -144,6 +144,197 @@ impl Vad {
     }
 }
 
+/// Streaming (causal) voice activity detector: push samples in any
+/// chunking, collect one decision per completed 10 ms frame.
+///
+/// Unlike the batch [`Vad`] — which seeds its noise floor from the
+/// quietest frame of the *whole* utterance — the online detector can only
+/// look backward: the floor seeds from the first completed frame, tracks
+/// quiet frames with the same exponential smoothing, and during the first
+/// second of the stream drifts upward on speech-classified frames so a
+/// spuriously quiet opening frame cannot latch the detector into speech.
+/// The two detectors therefore classify borderline frames differently;
+/// on streams that open with representative ambience (the always-on
+/// listening scenario) their decisions coincide in practice, but no
+/// equality is guaranteed.
+#[derive(Debug, Clone)]
+pub struct OnlineVad {
+    cfg: VadConfig,
+    /// Running noise-floor estimate; `None` until the first frame.
+    floor: Option<f32>,
+    hang: usize,
+    /// Frames classified so far (bounds the floor-recovery drift).
+    frames: usize,
+    /// Partial-frame energy accumulator.
+    acc: f32,
+    acc_count: usize,
+}
+
+/// Frames of stream-open warm-up during which [`OnlineVad`] lets its
+/// floor drift upward on speech-classified frames (one second).
+const FLOOR_RECOVERY_FRAMES: usize = 100;
+
+/// Per-frame upward floor drift applied during the recovery window.
+const FLOOR_RECOVERY_DRIFT: f32 = 1.05;
+
+impl OnlineVad {
+    /// Creates a streaming detector.
+    pub fn new(cfg: VadConfig) -> Self {
+        Self {
+            cfg,
+            floor: None,
+            hang: 0,
+            frames: 0,
+            acc: 0.0,
+            acc_count: 0,
+        }
+    }
+
+    /// Feeds samples; appends one speech/silence flag per completed frame
+    /// to `decisions` (allocation-free once `decisions` has capacity).
+    pub fn push_samples(&mut self, samples: &[f32], decisions: &mut Vec<bool>) {
+        let frame_len = self.cfg.frame_len.max(1);
+        for &s in samples {
+            self.acc += s * s;
+            self.acc_count += 1;
+            if self.acc_count == frame_len {
+                let energy = self.acc / frame_len as f32;
+                decisions.push(self.classify(energy));
+                self.acc = 0.0;
+                self.acc_count = 0;
+            }
+        }
+    }
+
+    /// Classifies any trailing partial frame (end of stream); `None` when
+    /// no samples are pending.
+    pub fn flush(&mut self) -> Option<bool> {
+        if self.acc_count == 0 {
+            return None;
+        }
+        let energy = self.acc / self.acc_count as f32;
+        self.acc = 0.0;
+        self.acc_count = 0;
+        Some(self.classify(energy))
+    }
+
+    /// Forgets all state (noise floor included).
+    pub fn reset(&mut self) {
+        self.floor = None;
+        self.hang = 0;
+        self.frames = 0;
+        self.acc = 0.0;
+        self.acc_count = 0;
+    }
+
+    fn classify(&mut self, energy: f32) -> bool {
+        let floor = *self.floor.get_or_insert(energy.max(1e-9));
+        self.frames += 1;
+        let speech = energy > floor * self.cfg.threshold;
+        if speech {
+            self.hang = self.cfg.hangover;
+            // Upward floor drift, stream-open warm-up only. A spuriously
+            // low seed — say a digital-zero warm-up frame from the mic
+            // driver — would otherwise classify steady ambient noise as
+            // speech forever, because only silent frames update the
+            // floor; the drift lets the floor climb until genuine
+            // silence reclassifies. Bounding it to the first second
+            // keeps sustained later speech (dictation, read speech) from
+            // slowly deafening the detector mid-utterance.
+            if self.frames <= FLOOR_RECOVERY_FRAMES {
+                self.floor = Some(floor * FLOOR_RECOVERY_DRIFT);
+            }
+            true
+        } else if self.hang > 0 {
+            self.hang -= 1;
+            true
+        } else {
+            // Only quiet frames update the noise floor.
+            self.floor = Some(
+                self.cfg.floor_alpha * floor + (1.0 - self.cfg.floor_alpha) * energy.max(1e-9),
+            );
+            false
+        }
+    }
+}
+
+/// VAD-gated utterance endpointing over a sample stream: arms on the
+/// first active frame, fires once `min_silence` consecutive inactive
+/// frames follow speech — the auto-endpointing a streaming session uses
+/// to decide when to finalize (see `examples/streaming.rs`).
+#[derive(Debug, Clone)]
+pub struct Endpointer {
+    vad: OnlineVad,
+    min_silence: usize,
+    in_speech: bool,
+    last_active: bool,
+    silence_run: usize,
+    frames: usize,
+    decisions: Vec<bool>,
+}
+
+impl Endpointer {
+    /// Creates an endpointer firing after `min_silence` inactive frames.
+    pub fn new(cfg: VadConfig, min_silence: usize) -> Self {
+        Self {
+            vad: OnlineVad::new(cfg),
+            min_silence: min_silence.max(1),
+            in_speech: false,
+            last_active: false,
+            silence_run: 0,
+            frames: 0,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Feeds samples; returns `true` if an utterance endpoint was crossed
+    /// while consuming them (the endpointer then re-arms for the next
+    /// utterance, keeping its noise floor).
+    pub fn push_samples(&mut self, samples: &[f32]) -> bool {
+        let mut decisions = std::mem::take(&mut self.decisions);
+        decisions.clear();
+        self.vad.push_samples(samples, &mut decisions);
+        let mut endpoint = false;
+        for &active in &decisions {
+            self.frames += 1;
+            self.last_active = active;
+            if active {
+                self.in_speech = true;
+                self.silence_run = 0;
+            } else if self.in_speech {
+                self.silence_run += 1;
+                if self.silence_run >= self.min_silence {
+                    endpoint = true;
+                    self.in_speech = false;
+                    self.silence_run = 0;
+                }
+            }
+        }
+        self.decisions = decisions;
+        endpoint
+    }
+
+    /// `true` between the first active frame and the endpoint — the whole
+    /// utterance *including* the trailing silence the endpoint waits out.
+    pub fn in_speech(&self) -> bool {
+        self.in_speech
+    }
+
+    /// The VAD decision (speech or hangover-extended speech) of the most
+    /// recently classified frame — the per-frame gate that decides whether
+    /// a packet of audio should reach the recognizer, as opposed to
+    /// [`Endpointer::in_speech`], which also spans the pre-endpoint
+    /// silence.
+    pub fn last_frame_active(&self) -> bool {
+        self.last_active
+    }
+
+    /// Frames classified so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +407,104 @@ mod tests {
         assert!(r.segments().is_empty());
         assert_eq!(r.activity_ratio(), 0.0);
         assert_eq!(r.mean_energy, 0.0);
+    }
+
+    #[test]
+    fn online_vad_detects_speech_after_quiet_lead_in() {
+        let cfg = SignalConfig::default();
+        let mut stream = noisy_silence(10);
+        stream.extend(render_phones(&[PhoneId(3)], 6, &cfg));
+        stream.extend(noisy_silence(10));
+        let mut vad = OnlineVad::new(VadConfig::default());
+        let mut decisions = Vec::new();
+        // Push in uneven chunks to exercise the partial-frame accumulator.
+        for chunk in stream.chunks(117) {
+            vad.push_samples(chunk, &mut decisions);
+        }
+        assert_eq!(decisions.len(), stream.len() / 160);
+        assert!(!decisions[..8].iter().any(|&a| a), "lead-in marked speech");
+        assert!(
+            decisions[10..16].iter().all(|&a| a),
+            "speech frames missed: {decisions:?}"
+        );
+        assert!(!decisions[decisions.len() - 1], "tail silence still active");
+    }
+
+    #[test]
+    fn online_vad_recovers_from_a_silent_first_frame() {
+        // A digital-zero warm-up frame seeds the floor at the 1e-9 clamp;
+        // steady ambient noise then reads as "speech" until the upward
+        // floor drift catches up. The detector must unlatch, and stay
+        // unlatched, rather than classify ambience as speech forever.
+        let mut vad = OnlineVad::new(VadConfig::default());
+        let mut decisions = Vec::new();
+        vad.push_samples(&vec![0.0f32; 160], &mut decisions);
+        assert!(!decisions[0], "zero frame is not speech");
+        // Ambient noise at ~1e-7 energy: 100x the clamped floor.
+        let ambient = vec![3.2e-4f32; 160 * 300];
+        decisions.clear();
+        vad.push_samples(&ambient, &mut decisions);
+        assert!(decisions[0], "ambience over the bad seed reads as speech");
+        let tail = &decisions[decisions.len() - 20..];
+        assert!(tail.iter().all(|&a| !a), "floor never recovered: {tail:?}");
+    }
+
+    #[test]
+    fn online_vad_does_not_deafen_during_sustained_speech() {
+        // The recovery drift must not erode detection of long continuous
+        // speech: after the warm-up window the floor freezes on speech
+        // frames, so a 6 s utterance stays active end to end.
+        let cfg = SignalConfig::default();
+        let mut stream = noisy_silence(10);
+        stream.extend(render_phones(&[PhoneId(3)], 600, &cfg));
+        let mut vad = OnlineVad::new(VadConfig::default());
+        let mut decisions = Vec::new();
+        vad.push_samples(&stream, &mut decisions);
+        assert!(
+            decisions[12..].iter().all(|&a| a),
+            "sustained speech went inactive at frame {}",
+            decisions[12..].iter().position(|&a| !a).unwrap() + 12
+        );
+    }
+
+    #[test]
+    fn online_vad_flush_classifies_partial_frame() {
+        let mut vad = OnlineVad::new(VadConfig::default());
+        let mut decisions = Vec::new();
+        vad.push_samples(&vec![0.001f32; 200], &mut decisions);
+        assert_eq!(decisions.len(), 1);
+        assert!(vad.flush().is_some(), "40 pending samples classified");
+        assert!(vad.flush().is_none(), "accumulator drained");
+    }
+
+    #[test]
+    fn endpointer_fires_after_trailing_silence() {
+        let cfg = SignalConfig::default();
+        let mut stream = noisy_silence(10);
+        stream.extend(render_phones(&[PhoneId(3), PhoneId(4)], 6, &cfg));
+        stream.extend(noisy_silence(30));
+        let mut ep = Endpointer::new(VadConfig::default(), 10);
+        let mut endpoints = 0;
+        let mut spoke = false;
+        for chunk in stream.chunks(160) {
+            if ep.push_samples(chunk) {
+                endpoints += 1;
+                assert!(!ep.in_speech(), "endpoint re-arms the detector");
+            }
+            spoke |= ep.in_speech();
+        }
+        assert!(spoke, "speech was never detected");
+        assert_eq!(endpoints, 1, "exactly one utterance endpoint");
+        assert_eq!(ep.frames(), stream.len() / 160);
+    }
+
+    #[test]
+    fn endpointer_stays_quiet_on_silence() {
+        let mut ep = Endpointer::new(VadConfig::default(), 5);
+        let silence = noisy_silence(40);
+        for chunk in silence.chunks(160) {
+            assert!(!ep.push_samples(chunk));
+        }
+        assert!(!ep.in_speech());
     }
 }

@@ -164,11 +164,17 @@ fn main() {
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
-    // Rewriting the file must not drop bench_serving's spliced section.
-    let serving = asr_bench::extract_json_section(&path, "serving");
+    // Rewriting the file must not drop the other binaries' spliced
+    // sections (bench_serving, bench_frontend).
+    let carried: Vec<(&str, Option<String>)> = ["serving", "frontend"]
+        .into_iter()
+        .map(|key| (key, asr_bench::extract_json_section(&path, key)))
+        .collect();
     std::fs::write(&path, json).expect("write BENCH_decode.json");
-    if let Some(serving) = serving {
-        asr_bench::splice_json_section(&path, "serving", &serving);
+    for (key, section) in carried {
+        if let Some(section) = section {
+            asr_bench::splice_json_section(&path, key, &section);
+        }
     }
     println!("\nheadline speedup at 50k states, beam {BEAM}: {headline:.2}x");
     println!("[wrote {}]", path.display());

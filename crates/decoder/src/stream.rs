@@ -31,6 +31,7 @@ use crate::search::{
     build_frontier, epsilon_closure, finish as finish_decode, maybe_gc, relax_frame, DecodeOptions,
     DecodeResult, DecodeScratch, DecodeStats, FrameStats,
 };
+use asr_acoustic::online::{FrameScorer, OnlineScorer};
 use asr_wfst::{StateId, Wfst, WordId};
 
 /// A mid-utterance best hypothesis, read without disturbing the search.
@@ -233,6 +234,83 @@ impl<'w> StreamingDecode<'w> {
     }
 }
 
+/// An incremental decode fed *raw audio* instead of score rows: the
+/// microphone-style end of the streaming stack at the decoder layer.
+///
+/// Composes an [`OnlineScorer`] (streaming MFCC + per-frame acoustic
+/// scoring) with a [`StreamingDecode`], bridging them with the same
+/// double-buffered row pair the facade sessions use: each scored row is
+/// staged while the search consumes the previous one, so the final row can
+/// receive the batch decoder's end-of-utterance treatment. Pushing any
+/// chunking of a waveform and finishing is therefore byte-identical to
+/// batch-scoring the waveform and batch-decoding the table.
+#[derive(Debug)]
+pub struct AudioStreamingDecode<'w, S> {
+    decode: StreamingDecode<'w>,
+    scorer: OnlineScorer<S>,
+    front: Vec<f32>,
+    staging: Vec<f32>,
+    have_front: bool,
+}
+
+impl<'w, S: FrameScorer> AudioStreamingDecode<'w, S> {
+    /// Starts an audio-fed decode over a (pooled) scratch.
+    pub fn new(
+        wfst: &'w Wfst,
+        opts: DecodeOptions,
+        scratch: DecodeScratch,
+        scorer: OnlineScorer<S>,
+    ) -> Self {
+        let row_len = scorer.row_len();
+        Self {
+            decode: StreamingDecode::new(wfst, opts, scratch),
+            scorer,
+            front: vec![0.0; row_len],
+            staging: vec![0.0; row_len],
+            have_front: false,
+        }
+    }
+
+    /// Feeds raw 16 kHz samples, in any chunking; completed frames are
+    /// scored and searched immediately (one row held back for last-frame
+    /// semantics). Allocation-free per frame once warm.
+    pub fn push_samples(&mut self, samples: &[f32]) {
+        self.scorer.push_samples(samples);
+        self.drain_rows();
+    }
+
+    /// Frames the search has consumed so far.
+    pub fn frames(&self) -> usize {
+        self.decode.frames()
+    }
+
+    /// The current best hypothesis (see [`StreamingDecode::partial`]).
+    pub fn partial(&self) -> Option<PartialHypothesis> {
+        self.decode.partial()
+    }
+
+    /// Ends the utterance: flushes the front-end's delta lookahead, gives
+    /// the held-back row the batch last-frame treatment, and returns the
+    /// result plus the recovered scratch and front-end (for pooling).
+    pub fn finish(mut self) -> (DecodeResult, DecodeScratch, OnlineScorer<S>) {
+        self.scorer.finish();
+        self.drain_rows();
+        let last = self.have_front.then_some(self.front.as_slice());
+        let (result, scratch) = self.decode.finish(last);
+        (result, scratch, self.scorer)
+    }
+
+    fn drain_rows(&mut self) {
+        while self.scorer.pop_row_into(&mut self.staging) {
+            if self.have_front {
+                self.decode.step(&self.front);
+            }
+            std::mem::swap(&mut self.front, &mut self.staging);
+            self.have_front = true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +408,74 @@ mod tests {
             assert_eq!(result.words, batch.words);
             scratch = recovered;
         }
+    }
+
+    #[test]
+    fn audio_fed_decode_matches_batch_scoring_plus_batch_decode() {
+        use asr_acoustic::signal::{render_phones, SignalConfig};
+        use asr_acoustic::template::TemplateScorer;
+        use asr_wfst::PhoneId;
+
+        let w = SynthWfst::generate(&SynthConfig::with_states(800)).unwrap();
+        let scorer = TemplateScorer::with_default_signal(w.num_phones() - 1);
+        let audio = render_phones(
+            &[PhoneId(1), PhoneId(3), PhoneId(2)],
+            5,
+            &SignalConfig::default(),
+        );
+        let opts = DecodeOptions::with_beam(8.0);
+        let batch_scores = scorer.score_waveform(&audio);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &batch_scores);
+
+        for chunk in [1usize, 160, 163] {
+            let online = OnlineScorer::new(*scorer.mfcc_config(), &scorer);
+            let mut d = AudioStreamingDecode::new(
+                &w,
+                opts.clone(),
+                DecodeScratch::new(w.num_states()),
+                online,
+            );
+            for piece in audio.chunks(chunk) {
+                d.push_samples(piece);
+            }
+            let (result, _, _) = d.finish();
+            assert_eq!(result.cost.to_bits(), batch.cost.to_bits(), "chunk {chunk}");
+            assert_eq!(result.words, batch.words, "chunk {chunk}");
+            assert_eq!(result.best_state, batch.best_state, "chunk {chunk}");
+            assert_eq!(result.reached_final, batch.reached_final, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn audio_fed_decode_yields_partials() {
+        use asr_acoustic::signal::{render_phones, SignalConfig};
+        use asr_acoustic::template::TemplateScorer;
+        use asr_wfst::PhoneId;
+
+        let w = SynthWfst::generate(&SynthConfig::with_states(500)).unwrap();
+        let scorer = TemplateScorer::with_default_signal(w.num_phones() - 1);
+        let audio = render_phones(&[PhoneId(2), PhoneId(4)], 6, &SignalConfig::default());
+        let online = OnlineScorer::new(*scorer.mfcc_config(), &scorer);
+        let mut d = AudioStreamingDecode::new(
+            &w,
+            DecodeOptions::with_beam(8.0),
+            DecodeScratch::new(w.num_states()),
+            online,
+        );
+        let mut partials = 0;
+        for piece in audio.chunks(160) {
+            d.push_samples(piece);
+            if let Some(p) = d.partial() {
+                assert!(p.cost.is_finite());
+                partials += 1;
+            }
+        }
+        assert!(partials > 0, "partials surfaced while audio streamed");
+        // The search lags the pushed audio: one row held back plus the
+        // two-frame delta lookahead.
+        assert!(d.frames() >= audio.len() / 160 - 3);
+        let (result, _, _) = d.finish();
+        assert_eq!(result.stats.frames.len(), audio.len() / 160);
     }
 
     #[test]

@@ -1,30 +1,44 @@
-//! Streaming recognition with voice-activity endpointing and incremental
-//! decode sessions.
+//! Microphone-style streaming recognition: raw audio in, words out, with
+//! VAD-gated auto-endpointing.
 //!
-//! An always-on device records a long audio stream in which short commands
-//! are separated by silence. A cheap energy VAD gates the expensive
-//! pipeline, and each detected speech segment is served through a
-//! [`StreamingSession`]: the scorer produces acoustic rows in batches (the
-//! paper's GPU stage) and hands them to the search through the session's
-//! double-buffered row pair (the Acoustic Likelihood Buffer), with partial
-//! hypotheses available after every batch — the shape of the paper's
-//! Section VI pipelined system, in software.
+//! An always-on device hears a long audio stream in which short commands
+//! are separated by silence. Samples arrive in 10 ms packets (160 samples
+//! at 16 kHz), exactly as a microphone driver would deliver them:
+//!
+//! * a streaming [`Endpointer`] (causal energy VAD + trailing-silence
+//!   counter) decides when speech starts and when an utterance has ended —
+//!   no lookahead over the whole stream;
+//! * while speech is active, packets flow into a [`StreamingSession`] via
+//!   `push_samples`: the pooled online front-end (streaming MFCC + Δ/ΔΔ
+//!   lookahead + template scorer) fills the session's double-buffered row
+//!   pair — the software image of the paper's GPU filling the Acoustic
+//!   Likelihood Buffer — and partial hypotheses firm up as the command is
+//!   still being spoken;
+//! * a small packet delay line drops the VAD's hangover padding before it
+//!   reaches the search, so trailing near-silence is never force-aligned
+//!   onto phones (the streaming analogue of trimming batch VAD segments);
+//! * at the endpoint the session finalizes with the batch decoder's
+//!   end-of-utterance semantics: the transcript is byte-identical to
+//!   batch-recognizing the same speech frames.
 //!
 //! ```text
 //! cargo run --release --example streaming
 //! ```
 //!
+//! [`Endpointer`]: asr_repro::acoustic::vad::Endpointer
 //! [`StreamingSession`]: asr_repro::pipeline::StreamingSession
 
-use asr_repro::acoustic::signal::{render_phones, SignalConfig, Utterance};
-use asr_repro::acoustic::vad::{Vad, VadConfig};
+use asr_repro::acoustic::signal::{render_phones, SignalConfig};
+use asr_repro::acoustic::vad::{Endpointer, VadConfig};
 use asr_repro::pipeline::AsrPipeline;
 use asr_repro::wfst::PhoneId;
+use std::collections::VecDeque;
 
-/// Frames handed from scorer to search per batch (the pipelined handoff
-/// granularity; the paper overlaps scoring of batch i+1 with the search
-/// of batch i).
-const BATCH_FRAMES: usize = 10;
+/// Samples per packet: one 10 ms frame, the microphone-driver granularity.
+const PACKET: usize = 160;
+
+/// Frames of raw silence after speech that close the utterance (300 ms).
+const ENDPOINT_SILENCE: usize = 30;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = AsrPipeline::demo()?;
@@ -44,62 +58,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stream.extend(silence(40));
     }
     println!(
-        "stream: {:.1} s of audio, {} embedded commands",
+        "stream: {:.1} s of audio, {} embedded commands, {PACKET}-sample packets",
         stream.len() as f64 / 16_000.0,
         commands.len()
     );
 
-    // Endpoint with the VAD.
     let vad_cfg = VadConfig::default();
-    let vad = Vad::new(vad_cfg);
-    let activity = vad.detect(&stream);
-    // Undo the hangover padding before decoding: trailing silence would
-    // otherwise be force-aligned onto phones.
-    let segments = activity.segments_trimmed(vad_cfg.hangover);
-    println!(
-        "VAD: {:.0}% active, {} segments detected",
-        100.0 * activity.activity_ratio(),
-        segments.len()
-    );
+    let mut endpointer = Endpointer::new(vad_cfg, ENDPOINT_SILENCE);
+    // Packets ride a delay line `hangover` deep while speech is active, so
+    // the VAD's hangover padding (near-silence kept active to bridge
+    // short pauses) can be dropped at the endpoint instead of decoded.
+    let mut delay: VecDeque<Vec<f32>> = VecDeque::new();
+    let mut session = None;
+    let mut decoded: Vec<String> = Vec::new();
+    let mut speech_packets = 0usize;
 
-    // Serve each detected segment through a streaming session. The
-    // session's scratch comes from (and returns to) the pipeline's pool,
-    // so segment after segment decodes without fresh allocation.
-    let frame = 160usize;
-    let mut decoded = Vec::new();
-    for &(first, last) in &segments {
-        let lo = first * frame;
-        let hi = ((last + 1) * frame).min(stream.len());
-        let utt = Utterance {
-            samples: stream[lo..hi].to_vec(),
-            frame_phones: Vec::new(), // unknown: this is recognition
-        };
-        // Scoring stage: the "GPU" fills the score table for the segment.
-        let scores = pipeline.score(&utt);
-
-        // Search stage: rows stream into the session batch by batch.
-        let mut session = pipeline.open_session();
-        println!("  frames {first:>3}-{last:<3}");
-        let mut next_frame = 0;
-        while next_frame < scores.num_frames() {
-            let end = (next_frame + BATCH_FRAMES).min(scores.num_frames());
-            for f in next_frame..end {
-                session.push_row(scores.frame_row(f));
-            }
-            next_frame = end;
-            if let Some(partial) = session.partial() {
+    for packet in stream.chunks(PACKET) {
+        let endpoint = endpointer.push_samples(packet);
+        // Gate on the per-frame VAD decision: packets flow to the
+        // recognizer only while the detector hears speech (or its
+        // hangover), not through the pre-endpoint silence.
+        if endpointer.last_frame_active() {
+            if session.is_none() {
                 println!(
-                    "    after {:>3} frames: {:?} (cost {:.2})",
-                    partial.frames_decoded, partial.words, partial.cost
+                    "  [{:>5.2}s] speech detected, session opened",
+                    endpointer.frames() as f64 * 0.01
                 );
+                session = Some(pipeline.open_session());
+                delay.clear();
+            }
+            delay.push_back(packet.to_vec());
+            while delay.len() > vad_cfg.hangover {
+                let ready = delay.pop_front().expect("non-empty delay line");
+                let s = session.as_mut().expect("open session");
+                s.push_samples(&ready);
+                speech_packets += 1;
+                if speech_packets.is_multiple_of(10) {
+                    if let Some(partial) = s.partial() {
+                        println!(
+                            "    after {:>3} frames: {:?} (cost {:.2})",
+                            partial.frames_decoded, partial.words, partial.cost
+                        );
+                    }
+                }
             }
         }
-        let transcript = session.finalize();
-        println!(
-            "    final: {:?} (cost {:.2}, reached final: {})",
-            transcript.words, transcript.cost, transcript.reached_final
-        );
-        decoded.push(transcript.words.join(" "));
+        if endpoint {
+            // The delay line still holds the hangover padding: drop it.
+            let dropped = delay.len();
+            delay.clear();
+            let transcript = session.take().expect("endpoint implies session").finalize();
+            println!(
+                "  [{:>5.2}s] endpoint after {ENDPOINT_SILENCE} silent frames \
+                 ({dropped} hangover packets trimmed)",
+                endpointer.frames() as f64 * 0.01
+            );
+            println!(
+                "    final: {:?} (cost {:.2}, reached final: {})",
+                transcript.words, transcript.cost, transcript.reached_final
+            );
+            decoded.push(transcript.words.join(" "));
+        }
+    }
+    if let Some(mut s) = session.take() {
+        // Stream ended before an endpoint fired. If the VAD was still
+        // active on the final frame the delay line holds real speech —
+        // drain it before finalizing; if the tail had already gone
+        // silent it holds hangover padding, which stays trimmed.
+        if endpointer.last_frame_active() {
+            for packet in delay.drain(..) {
+                s.push_samples(&packet);
+            }
+        }
+        decoded.push(s.finalize().words.join(" "));
     }
 
     let expected: Vec<String> = commands.iter().map(|c| c.join(" ")).collect();
@@ -111,16 +142,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|(d, e)| d == e)
         .count();
     println!(
-        "{}/{} commands correct; pool now holds {} warm scratch set(s)",
+        "{}/{} commands correct; pools hold {} decode scratch(es)",
         correct,
         expected.len(),
         pipeline.scratch_pool().idle()
     );
-    // The VAD advantage: decode time covers only active audio.
-    let active_fraction = activity.activity_ratio();
+    let active = speech_packets as f64 / (stream.len() / PACKET) as f64;
     println!(
-        "idle {:.0}% of the stream never reached the search pipeline.",
-        100.0 * (1.0 - active_fraction)
+        "idle {:.0}% of the stream never reached the front-end or the search.",
+        100.0 * (1.0 - active)
     );
     Ok(())
 }

@@ -25,6 +25,11 @@ bench-decode:
 bench-serving:
     cargo run --release -p asr-bench --bin bench_serving
 
+# Front-end benchmark: streaming MFCC/scorer vs the batch path; splices a
+# "frontend" section into BENCH_decode.json (bar: online <= 1.25x batch).
+bench-frontend:
+    cargo run --release -p asr-bench --bin bench_frontend
+
 # Rustdoc for the whole workspace, warnings denied (as CI runs it).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -16,10 +16,17 @@
 //! steady-state heap allocations** (pinned by `tests/facade_alloc.rs`).
 //! Concurrent callers are fine — the pool grows to the peak concurrency
 //! and stays there. For utterances that arrive incrementally, use
-//! [`AsrPipeline::open_session`].
+//! [`AsrPipeline::open_session`]: sessions accept either pre-scored rows
+//! ([`StreamingSession::push_row`]) or raw 16 kHz audio
+//! ([`StreamingSession::push_samples`]), the latter through a pooled
+//! streaming front-end (incremental MFCC + scorer, see
+//! `asr_acoustic::online`) whose output is bit-identical to batch
+//! scoring. [`AsrPipeline::recognize`] itself runs on the online path,
+//! so batch recognition and streaming share one front-end.
 
 use asr_accel::config::AcceleratorConfig;
 use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
+use asr_acoustic::online::{FrameScorer, OnlineMfcc};
 use asr_acoustic::scores::AcousticTable;
 use asr_acoustic::signal::{SignalConfig, Utterance};
 use asr_acoustic::template::TemplateScorer;
@@ -32,6 +39,7 @@ use asr_wfst::grammar::Grammar;
 use asr_wfst::lexicon::{demo_lexicon, Lexicon};
 use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors from pipeline construction or use.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,7 +107,21 @@ pub struct AsrPipeline {
     signal: SignalConfig,
     options: DecodeOptions,
     scratch_pool: ScratchPool,
+    /// Warmed streaming front-ends (online MFCC state + scoring buffers),
+    /// pooled like decode scratches so raw-audio sessions are
+    /// allocation-free per frame in the steady state.
+    frontend_pool: Mutex<Vec<SessionFrontend>>,
     frames_per_phone: usize,
+}
+
+/// The per-session streaming front-end: an [`OnlineMfcc`] plus the
+/// feature/row buffers one frame of scoring works over. Checked out of
+/// (and restored to) the pipeline's front-end pool.
+#[derive(Debug)]
+struct SessionFrontend {
+    mfcc: OnlineMfcc,
+    feat: Vec<f32>,
+    row: Vec<f32>,
 }
 
 impl AsrPipeline {
@@ -121,8 +143,41 @@ impl AsrPipeline {
             signal: SignalConfig::default(),
             options,
             scratch_pool,
+            frontend_pool: Mutex::new(Vec::new()),
             frames_per_phone: 6,
         })
+    }
+
+    /// Pops a warmed streaming front-end, or builds the first one.
+    fn checkout_frontend(&self) -> SessionFrontend {
+        let pooled = self
+            .frontend_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
+        match pooled {
+            Some(mut fe) => {
+                fe.mfcc.reset();
+                fe
+            }
+            None => {
+                let mfcc = OnlineMfcc::new(*self.scorer.mfcc_config());
+                let dim = mfcc.dim();
+                SessionFrontend {
+                    mfcc,
+                    feat: vec![0.0; dim],
+                    row: vec![0.0; FrameScorer::row_len(&self.scorer)],
+                }
+            }
+        }
+    }
+
+    /// Returns a front-end to the pool for the next raw-audio session.
+    fn restore_frontend(&self, frontend: SessionFrontend) {
+        self.frontend_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(frontend);
     }
 
     /// The ready-made demo system: twelve command words, uniform grammar.
@@ -194,9 +249,16 @@ impl AsrPipeline {
 
     /// Recognizes a waveform with the software decoder, through the
     /// pooled serving path.
+    ///
+    /// Batch recognition and streaming share one front-end: this runs the
+    /// *online* path — a session fed the raw samples via
+    /// [`StreamingSession::push_samples`] — which is byte-identical to
+    /// batch-scoring the waveform and decoding the table (both halves of
+    /// that contract are pinned by tests).
     pub fn recognize(&self, utterance: &Utterance) -> Transcript {
-        let scores = self.score(utterance);
-        self.recognize_scores(&scores)
+        let mut session = self.open_session();
+        session.push_samples(&utterance.samples);
+        session.finalize()
     }
 
     /// Recognizes a pre-scored utterance (the accelerator-style
@@ -255,6 +317,7 @@ impl AsrPipeline {
                 self.options.clone(),
                 scratch,
             )),
+            frontend: None,
             front: Vec::new(),
             staging: Vec::new(),
             have_front: false,
@@ -314,6 +377,9 @@ impl AsrPipeline {
 pub struct StreamingSession<'p> {
     pipeline: &'p AsrPipeline,
     decode: Option<StreamingDecode<'p>>,
+    /// The pooled streaming front-end, checked out lazily by the first
+    /// [`StreamingSession::push_samples`]. `None` for row-fed sessions.
+    frontend: Option<SessionFrontend>,
     /// Front half of the score double buffer: the row the search will
     /// consume next (held back one row for last-frame semantics).
     front: Vec<f32>,
@@ -324,6 +390,37 @@ pub struct StreamingSession<'p> {
 }
 
 impl StreamingSession<'_> {
+    /// Pushes raw 16 kHz audio samples, in any chunking — the
+    /// microphone-style entry point. The pooled online front-end turns
+    /// them into MFCC frames and acoustic cost rows (bit-identical to
+    /// batch scoring) and feeds each row through
+    /// [`StreamingSession::push_row`]; pushes are allocation-free per
+    /// frame once the session is warm.
+    ///
+    /// The Δ/ΔΔ recurrence looks two frames ahead, so the search lags the
+    /// newest audio by up to three frames (two in the front-end, one in
+    /// the session's held-back row) until [`StreamingSession::finalize`]
+    /// flushes the tail. Feed a session *either* samples *or* pre-scored
+    /// rows: rows pushed while the front-end still holds lookahead frames
+    /// would be searched ahead of them, reordering the utterance.
+    pub fn push_samples(&mut self, samples: &[f32]) {
+        let mut frontend = self
+            .frontend
+            .take()
+            .unwrap_or_else(|| self.pipeline.checkout_frontend());
+        frontend.mfcc.push_samples(samples);
+        self.drain_frontend(&mut frontend);
+        self.frontend = Some(frontend);
+    }
+
+    /// Scores every completed front-end frame and pushes its cost row.
+    fn drain_frontend(&mut self, frontend: &mut SessionFrontend) {
+        let mut scorer = &self.pipeline.scorer;
+        while frontend.mfcc.pop_frame_into(&mut frontend.feat) {
+            scorer.score_into(&frontend.feat, &mut frontend.row);
+            self.push_row(&frontend.row);
+        }
+    }
     /// Pushes one frame's acoustic score row (`row[p]` = cost of phone
     /// `p`; use [`AcousticTable::frame_row`] or a scorer's output).
     ///
@@ -331,7 +428,18 @@ impl StreamingSession<'_> {
     /// while the search consumes the previously staged row — the
     /// double-buffered handoff of the paper's Acoustic Likelihood Buffer.
     /// After the first few rows the push itself is allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has been fed raw audio via
+    /// [`StreamingSession::push_samples`]: the front-end's lookahead
+    /// frames would be searched after this row, reordering the utterance.
     pub fn push_row(&mut self, row: &[f32]) {
+        assert!(
+            self.frontend.is_none(),
+            "push_row after push_samples: the online front-end still holds \
+             lookahead frames, so this row would be searched out of order"
+        );
         self.staging.clear();
         self.staging.extend_from_slice(row);
         if self.have_front {
@@ -371,13 +479,22 @@ impl StreamingSession<'_> {
         })
     }
 
-    /// Ends the utterance: the held-back final row gets the batch
-    /// decoder's end-of-utterance treatment, final states are selected,
-    /// and the warmed scratch returns to the pipeline's pool.
+    /// Ends the utterance: the front-end's delta lookahead (for raw-audio
+    /// sessions) is flushed with the batch edge clamping, the held-back
+    /// final row gets the batch decoder's end-of-utterance treatment,
+    /// final states are selected, and the warmed scratch and front-end
+    /// return to the pipeline's pools.
     ///
     /// The transcript is byte-identical to
-    /// [`AsrPipeline::recognize_scores`] over the same rows.
+    /// [`AsrPipeline::recognize_scores`] over the same rows — and, for
+    /// sessions fed raw samples, to batch-scoring the same waveform and
+    /// decoding the table.
     pub fn finalize(mut self) -> Transcript {
+        if let Some(mut frontend) = self.frontend.take() {
+            frontend.mfcc.finish();
+            self.drain_frontend(&mut frontend);
+            self.pipeline.restore_frontend(frontend);
+        }
         let decode = self.decode.take().expect("session not yet finalized");
         let last = if self.have_front {
             Some(self.front.as_slice())
@@ -396,6 +513,9 @@ impl StreamingSession<'_> {
 
 impl Drop for StreamingSession<'_> {
     fn drop(&mut self) {
+        if let Some(frontend) = self.frontend.take() {
+            self.pipeline.restore_frontend(frontend);
+        }
         if let Some(decode) = self.decode.take() {
             self.pipeline.scratch_pool.restore(decode.into_scratch());
         }

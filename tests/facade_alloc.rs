@@ -134,6 +134,46 @@ fn facade_frame_loop_is_allocation_free() {
 }
 
 #[test]
+fn audio_session_pushes_are_allocation_free_after_warmup() {
+    let _guard = serialized();
+    let pipeline = AsrPipeline::demo().unwrap();
+    let words = [
+        "play", "music", "play", "music", "play", "music", "play", "music", "play", "music",
+    ];
+    let audio = pipeline.render_words(&words).unwrap();
+    // Warm the pools: decode scratch, session row buffers, and the online
+    // front-end (ring, FFT scratch, delta windows, ready queue).
+    {
+        let mut session = pipeline.open_session();
+        session.push_samples(&audio.samples);
+        session.finalize();
+    }
+
+    let mut session = pipeline.open_session();
+    let chunks: Vec<&[f32]> = audio.samples.chunks(160).collect();
+    let tail_start = chunks.len() * 2 / 3;
+    for piece in &chunks[..tail_start] {
+        session.push_samples(piece);
+    }
+    let steady = count_allocs(|| {
+        for piece in &chunks[tail_start..] {
+            session.push_samples(piece);
+        }
+    });
+    let frames = (chunks.len() - tail_start) as u64;
+    assert!(
+        frames >= 40,
+        "workload too small to separate per-frame allocation from noise"
+    );
+    assert!(
+        steady <= 8,
+        "{frames} steady-state raw-audio pushes performed {steady} allocations: \
+         the online front-end is allocating per frame"
+    );
+    drop(session);
+}
+
+#[test]
 fn session_pushes_are_allocation_free_after_warmup() {
     let _guard = serialized();
     let pipeline = AsrPipeline::demo().unwrap();
