@@ -47,15 +47,17 @@
 //!   baseline;
 //! * [`parallel`]: a multi-threaded variant standing in for the GPU
 //!   decoder's arc-parallel traversal, sharding the token table by state
-//!   range for lock-free per-shard relaxation on a persistent worker
-//!   pool;
-//! * [`pool`]: the serving substrate — the long-lived fork-join
-//!   [`pool::WorkerPool`] behind the parallel decoder and the
-//!   checkout/restore [`pool::ScratchPool`] that makes repeated facade
-//!   decodes allocation-free;
+//!   range for lock-free per-shard relaxation on lanes leased from a
+//!   (possibly shared) work-stealing executor;
+//! * [`pool`]: the serving substrate — the shared work-stealing
+//!   [`pool::WorkerPool`] (global injector, per-lane deques,
+//!   steal-on-idle) that concurrent decoders and sessions lease lanes
+//!   from, and the checkout/restore [`pool::ScratchPool`] that makes
+//!   repeated facade decodes allocation-free;
 //! * [`stream`]: the batch frame loop cut open for streaming
-//!   ([`stream::StreamingDecode`]): rows in, partial hypotheses out,
-//!   byte-identical finalization;
+//!   ([`stream::StreamingDecode`], generic over borrowed or owned graph
+//!   handles): rows in, partial hypotheses out, byte-identical
+//!   finalization;
 //! * [`wer`]: word-error-rate scoring used by functional tests.
 //!
 //! # Example

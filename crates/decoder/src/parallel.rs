@@ -24,20 +24,31 @@
 //!    same frozen `emitting_best + beam` threshold as the sequential
 //!    decoder, making the closure byte-identical.
 //!
-//! # Persistent execution
+//! # Shared execution: lane leases from the work-stealing executor
 //!
-//! Earlier revisions spawned two rounds of scoped threads *per frame*;
-//! at real workloads the spawn cost dwarfed the search itself. The decoder
-//! now owns a [`WorkerPool`] whose lanes live as long as the decoder: a
-//! frame phase is one fork-join job (two condvar signals), lane 0 runs on
-//! the calling thread, and a one-lane decoder executes entirely inline
-//! with no synchronization at all. All frame-loop buffers — candidate
-//! matrices, shard tables, the resolved double buffer, the frontier — are
-//! likewise owned by the decoder and persist across `decode` calls, so a
-//! serving loop pays the allocation cost once. The retired
-//! spawn-per-frame strategy is kept as
+//! Earlier revisions spawned two rounds of scoped threads *per frame*,
+//! then owned a private fork-join pool per decoder — which made
+//! concurrent requests serialize behind per-decoder lanes. The decoder
+//! now holds a **lease on a shared [`WorkerPool`]**: construction with
+//! [`ParallelDecoder::on_pool`] attaches it to an existing executor
+//! (typically the serving runtime's one global pool), a frame phase is
+//! one fork-join job whose per-shard chunks land in the executor's
+//! injector, and idle lanes — wherever they are — steal them. N
+//! concurrent decodes therefore share all lanes instead of each hoarding
+//! its own, and their chunks interleave in the same queues. A frame
+//! phase still costs two condvar rounds, chunk 0 still runs on the
+//! calling thread, and a one-lane lease executes entirely inline with no
+//! synchronization at all.
+//!
+//! Working sets are pooled, not locked: each `decode` call checks a
+//! parallel working set out of the decoder's free list (and
+//! restores it afterwards, panic or not), so concurrent decodes on *one*
+//! decoder proceed concurrently — the pool grows to the peak concurrency
+//! and stays there, and a serving loop pays the allocation cost once.
+//! [`ParallelDecoder::new`] still builds a private single-tenant pool
+//! for standalone use; the retired spawn-per-frame strategy is kept as
 //! [`ParallelDecoder::decode_spawning`], the benchmark baseline that
-//! `bench_serving` quantifies the pool against.
+//! `bench_serving` quantifies the executor against.
 //!
 //! Results are bit-identical to the sequential
 //! [`crate::search::ViterbiDecoder`] in cost and word sequence — for any
@@ -56,7 +67,7 @@ use crate::token_table::TokenTable;
 use asr_acoustic::scores::AcousticTable;
 use asr_wfst::{StateId, Wfst, WordId};
 use std::cell::UnsafeCell;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A deferred backpointer: the lattice entry is allocated at the frame
 /// barrier, after the owning shard's relax settles the winner.
@@ -197,16 +208,22 @@ trait Fork {
     fn fork(&mut self, f: &(impl Fn(usize) + Sync));
 }
 
-/// The serving strategy: persistent lanes, condvar handoff.
-struct PoolFork<'a>(&'a mut WorkerPool);
+/// The serving strategy: a lane lease on the (possibly shared)
+/// work-stealing executor. `lanes` is the lease width — the shard count
+/// of this decode — independent of how many lanes the pool has or how
+/// many other jobs are in its queues.
+struct PoolFork<'a> {
+    pool: &'a WorkerPool,
+    lanes: usize,
+}
 
 impl Fork for PoolFork<'_> {
     fn lanes(&self) -> usize {
-        self.0.lanes()
+        self.lanes
     }
 
     fn fork(&mut self, f: &(impl Fn(usize) + Sync)) {
-        self.0.run(f);
+        self.pool.fork_join(self.lanes, f);
     }
 }
 
@@ -238,43 +255,85 @@ impl Fork for SpawnFork {
     }
 }
 
-/// Parallel beam-search decoder over a persistent worker pool.
+/// Parallel beam-search decoder leasing lanes from a work-stealing
+/// [`WorkerPool`].
 ///
-/// Construction spawns the pool; every [`ParallelDecoder::decode`] call
-/// reuses its lanes and buffers. The decoder is `Sync` — concurrent
-/// callers serialize on an internal lock, each decode getting exclusive
-/// use of the pool.
+/// The pool may be private ([`ParallelDecoder::new`]) or — the serving
+/// shape — shared across any number of decoders and sessions
+/// ([`ParallelDecoder::on_pool`]): every [`ParallelDecoder::decode`]
+/// call submits its per-shard frame phases to the executor, where idle
+/// lanes steal them alongside everyone else's. Working sets are checked
+/// out of an internal free list per call, so the decoder is `Sync` and
+/// **concurrent decodes proceed concurrently** (they no longer serialize
+/// behind a per-decoder lock); results are byte-identical to the
+/// sequential decoder for any lane count, pool sharing, and machine.
 #[derive(Debug)]
 pub struct ParallelDecoder {
     opts: DecodeOptions,
     lanes: usize,
-    engine: Mutex<Engine>,
+    pool: Arc<WorkerPool>,
+    /// Idle working sets; checkout pops, restore pushes (grows to the
+    /// peak decode concurrency, like the facade's scratch pool).
+    idle: Mutex<Vec<ParallelScratch>>,
 }
 
-#[derive(Debug)]
-struct Engine {
-    pool: WorkerPool,
-    scratch: ParallelScratch,
+/// Restores a checked-out [`ParallelScratch`] on drop, panic or not: a
+/// panicked decode must not brick the long-lived decoder, and every
+/// buffer is epoch-reset/rebuilt by the next `ensure`/`begin_frame`.
+struct ScratchLease<'d> {
+    decoder: &'d ParallelDecoder,
+    scratch: Option<ParallelScratch>,
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.decoder
+                .idle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(scratch);
+        }
+    }
 }
 
 impl ParallelDecoder {
-    /// Creates a decoder with `num_threads` persistent lanes (and as many
-    /// token-table shards). Lane 0 is the calling thread, so
-    /// `num_threads - 1` worker threads are spawned; a one-lane decoder
-    /// runs fully inline.
+    /// Creates a decoder with a private `num_threads`-lane pool (and as
+    /// many token-table shards). Chunk 0 of every phase runs on the
+    /// calling thread, so `num_threads - 1` worker threads are spawned; a
+    /// one-lane decoder runs fully inline.
+    ///
+    /// For serving, prefer [`ParallelDecoder::on_pool`] with one shared
+    /// executor — private pools put concurrent requests on disjoint
+    /// thread sets that oversubscribe the machine.
     ///
     /// # Panics
     ///
     /// Panics if `num_threads == 0`.
     pub fn new(opts: DecodeOptions, num_threads: usize) -> Self {
         assert!(num_threads > 0, "need at least one worker");
+        Self::on_pool(opts, num_threads, Arc::new(WorkerPool::new(num_threads)))
+    }
+
+    /// Creates a decoder leasing `lanes` shards' worth of work per frame
+    /// phase from a shared executor — the serving constructor: all
+    /// decoders (and pipelined sessions) on one `pool` share its lanes
+    /// through work stealing instead of hoarding private threads.
+    ///
+    /// `lanes` is the shard count of this decoder's decodes; it is
+    /// typically `pool.lanes()` but may differ (results are
+    /// byte-identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn on_pool(opts: DecodeOptions, lanes: usize, pool: Arc<WorkerPool>) -> Self {
+        assert!(lanes > 0, "need at least one worker");
         Self {
             opts,
-            lanes: num_threads,
-            engine: Mutex::new(Engine {
-                pool: WorkerPool::new(num_threads),
-                scratch: ParallelScratch::new(),
-            }),
+            lanes,
+            pool,
+            idle: Mutex::new(Vec::new()),
         }
     }
 
@@ -283,29 +342,47 @@ impl ParallelDecoder {
         Self::new(opts, WorkerPool::default_lanes())
     }
 
-    /// Lane count.
+    /// Lane count (the shard count of every decode).
     pub fn num_threads(&self) -> usize {
         self.lanes
     }
 
-    /// Runs the search on the persistent pool; `words`, `cost`,
+    /// The executor this decoder leases lanes from.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Runs the search on the leased executor lanes; `words`, `cost`,
     /// `best_state`, and `reached_final` match the sequential decoder
     /// exactly.
     ///
     /// Buffers and threads persist across calls: in a serving loop over
     /// one graph the steady state allocates only the per-decode lattice.
+    /// Concurrent calls each check out their own working set and share
+    /// the executor's lanes.
     pub fn decode(&self, wfst: &Wfst, scores: &AcousticTable) -> DecodeResult {
-        // A panicked decode (bad scores, poisoned lattice) must not brick
-        // the long-lived decoder: the pool survives panicked jobs and
-        // every buffer is epoch-reset/rebuilt below, so recovering the
-        // engine from a poisoned lock is safe.
-        let mut engine = self
-            .engine
+        let scratch = self
+            .idle
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let Engine { pool, scratch } = &mut *engine;
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_else(ParallelScratch::new);
+        let mut lease = ScratchLease {
+            decoder: self,
+            scratch: Some(scratch),
+        };
+        let scratch = lease.scratch.as_mut().expect("scratch present");
         scratch.ensure(self.lanes, wfst.num_states());
-        run_search(&self.opts, PoolFork(pool), scratch, wfst, scores)
+        run_search(
+            &self.opts,
+            PoolFork {
+                pool: &self.pool,
+                lanes: self.lanes,
+            },
+            scratch,
+            wfst,
+            scores,
+        )
     }
 
     /// Runs the search with the retired spawn-per-frame strategy: fresh
@@ -601,7 +678,7 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_decodes_on_one_decoder_serialize_safely() {
+    fn concurrent_decodes_on_one_decoder_run_concurrently_and_match() {
         let (w, scores) = workload();
         let opts = DecodeOptions::with_beam(6.0);
         let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
@@ -617,6 +694,54 @@ mod tests {
                 assert_eq!(par.words, seq.words);
             }
         });
+        // Each concurrent decode checked out its own working set; the
+        // free list is bounded by the peak concurrency.
+        let idle = d.idle.lock().unwrap().len();
+        assert!((1..=3).contains(&idle), "{idle} idle working sets");
+    }
+
+    #[test]
+    fn decoders_sharing_one_executor_stay_byte_identical() {
+        let (w, scores) = workload();
+        let opts = DecodeOptions::with_beam(6.0);
+        let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let pool = Arc::new(WorkerPool::new(3));
+        let decoders: Vec<ParallelDecoder> = (0..3)
+            .map(|_| ParallelDecoder::on_pool(opts.clone(), 3, Arc::clone(&pool)))
+            .collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for d in &decoders {
+                let (w, scores) = (&w, &scores);
+                handles.push(scope.spawn(move || {
+                    let mut last = None;
+                    for _ in 0..2 {
+                        last = Some(d.decode(w, scores));
+                    }
+                    last.expect("decoded")
+                }));
+            }
+            for handle in handles {
+                let par = handle.join().expect("decode thread");
+                assert_eq!(par.cost, seq.cost);
+                assert_eq!(par.words, seq.words);
+                assert_eq!(par.best_state, seq.best_state);
+            }
+        });
+    }
+
+    #[test]
+    fn lease_width_may_differ_from_pool_lanes() {
+        let (w, scores) = workload();
+        let opts = DecodeOptions::with_beam(6.0);
+        let seq = ViterbiDecoder::new(opts.clone()).decode(&w, &scores);
+        let pool = Arc::new(WorkerPool::new(2));
+        for lanes in [1usize, 3, 5] {
+            let d = ParallelDecoder::on_pool(opts.clone(), lanes, Arc::clone(&pool));
+            let par = d.decode(&w, &scores);
+            assert_eq!(par.cost, seq.cost, "{lanes} lanes");
+            assert_eq!(par.words, seq.words, "{lanes} lanes");
+        }
     }
 
     #[test]
@@ -627,7 +752,7 @@ mod tests {
         for threads in [1, 2] {
             let d = ParallelDecoder::new(opts.clone(), threads);
             // Scores with too few phone columns panic mid-search (out of
-            // range) while the engine lock is held...
+            // range) while a working set is checked out...
             let bad = AcousticTable::random(5, 1, (0.5, 4.0), 3);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 d.decode(&w, &bad);

@@ -1,72 +1,198 @@
-//! Persistent resources for the serving path: a long-lived fork-join
-//! worker pool and a checkout/restore pool of [`DecodeScratch`] working
+//! Persistent resources for the serving path: a shared work-stealing
+//! executor and a checkout/restore pool of [`DecodeScratch`] working
 //! sets.
 //!
-//! The paper's end-to-end system (Section VI) wins by keeping everything
-//! warm: the accelerator's tables, the DMA buffers, and the GPU's score
-//! batches all persist across utterances, so serving a request costs only
-//! the work of that request. This module gives the software decoders the
-//! same property:
+//! The paper's accelerator serves recognition as a *shared* resource: one
+//! datapath multiplexed across the whole workload, with everything warm —
+//! tables, DMA buffers, the GPU's score batches all persist across
+//! utterances (Section VI). This module gives the software decoders the
+//! same properties:
 //!
-//! * [`WorkerPool`] keeps decode threads alive across frames *and*
-//!   utterances, replacing the thread-per-frame spawns the parallel
-//!   decoder used to pay. A frame phase is one fork-join "job" announced
-//!   under a mutex and picked up by parked lanes — two condvar signals per
-//!   phase instead of two thread spawns per lane.
+//! * [`WorkerPool`] is a long-lived **work-stealing executor**: one
+//!   global injector plus per-lane deques, shared by any number of
+//!   concurrent submitters through `&self`. A frame phase is one
+//!   fork-join job whose chunk tasks land in the injector; parked lanes
+//!   pick them up (batch-grabbing siblings into their own deque so idle
+//!   lanes can steal), and the submitting thread executes chunk 0 inline
+//!   and *steals back* any of its still-queued chunks, so a busy pool
+//!   degrades gracefully to inline execution instead of queueing up.
+//!   Concurrent decodes therefore share all lanes instead of serializing
+//!   behind per-decoder pools.
 //! * [`ScratchPool`] recycles warmed [`DecodeScratch`] working sets, so a
 //!   serving facade that decodes request after request performs zero
 //!   steady-state allocations in the frame loop: checkout pops a warm
-//!   scratch, restore pushes it back.
+//!   scratch, restore pushes it back. [`ScratchPool::stats`] exposes the
+//!   cold/warm checkout split, and every operation recovers from a
+//!   poisoned lock (a panicked decode must not brick the pool).
 
 use crate::search::DecodeScratch;
+use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-/// A fork-join job: an erased closure pointer plus its trampoline.
-///
-/// The pointer is only dereferenced between publication and the final
-/// barrier of [`WorkerPool::run`], while the borrowed closure is pinned on
-/// the coordinator's stack.
-#[derive(Clone, Copy)]
-struct Job {
+/// One fork-join job in flight: the erased closure plus its completion
+/// state. Lives on the submitting thread's stack for the duration of
+/// [`WorkerPool::fork_join`], which does not return until `pending`
+/// reaches zero — the invariant that makes the raw pointers in [`Task`]
+/// sound.
+struct JobHeader {
+    /// Trampoline recovering the concrete closure type.
     run: unsafe fn(*const (), usize),
+    /// The borrowed closure, erased.
     ctx: *const (),
+    /// Chunks not yet finished executing.
+    pending: AtomicUsize,
+    /// Some chunk's closure panicked; re-raised on the submitter.
+    panicked: AtomicBool,
 }
 
-// SAFETY: the context pointer crosses threads, but `WorkerPool::run` does
-// not return (or unwind) until every lane has finished with it.
-unsafe impl Send for Job {}
-
-/// Coordination state shared between the coordinator and the lanes.
-struct PoolShared {
-    slot: Mutex<JobSlot>,
-    /// Signalled when a new job is published (lanes wait here).
-    work: Condvar,
-    /// Signalled when the last lane finishes (the coordinator waits here).
-    done: Condvar,
+/// A schedulable unit: one chunk of one job.
+#[derive(Clone, Copy)]
+struct Task {
+    header: *const JobHeader,
+    chunk: u32,
 }
 
-struct JobSlot {
-    /// Monotonic job counter; lanes run each sequence number once.
-    seq: u64,
-    job: Option<Job>,
-    /// Worker lanes still running the current job.
-    remaining: usize,
-    /// A lane's closure panicked; re-raised on the coordinator.
-    panicked: bool,
+// SAFETY: the header pointer crosses threads, but a task exists in the
+// queues only while its job's `fork_join` call is blocked on the stack
+// that owns the header.
+unsafe impl Send for Task {}
+
+/// Queues shared by all lanes and submitters, guarded by one mutex (the
+/// scheduler holds it only for queue pushes/pops, never while a task
+/// runs).
+struct ExecState {
+    /// Global injector: submitters push chunk tasks here.
+    injector: VecDeque<Task>,
+    /// Per-lane deques: a lane that pops a job from the injector
+    /// batch-grabs the job's queued siblings into its own deque, where
+    /// idle lanes (and the submitter's steal-back) can take them.
+    lane_deques: Vec<VecDeque<Task>>,
     shutdown: bool,
 }
 
-/// Long-lived fork-join worker pool.
+impl ExecState {
+    /// Next task for a worker lane: own deque first, then the injector
+    /// (batch-grabbing contiguous siblings), then steal from the deepest
+    /// other lane.
+    fn take_for_lane(&mut self, lane: usize) -> Option<Task> {
+        if let Some(task) = self.lane_deques[lane].pop_front() {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.pop_front() {
+            while let Some(next) = self.injector.front() {
+                if !std::ptr::eq(next.header, task.header) {
+                    break;
+                }
+                let sibling = self.injector.pop_front().expect("front exists");
+                self.lane_deques[lane].push_back(sibling);
+            }
+            return Some(task);
+        }
+        let victim = (0..self.lane_deques.len())
+            .filter(|&l| l != lane)
+            .max_by_key(|&l| self.lane_deques[l].len())?;
+        self.lane_deques[victim].pop_front()
+    }
+
+    /// Steal-back for a submitter: any still-queued task of *its own*
+    /// job, wherever the scheduler put it.
+    fn take_for_job(&mut self, header: *const JobHeader) -> Option<Task> {
+        if let Some(pos) = self
+            .injector
+            .iter()
+            .position(|t| std::ptr::eq(t.header, header))
+        {
+            return self.injector.remove(pos);
+        }
+        for deque in &mut self.lane_deques {
+            if let Some(pos) = deque.iter().position(|t| std::ptr::eq(t.header, header)) {
+                return deque.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+struct ExecShared {
+    state: Mutex<ExecState>,
+    /// Signalled when tasks are published (lanes wait here).
+    work: Condvar,
+    /// Signalled when a job's last task finishes (submitters wait here).
+    done: Condvar,
+}
+
+impl ExecShared {
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // A panicked task is caught before the lock is re-taken, so the
+        // queues can never be observed mid-mutation; recovering from a
+        // poisoned lock is safe and keeps the shared executor serving.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Runs one task and retires it: panics are recorded on the job, the
+/// pending count drops, and the job's submitter is woken on the last
+/// task.
+fn execute_task(shared: &ExecShared, task: Task) {
+    // SAFETY: the job header (and the closure it points to) outlives the
+    // task: `fork_join` keeps both alive until `pending` reaches zero,
+    // which cannot happen before this function's `fetch_sub`.
+    let header = unsafe { &*task.header };
+    let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
+        (header.run)(header.ctx, task.chunk as usize)
+    }));
+    if outcome.is_err() {
+        header.panicked.store(true, Ordering::Relaxed);
+    }
+    if header.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last task: wake the submitter. The lock orders the wake against
+        // the submitter's check-then-wait, so the wakeup cannot be lost;
+        // after this point the job header is never touched again.
+        let _guard = shared.lock();
+        shared.done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &ExecShared, lane: usize) {
+    loop {
+        let task = {
+            let mut state = shared.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(task) = state.take_for_lane(lane) {
+                    break task;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        execute_task(shared, task);
+    }
+}
+
+/// Long-lived work-stealing executor, shared across decoders and
+/// sessions.
 ///
-/// A pool of `lanes` executes closures of the form `f(lane)` for
-/// `lane in 0..lanes`: lane 0 runs inline on the calling thread (so a
-/// one-lane pool has **zero** synchronization overhead and spawns no
-/// threads at all), lanes `1..` run on persistent worker threads that park
-/// between jobs. [`WorkerPool::run`] returns only after every lane has
-/// finished — the frame barrier of the parallel decoder.
+/// A pool of `lanes` executes fork-join jobs submitted through
+/// [`WorkerPool::fork_join`] **by any number of threads concurrently**
+/// (`&self`): each job's chunk tasks go to a global injector, are pulled
+/// by parked worker lanes (which batch-grab sibling chunks into per-lane
+/// deques that idle lanes steal from), and the submitting thread runs
+/// chunk 0 inline then steals back whatever of its job is still queued.
+/// Concurrent requests therefore *share* all lanes — the paper's
+/// one-datapath-many-users serving shape — instead of each request
+/// serializing behind a private pool.
+///
+/// A one-lane pool spawns no threads at all and executes every job
+/// inline with zero synchronization.
 ///
 /// # Example
 ///
@@ -74,15 +200,15 @@ struct JobSlot {
 /// use asr_decoder::pool::WorkerPool;
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 ///
-/// let mut pool = WorkerPool::new(4);
+/// let pool = WorkerPool::new(4);
 /// let hits = AtomicUsize::new(0);
-/// pool.run(&|lane| {
-///     hits.fetch_add(1 << lane, Ordering::Relaxed);
+/// pool.fork_join(4, &|chunk| {
+///     hits.fetch_add(1 << chunk, Ordering::Relaxed);
 /// });
 /// assert_eq!(hits.load(Ordering::Relaxed), 0b1111);
 /// ```
 pub struct WorkerPool {
-    shared: Arc<PoolShared>,
+    shared: Arc<ExecShared>,
     handles: Vec<JoinHandle<()>>,
     lanes: usize,
 }
@@ -96,32 +222,31 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 impl WorkerPool {
-    /// Creates a pool of `lanes` execution lanes (spawning `lanes - 1`
-    /// worker threads; lane 0 is the caller).
+    /// Creates a pool of `lanes` execution lanes, spawning `lanes - 1`
+    /// worker threads (submitters always participate as the extra lane).
     ///
     /// # Panics
     ///
     /// Panics if `lanes == 0`.
     pub fn new(lanes: usize) -> Self {
         assert!(lanes > 0, "need at least one lane");
-        let shared = Arc::new(PoolShared {
-            slot: Mutex::new(JobSlot {
-                seq: 0,
-                job: None,
-                remaining: 0,
-                panicked: false,
+        let workers = lanes - 1;
+        let shared = Arc::new(ExecShared {
+            state: Mutex::new(ExecState {
+                injector: VecDeque::with_capacity(64),
+                lane_deques: (0..workers).map(|_| VecDeque::with_capacity(16)).collect(),
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let handles = (1..lanes)
+        let handles = (0..workers)
             .map(|lane| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("asr-decode-{lane}"))
+                    .name(format!("asr-exec-{lane}"))
                     .spawn(move || worker_loop(&shared, lane))
-                    .expect("spawn decode worker")
+                    .expect("spawn executor worker")
             })
             .collect();
         Self {
@@ -131,7 +256,8 @@ impl WorkerPool {
         }
     }
 
-    /// The number of execution lanes (including the caller's lane 0).
+    /// The number of execution lanes (worker threads plus the
+    /// submitter's inline lane).
     pub fn lanes(&self) -> usize {
         self.lanes
     }
@@ -144,64 +270,103 @@ impl WorkerPool {
             .unwrap_or(1)
     }
 
-    /// Runs `f(lane)` once per lane and waits for all lanes to finish.
+    /// Runs `f(chunk)` once for every `chunk in 0..chunks`, across the
+    /// pool's lanes and the calling thread, and returns when all chunks
+    /// have finished — the frame barrier of the parallel decoder.
     ///
-    /// `&mut self` guarantees exclusive use of the pool for the duration,
-    /// which is what makes handing stack-borrowed closures to the
-    /// persistent threads sound.
+    /// The call is safe to issue from any number of threads at once:
+    /// chunks from concurrent jobs interleave in the shared queues and
+    /// idle lanes steal whatever is available. The caller always executes
+    /// chunk 0 inline and reclaims its remaining chunks if no lane has
+    /// picked them up, so a saturated pool degrades to inline execution
+    /// rather than blocking. After warm-up the steady state performs no
+    /// heap allocation.
+    ///
+    /// Tasks must not themselves call `fork_join` on the same pool (the
+    /// decoders never do): a worker blocked on a nested join could wait
+    /// on work only it would execute.
     ///
     /// # Panics
     ///
-    /// Re-raises a panic if `f` panicked on any lane (after every other
-    /// lane has finished, so borrowed data stays pinned throughout).
-    pub fn run<F: Fn(usize) + Sync>(&mut self, f: &F) {
-        if self.handles.is_empty() {
-            f(0);
+    /// Re-raises a panic if `f` panicked on any chunk — after every other
+    /// chunk has finished, so data borrowed by the closure stays pinned
+    /// throughout.
+    pub fn fork_join<F: Fn(usize) + Sync>(&self, chunks: usize, f: &F) {
+        if chunks == 0 {
             return;
         }
-        /// Recovers the concrete closure type on a worker lane.
-        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), lane: usize) {
-            // SAFETY: `ctx` was erased from an `&F` that `run` keeps
-            // borrowed until after the completion barrier below.
+        if self.handles.is_empty() || chunks == 1 {
+            // No workers (one-lane pool) or nothing to overlap: run
+            // inline with zero synchronization.
+            for chunk in 0..chunks {
+                f(chunk);
+            }
+            return;
+        }
+        /// Recovers the concrete closure type on an executing lane.
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), chunk: usize) {
+            // SAFETY: `ctx` was erased from an `&F` that `fork_join`
+            // keeps borrowed until its completion barrier.
             let f = unsafe { &*(ctx.cast::<F>()) };
-            f(lane);
+            f(chunk);
         }
+        let header = JobHeader {
+            run: trampoline::<F>,
+            ctx: (f as *const F).cast(),
+            pending: AtomicUsize::new(chunks),
+            panicked: AtomicBool::new(false),
+        };
         {
-            let mut slot = self.shared.slot.lock().expect("pool lock");
-            slot.seq += 1;
-            slot.job = Some(Job {
-                run: trampoline::<F>,
-                ctx: (f as *const F).cast(),
-            });
-            slot.remaining = self.handles.len();
-            slot.panicked = false;
-            self.shared.work.notify_all();
+            let mut state = self.shared.lock();
+            for chunk in 1..chunks {
+                state.injector.push_back(Task {
+                    header: &header,
+                    chunk: chunk as u32,
+                });
+            }
+            if chunks == 2 {
+                self.shared.work.notify_one();
+            } else {
+                self.shared.work.notify_all();
+            }
         }
-        // Lane 0 runs inline; a panic here must still wait for the other
-        // lanes before unwinding releases the borrows they're using.
+        // Chunk 0 runs inline; a panic here must still wait for the other
+        // chunks before unwinding releases the borrows they're using.
         let local = catch_unwind(AssertUnwindSafe(|| f(0)));
-        let mut slot = self.shared.slot.lock().expect("pool lock");
-        while slot.remaining != 0 {
-            slot = self.shared.done.wait(slot).expect("pool lock");
+        header.pending.fetch_sub(1, Ordering::AcqRel);
+        // Steal back whatever of this job no lane has picked up yet.
+        loop {
+            let task = self.shared.lock().take_for_job(&header);
+            match task {
+                Some(task) => execute_task(&self.shared, task),
+                None => break,
+            }
         }
-        slot.job = None;
-        let lane_panicked = slot.panicked;
-        drop(slot);
+        if header.pending.load(Ordering::Acquire) != 0 {
+            let mut state = self.shared.lock();
+            while header.pending.load(Ordering::Acquire) != 0 {
+                state = self
+                    .shared
+                    .done
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
         if let Err(payload) = local {
             resume_unwind(payload);
         }
-        assert!(!lane_panicked, "worker pool lane panicked");
+        assert!(
+            !header.panicked.load(Ordering::Relaxed),
+            "worker pool lane panicked"
+        );
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut slot = match self.shared.slot.lock() {
-                Ok(slot) => slot,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            slot.shutdown = true;
+            let mut state = self.shared.lock();
+            state.shutdown = true;
             self.shared.work.notify_all();
         }
         for handle in self.handles.drain(..) {
@@ -210,52 +375,49 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared, lane: usize) {
-    let mut seen = 0u64;
-    loop {
-        let job = {
-            let mut slot = shared.slot.lock().expect("pool lock");
-            loop {
-                if slot.shutdown {
-                    return;
-                }
-                if slot.seq != seen {
-                    seen = slot.seq;
-                    break slot.job.expect("published job");
-                }
-                slot = shared.work.wait(slot).expect("pool lock");
-            }
-        };
-        // SAFETY: the coordinator keeps the closure alive until the
-        // barrier below observes `remaining == 0`.
-        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx, lane) }));
-        let mut slot = shared.slot.lock().expect("pool lock");
-        if outcome.is_err() {
-            slot.panicked = true;
-        }
-        slot.remaining -= 1;
-        if slot.remaining == 0 {
-            shared.done.notify_all();
-        }
+/// Checkout/restore accounting for a [`ScratchPool`] (see
+/// [`ScratchPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchPoolStats {
+    /// Checkouts served by allocating a fresh scratch (pool was empty:
+    /// first use, or deeper concurrency than ever before).
+    pub cold_checkouts: u64,
+    /// Checkouts served by a warm scratch from the pool.
+    pub warm_checkouts: u64,
+    /// Scratches returned to the pool.
+    pub restores: u64,
+}
+
+impl ScratchPoolStats {
+    /// Total checkouts, cold and warm.
+    pub fn checkouts(&self) -> u64 {
+        self.cold_checkouts + self.warm_checkouts
     }
 }
 
 /// A checkout/restore pool of warmed [`DecodeScratch`] working sets.
 ///
-/// The serving facade holds one of these per decoding graph: every
-/// `recognize` call and every streaming session checks a scratch out, and
-/// returns it when done. After the pool's high-water mark is reached, the
-/// steady state allocates nothing — checkout is a `Vec::pop`, restore a
+/// The serving runtime holds one of these per decoding graph: every
+/// `recognize` call and every session checks a scratch out, and returns
+/// it when done. After the pool's high-water mark is reached, the steady
+/// state allocates nothing — checkout is a `Vec::pop`, restore a
 /// `Vec::push` within capacity, and the scratch itself keeps the token
 /// tables warm (see `tests/alloc_free.rs` and the facade's
-/// `facade_alloc` test).
+/// `facade_alloc` test). The cold/warm split is observable through
+/// [`ScratchPool::stats`], so a serving loop can verify it stopped
+/// paying cold checkouts.
 ///
-/// Thread-safe: concurrent sessions each pop their own scratch; the mutex
-/// is held only for the pop/push itself.
+/// Thread-safe: concurrent sessions each pop their own scratch; the
+/// mutex is held only for the pop/push itself, and every operation
+/// recovers from a poisoned lock (the free list is always valid — a
+/// panic can at worst lose the scratch that was checked out).
 #[derive(Debug)]
 pub struct ScratchPool {
     num_states: usize,
     idle: Mutex<Vec<DecodeScratch>>,
+    cold_checkouts: AtomicU64,
+    warm_checkouts: AtomicU64,
+    restores: AtomicU64,
 }
 
 impl ScratchPool {
@@ -265,7 +427,16 @@ impl ScratchPool {
         Self {
             num_states,
             idle: Mutex::new(Vec::new()),
+            cold_checkouts: AtomicU64::new(0),
+            warm_checkouts: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
         }
+    }
+
+    /// Recovers the free list even if a holder of the lock panicked: the
+    /// `Vec` push/pop operations inside never leave it invalid.
+    fn idle_list(&self) -> MutexGuard<'_, Vec<DecodeScratch>> {
+        self.idle.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The state count scratches are sized for.
@@ -275,20 +446,42 @@ impl ScratchPool {
 
     /// Number of scratches currently idle in the pool.
     pub fn idle(&self) -> usize {
-        self.idle.lock().expect("scratch pool lock").len()
+        self.idle_list().len()
+    }
+
+    /// Checkout/restore counters since construction. In a warmed serving
+    /// loop `cold_checkouts` stops growing: every request rides a
+    /// restored scratch.
+    pub fn stats(&self) -> ScratchPoolStats {
+        ScratchPoolStats {
+            cold_checkouts: self.cold_checkouts.load(Ordering::Relaxed),
+            warm_checkouts: self.warm_checkouts.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+        }
     }
 
     /// Takes a scratch out of the pool, allocating a fresh one only when
     /// the pool is empty (first use, or more concurrent checkouts than
-    /// ever before).
+    /// ever before). The cold/warm split is recorded in
+    /// [`ScratchPool::stats`].
     pub fn checkout(&self) -> DecodeScratch {
-        let recycled = self.idle.lock().expect("scratch pool lock").pop();
-        recycled.unwrap_or_else(|| DecodeScratch::new(self.num_states))
+        let recycled = self.idle_list().pop();
+        match recycled {
+            Some(scratch) => {
+                self.warm_checkouts.fetch_add(1, Ordering::Relaxed);
+                scratch
+            }
+            None => {
+                self.cold_checkouts.fetch_add(1, Ordering::Relaxed);
+                DecodeScratch::new(self.num_states)
+            }
+        }
     }
 
     /// Returns a scratch to the pool for the next checkout to reuse.
     pub fn restore(&self, scratch: DecodeScratch) {
-        self.idle.lock().expect("scratch pool lock").push(scratch);
+        self.restores.fetch_add(1, Ordering::Relaxed);
+        self.idle_list().push(scratch);
     }
 
     /// Checks a scratch out as an RAII guard that restores it on drop.
@@ -336,22 +529,22 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn every_lane_runs_exactly_once() {
-        let mut pool = WorkerPool::new(4);
+    fn every_chunk_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
         let mask = AtomicUsize::new(0);
-        pool.run(&|lane| {
-            let prev = mask.fetch_or(1 << lane, Ordering::SeqCst);
-            assert_eq!(prev & (1 << lane), 0, "lane {lane} ran twice");
+        pool.fork_join(4, &|chunk| {
+            let prev = mask.fetch_or(1 << chunk, Ordering::SeqCst);
+            assert_eq!(prev & (1 << chunk), 0, "chunk {chunk} ran twice");
         });
         assert_eq!(mask.load(Ordering::SeqCst), 0b1111);
     }
 
     #[test]
-    fn run_is_a_barrier_between_jobs() {
-        let mut pool = WorkerPool::new(3);
+    fn fork_join_is_a_barrier_between_jobs() {
+        let pool = WorkerPool::new(3);
         let counter = AtomicUsize::new(0);
         for round in 0..50 {
-            pool.run(&|_| {
+            pool.fork_join(3, &|_| {
                 counter.fetch_add(1, Ordering::SeqCst);
             });
             assert_eq!(counter.load(Ordering::SeqCst), (round + 1) * 3);
@@ -359,16 +552,25 @@ mod tests {
     }
 
     #[test]
+    fn more_chunks_than_lanes_all_run() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.fork_join(10, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
     fn single_lane_pool_runs_inline_without_threads() {
-        let mut pool = WorkerPool::new(1);
+        let pool = WorkerPool::new(1);
         let thread_id = std::thread::current().id();
         let ran = AtomicUsize::new(0);
-        pool.run(&|lane| {
-            assert_eq!(lane, 0);
+        pool.fork_join(3, &|_| {
             assert_eq!(std::thread::current().id(), thread_id);
             ran.fetch_add(1, Ordering::SeqCst);
         });
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
     }
 
     #[test]
@@ -378,12 +580,12 @@ mod tests {
     }
 
     #[test]
-    fn lane_panic_propagates_to_coordinator() {
+    fn chunk_panic_propagates_to_submitter() {
         let outcome = catch_unwind(|| {
-            let mut pool = WorkerPool::new(2);
-            pool.run(&|lane| {
-                if lane == 1 {
-                    panic!("lane failure");
+            let pool = WorkerPool::new(2);
+            pool.fork_join(2, &|chunk| {
+                if chunk == 1 {
+                    panic!("chunk failure");
                 }
             });
         });
@@ -392,20 +594,47 @@ mod tests {
 
     #[test]
     fn pool_survives_a_panicked_job() {
-        let mut pool = WorkerPool::new(2);
+        let pool = WorkerPool::new(2);
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            pool.run(&|lane| {
-                if lane == 1 {
+            pool.fork_join(2, &|chunk| {
+                if chunk == 1 {
                     panic!("transient failure");
                 }
             });
         }));
         // The pool still works after the failed job.
         let counter = AtomicUsize::new(0);
-        pool.run(&|_| {
+        pool.fork_join(2, &|_| {
             counter.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let total = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let local = AtomicUsize::new(0);
+                    pool.fork_join(3, &|_| {
+                        local.fetch_add(1, Ordering::SeqCst);
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                    // The join is per-job even with three other
+                    // submitters interleaving tasks in the same queues.
+                    assert_eq!(local.load(Ordering::SeqCst), 3);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("submitter thread");
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * 3);
     }
 
     #[test]
@@ -419,6 +648,53 @@ mod tests {
         assert_eq!(pool.idle(), 2);
         let _c = pool.checkout();
         assert_eq!(pool.idle(), 1, "checkout reuses an idle scratch");
+    }
+
+    #[test]
+    fn scratch_pool_stats_split_cold_from_warm() {
+        let pool = ScratchPool::new(64);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(
+            pool.stats(),
+            ScratchPoolStats {
+                cold_checkouts: 2,
+                warm_checkouts: 0,
+                restores: 0
+            }
+        );
+        pool.restore(a);
+        pool.restore(b);
+        let c = pool.checkout();
+        pool.restore(c);
+        let stats = pool.stats();
+        assert_eq!(stats.cold_checkouts, 2, "warm pool stops allocating");
+        assert_eq!(stats.warm_checkouts, 1);
+        assert_eq!(stats.restores, 3);
+        assert_eq!(stats.checkouts(), 3);
+    }
+
+    #[test]
+    fn scratch_pool_recovers_from_a_poisoned_lock() {
+        let pool = ScratchPool::new(16);
+        pool.restore(DecodeScratch::new(16));
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = pool.idle.lock().expect("not yet poisoned");
+                panic!("poison the scratch pool lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(pool.idle.lock().is_err(), "lock is poisoned");
+        // Every operation keeps serving through the recovered guard.
+        assert_eq!(pool.idle(), 1);
+        let scratch = pool.checkout();
+        pool.restore(scratch);
+        {
+            let _guard = pool.scratch();
+        }
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.stats().warm_checkouts, 2);
     }
 
     #[test]

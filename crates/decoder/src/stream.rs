@@ -33,6 +33,7 @@ use crate::search::{
 };
 use asr_acoustic::online::{FrameScorer, OnlineScorer};
 use asr_wfst::{StateId, Wfst, WordId};
+use std::ops::Deref;
 
 /// A mid-utterance best hypothesis, read without disturbing the search.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,14 +48,20 @@ pub struct PartialHypothesis {
     pub frames: usize,
 }
 
-/// An in-flight incremental decode over a borrowed WFST.
+/// An in-flight incremental decode over a WFST handle.
+///
+/// Generic over how the graph is held: `G` is any [`Deref`] to a
+/// [`Wfst`] — a plain `&Wfst` for pipeline-scoped streams, or an
+/// `Arc<Wfst>` for **owned** streams with no borrowed lifetime at all,
+/// which is what lets the runtime's sessions be `Send + 'static` and
+/// migrate between threads mid-utterance.
 ///
 /// Create one per utterance with a (pooled) [`DecodeScratch`], feed score
 /// rows through [`StreamingDecode::step`], and recover the scratch from
 /// [`StreamingDecode::finish`] for the next utterance.
 #[derive(Debug)]
-pub struct StreamingDecode<'w> {
-    wfst: &'w Wfst,
+pub struct StreamingDecode<G: Deref<Target = Wfst>> {
+    wfst: G,
     opts: DecodeOptions,
     scratch: DecodeScratch,
     lattice: Lattice,
@@ -63,18 +70,19 @@ pub struct StreamingDecode<'w> {
     alive: bool,
 }
 
-impl<'w> StreamingDecode<'w> {
+impl<G: Deref<Target = Wfst>> StreamingDecode<G> {
     /// Starts a decode: seeds the start state and runs the initial
     /// epsilon closure, exactly like the batch decoder's preamble.
-    pub fn new(wfst: &'w Wfst, opts: DecodeOptions, mut scratch: DecodeScratch) -> Self {
-        scratch.ensure(wfst.num_states());
+    pub fn new(wfst: G, opts: DecodeOptions, mut scratch: DecodeScratch) -> Self {
+        let graph: &Wfst = &wfst;
+        scratch.ensure(graph.num_states());
         let mut lattice = Lattice::new();
         scratch.cur.begin_frame();
         let start_trace = lattice.push(TraceId::ROOT, WordId::NONE);
-        scratch.cur.relax(wfst.start().0, 0.0, || start_trace);
+        scratch.cur.relax(graph.start().0, 0.0, || start_trace);
         let mut preamble_fs = FrameStats::default();
         epsilon_closure(
-            wfst,
+            graph,
             &mut scratch.cur,
             &mut lattice,
             &mut preamble_fs,
@@ -160,7 +168,7 @@ impl<'w> StreamingDecode<'w> {
             ..
         } = self;
         let result = finish_decode(
-            wfst,
+            &wfst,
             &mut scratch.cur,
             &mut scratch.frontier,
             lattice,
@@ -180,7 +188,7 @@ impl<'w> StreamingDecode<'w> {
         if !self.alive {
             return;
         }
-        let wfst = self.wfst;
+        let wfst: &Wfst = &self.wfst;
         let lattice = &mut self.lattice;
         let DecodeScratch {
             cur,
@@ -245,18 +253,18 @@ impl<'w> StreamingDecode<'w> {
 /// chunking of a waveform and finishing is therefore byte-identical to
 /// batch-scoring the waveform and batch-decoding the table.
 #[derive(Debug)]
-pub struct AudioStreamingDecode<'w, S> {
-    decode: StreamingDecode<'w>,
+pub struct AudioStreamingDecode<G: Deref<Target = Wfst>, S> {
+    decode: StreamingDecode<G>,
     scorer: OnlineScorer<S>,
     front: Vec<f32>,
     staging: Vec<f32>,
     have_front: bool,
 }
 
-impl<'w, S: FrameScorer> AudioStreamingDecode<'w, S> {
+impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
     /// Starts an audio-fed decode over a (pooled) scratch.
     pub fn new(
-        wfst: &'w Wfst,
+        wfst: G,
         opts: DecodeOptions,
         scratch: DecodeScratch,
         scorer: OnlineScorer<S>,

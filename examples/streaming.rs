@@ -1,22 +1,29 @@
-//! Microphone-style streaming recognition: raw audio in, words out, with
-//! VAD-gated auto-endpointing.
+//! Microphone-style streaming recognition on the shared runtime: two
+//! concurrent mics, raw audio in, words out, with VAD-gated
+//! auto-endpointing.
 //!
-//! An always-on device hears a long audio stream in which short commands
-//! are separated by silence. Samples arrive in 10 ms packets (160 samples
-//! at 16 kHz), exactly as a microphone driver would deliver them:
+//! An always-on device hears long audio streams in which short commands
+//! are separated by silence — and a *serving* deployment hears many such
+//! streams at once. This example runs two microphone threads against
+//! **one** [`AsrRuntime`]: the runtime handle is cloned into each thread
+//! (an `Arc` bump), and every utterance opens an owned [`Session`] —
+//! `Send + 'static`, no pipeline borrow — so each connection drives its
+//! own recognition while sharing the runtime's scratch pool, front-end
+//! pool, and work-stealing executor. Per stream:
 //!
+//! * samples arrive in 10 ms packets (160 samples at 16 kHz), exactly as
+//!   a microphone driver would deliver them;
 //! * a streaming [`Endpointer`] (causal energy VAD + trailing-silence
-//!   counter) decides when speech starts and when an utterance has ended —
-//!   no lookahead over the whole stream;
-//! * while speech is active, packets flow into a [`StreamingSession`] via
-//!   `push_samples`: the pooled online front-end (streaming MFCC + Δ/ΔΔ
-//!   lookahead + template scorer) fills the session's double-buffered row
-//!   pair — the software image of the paper's GPU filling the Acoustic
-//!   Likelihood Buffer — and partial hypotheses firm up as the command is
-//!   still being spoken;
+//!   counter) decides when speech starts and when an utterance has ended;
+//! * while speech is active, packets flow into the session via
+//!   `push_samples`: the pooled online front-end fills the session's
+//!   double-buffered row pair — the software image of the paper's GPU
+//!   filling the Acoustic Likelihood Buffer — and, on a multi-lane
+//!   runtime, each new frame's scoring runs as a stolen executor task
+//!   while the search relaxes the previous row (Section VI pipelining);
 //! * a small packet delay line drops the VAD's hangover padding before it
 //!   reaches the search, so trailing near-silence is never force-aligned
-//!   onto phones (the streaming analogue of trimming batch VAD segments);
+//!   onto phones;
 //! * at the endpoint the session finalizes with the batch decoder's
 //!   end-of-utterance semantics: the transcript is byte-identical to
 //!   batch-recognizing the same speech frames.
@@ -25,12 +32,13 @@
 //! cargo run --release --example streaming
 //! ```
 //!
+//! [`AsrRuntime`]: asr_repro::runtime::AsrRuntime
+//! [`Session`]: asr_repro::runtime::Session
 //! [`Endpointer`]: asr_repro::acoustic::vad::Endpointer
-//! [`StreamingSession`]: asr_repro::pipeline::StreamingSession
 
 use asr_repro::acoustic::signal::{render_phones, SignalConfig};
 use asr_repro::acoustic::vad::{Endpointer, VadConfig};
-use asr_repro::pipeline::AsrPipeline;
+use asr_repro::runtime::AsrRuntime;
 use asr_repro::wfst::PhoneId;
 use std::collections::VecDeque;
 
@@ -40,25 +48,27 @@ const PACKET: usize = 160;
 /// Frames of raw silence after speech that close the utterance (300 ms).
 const ENDPOINT_SILENCE: usize = 30;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let pipeline = AsrPipeline::demo()?;
+/// One always-on microphone: builds a silence-separated command stream,
+/// then runs the VAD-gated packet loop, opening an owned session per
+/// utterance. Runs on its own thread; `runtime` is a cheap clone of the
+/// shared handle.
+fn run_mic(
+    runtime: AsrRuntime,
+    mic: &str,
+    commands: Vec<Vec<&str>>,
+) -> Result<Vec<String>, Box<dyn std::error::Error + Send + Sync>> {
     let signal = SignalConfig::default();
     let silence = |frames: usize| render_phones(&[PhoneId::EPSILON], frames, &signal);
 
-    // Build a 10-ish second stream: silence, command, silence, command...
-    let commands: Vec<Vec<&str>> = vec![
-        vec!["lights", "on"],
-        vec!["play", "music"],
-        vec!["call", "mom"],
-    ];
+    // Silence, command, silence, command...
     let mut stream: Vec<f32> = silence(40);
     for cmd in &commands {
-        let utt = pipeline.render_words(cmd)?;
+        let utt = runtime.render_words(cmd)?;
         stream.extend_from_slice(&utt.samples);
         stream.extend(silence(40));
     }
     println!(
-        "stream: {:.1} s of audio, {} embedded commands, {PACKET}-sample packets",
+        "[{mic}] stream: {:.1} s of audio, {} embedded commands, {PACKET}-sample packets",
         stream.len() as f64 / 16_000.0,
         commands.len()
     );
@@ -81,10 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if endpointer.last_frame_active() {
             if session.is_none() {
                 println!(
-                    "  [{:>5.2}s] speech detected, session opened",
+                    "[{mic}]   [{:>5.2}s] speech detected, session opened",
                     endpointer.frames() as f64 * 0.01
                 );
-                session = Some(pipeline.open_session());
+                session = Some(runtime.open_session());
                 delay.clear();
             }
             delay.push_back(packet.to_vec());
@@ -96,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if speech_packets.is_multiple_of(10) {
                     if let Some(partial) = s.partial() {
                         println!(
-                            "    after {:>3} frames: {:?} (cost {:.2})",
+                            "[{mic}]     after {:>3} frames: {:?} (cost {:.2})",
                             partial.frames_decoded, partial.words, partial.cost
                         );
                     }
@@ -109,12 +119,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             delay.clear();
             let transcript = session.take().expect("endpoint implies session").finalize();
             println!(
-                "  [{:>5.2}s] endpoint after {ENDPOINT_SILENCE} silent frames \
+                "[{mic}]   [{:>5.2}s] endpoint after {ENDPOINT_SILENCE} silent frames \
                  ({dropped} hangover packets trimmed)",
                 endpointer.frames() as f64 * 0.01
             );
             println!(
-                "    final: {:?} (cost {:.2}, reached final: {})",
+                "[{mic}]     final: {:?} (cost {:.2}, reached final: {})",
                 transcript.words, transcript.cost, transcript.reached_final
             );
             decoded.push(transcript.words.join(" "));
@@ -133,24 +143,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         decoded.push(s.finalize().words.join(" "));
     }
 
-    let expected: Vec<String> = commands.iter().map(|c| c.join(" ")).collect();
-    println!("\nexpected: {expected:?}");
-    println!("decoded:  {decoded:?}");
-    let correct = decoded
-        .iter()
-        .zip(&expected)
-        .filter(|(d, e)| d == e)
-        .count();
+    let idle_fraction = 1.0 - speech_packets as f64 / (stream.len() / PACKET) as f64;
     println!(
-        "{}/{} commands correct; pools hold {} decode scratch(es)",
-        correct,
-        expected.len(),
-        pipeline.scratch_pool().idle()
+        "[{mic}] idle {:.0}% of the stream never reached the front-end or the search.",
+        100.0 * idle_fraction
     );
-    let active = speech_packets as f64 / (stream.len() / PACKET) as f64;
+    Ok(decoded)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One runtime serves every microphone: shared graph, shared pools,
+    // shared executor.
+    let runtime = AsrRuntime::demo()?;
+    let mic_a_commands: Vec<Vec<&str>> = vec![
+        vec!["lights", "on"],
+        vec!["play", "music"],
+        vec!["call", "mom"],
+    ];
+    let mic_b_commands: Vec<Vec<&str>> =
+        vec![vec!["stop"], vec!["lights", "off"], vec!["go", "home"]];
+
     println!(
-        "idle {:.0}% of the stream never reached the front-end or the search.",
-        100.0 * (1.0 - active)
+        "one runtime ({} executor lane(s)), two concurrent microphone threads\n",
+        runtime.lanes()
+    );
+
+    // Each mic is a plain spawned thread holding a clone of the runtime
+    // handle; the sessions it opens are owned and Send.
+    let handle_a = {
+        let runtime = runtime.clone();
+        let commands = mic_a_commands.clone();
+        std::thread::spawn(move || run_mic(runtime, "mic-A", commands))
+    };
+    let handle_b = {
+        let runtime = runtime.clone();
+        let commands = mic_b_commands.clone();
+        std::thread::spawn(move || run_mic(runtime, "mic-B", commands))
+    };
+    let decoded_a = handle_a
+        .join()
+        .expect("mic-A thread")
+        .map_err(|e| e.to_string())?;
+    let decoded_b = handle_b
+        .join()
+        .expect("mic-B thread")
+        .map_err(|e| e.to_string())?;
+
+    let mut correct = 0;
+    let mut total = 0;
+    for (mic, commands, decoded) in [
+        ("mic-A", &mic_a_commands, &decoded_a),
+        ("mic-B", &mic_b_commands, &decoded_b),
+    ] {
+        let expected: Vec<String> = commands.iter().map(|c| c.join(" ")).collect();
+        println!("\n[{mic}] expected: {expected:?}");
+        println!("[{mic}] decoded:  {decoded:?}");
+        correct += decoded
+            .iter()
+            .zip(&expected)
+            .filter(|(d, e)| d == e)
+            .count();
+        total += expected.len();
+    }
+    let stats = runtime.scratch_pool().stats();
+    println!(
+        "\n{correct}/{total} commands correct across both mics; scratch pool: \
+         {} cold / {} warm checkouts, {} idle",
+        stats.cold_checkouts,
+        stats.warm_checkouts,
+        runtime.scratch_pool().idle()
     );
     Ok(())
 }

@@ -20,10 +20,18 @@ check:
 bench-decode:
     cargo run --release -p asr-bench --bin bench_decode
 
-# Serving-path benchmark: persistent pools vs per-request construction;
-# splices a "serving" section into BENCH_decode.json.
+# Serving-path benchmark: persistent pools vs per-request construction,
+# plus the runtime concurrency sweep; splices a "serving" section into
+# BENCH_decode.json.
 bench-serving:
     cargo run --release -p asr-bench --bin bench_serving
+
+# Runtime concurrency sweep (shared work-stealing executor vs private
+# per-decoder pools at 1/2/4/8 concurrent sessions) — the same binary as
+# bench-serving with the sweep sizes spelled out; part of the "serving"
+# section of BENCH_decode.json.
+bench-runtime:
+    cargo run --release -p asr-bench --bin bench_serving -- --sessions 1,2,4,8
 
 # Front-end benchmark: streaming MFCC/scorer vs the batch path; splices a
 # "frontend" section into BENCH_decode.json (bar: online <= 1.25x batch).

@@ -12,31 +12,36 @@
 //! | [`accel`] | the paper's contribution: a cycle-accurate simulator of the 5-stage accelerator, its caches, hash tables, arc prefetcher, state-layout optimization, and energy/area models |
 //! | [`platform`] | calibrated CPU/GPU baselines and the pipelined full-system model |
 //!
-//! This crate re-exports them and adds [`pipeline::AsrPipeline`], a
-//! high-level "microphone to words" API used by the runnable examples.
-//! The pipeline is a *serving* facade: it pools warmed decode working
-//! sets ([`decoder::pool::ScratchPool`]) so repeated recognitions are
-//! allocation-free per frame, and it exposes streaming sessions
-//! ([`pipeline::StreamingSession`]) that consume acoustic score rows as
-//! they are produced — the software image of the paper's batch-pipelined
-//! GPU-to-accelerator handoff.
+//! This crate re-exports them and adds the serving layer:
+//! [`runtime::AsrRuntime`], a shared "microphone to words" runtime that
+//! owns the engine state behind an `Arc` plus **one global work-stealing
+//! executor**, and hands out owned [`runtime::Session`]s
+//! (`Send + 'static`) that any thread can drive and migrate
+//! mid-utterance. Scratches and front-ends are pooled
+//! ([`decoder::pool::ScratchPool`]) so repeated recognitions are
+//! allocation-free per frame; on a multi-lane runtime each session
+//! overlaps the scoring of frame *i + 1* with the search of frame *i*
+//! (the paper's Section VI pipelining) with byte-identical results. The
+//! pre-runtime facade [`pipeline::AsrPipeline`] survives as a thin
+//! wrapper.
 //!
 //! # Quick start
 //!
 //! ```
-//! use asr_repro::pipeline::AsrPipeline;
+//! use asr_repro::runtime::AsrRuntime;
 //!
-//! let pipeline = AsrPipeline::demo()?;
-//! let audio = pipeline.render_words(&["call", "mom"])?;
-//! let transcript = pipeline.recognize(&audio);
+//! let runtime = AsrRuntime::demo()?;
+//! let audio = runtime.render_words(&["call", "mom"])?;
+//! let transcript = runtime.recognize(&audio);
 //! assert_eq!(transcript.words, vec!["call", "mom"]);
 //! # Ok::<(), asr_repro::PipelineError>(())
 //! ```
 //!
-//! For incremental input, open a session (see
-//! [`AsrPipeline::open_session`] for a runnable example): push score
-//! rows, pull [`pipeline::Hypothesis`] partials, and `finalize()` into
-//! the same transcript the batch path produces.
+//! For incremental input, open an owned session (see
+//! [`AsrRuntime::open_session`] for a runnable example): push raw
+//! samples or score rows, pull [`runtime::Hypothesis`] partials — from
+//! any thread — and `finalize()` into the same transcript the batch
+//! path produces.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -48,5 +53,10 @@ pub use asr_platform as platform;
 pub use asr_wfst as wfst;
 
 pub mod pipeline;
+pub mod runtime;
 
-pub use pipeline::{AsrPipeline, Hypothesis, PipelineError, StreamingSession, Transcript};
+pub use pipeline::{AsrPipeline, StreamingSession};
+pub use runtime::{
+    AsrRuntime, Hypothesis, PipelineError, RuntimeConfig, RuntimeError, Session, SessionOptions,
+    Transcript,
+};

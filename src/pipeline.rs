@@ -1,127 +1,42 @@
-//! High-level ASR pipeline: waveform in, words out.
+//! The legacy single-tenant facade, kept as a thin wrapper over
+//! [`AsrRuntime`].
 //!
-//! Wires the substrates together the way the paper's Figure 3 system does:
-//! a decoding graph compiled from a lexicon and grammar, an acoustic model
-//! scoring 10 ms frames, and a Viterbi beam search — either the reference
-//! software decoder (the "CPU" path) or the cycle-accurate accelerator
-//! simulator (the "ASIC" path, which also yields hardware statistics).
+//! **Deprecated in favour of [`crate::runtime`].** `AsrPipeline` predates
+//! the shared runtime: its sessions borrow the pipeline
+//! (`StreamingSession<'_>` cannot leave the thread-of-birth's borrow
+//! scope), and historically every parallel decoder hoarded a private
+//! worker pool. Both limitations are gone underneath — the pipeline now
+//! *is* a runtime handle, every call delegates, and the borrowed
+//! session is an owned [`Session`] wearing a lifetime for source
+//! compatibility — but new code should hold an [`AsrRuntime`] directly:
+//! it adds owned `Send + 'static` sessions, the shared work-stealing
+//! executor, configuration builders, and lane-leased batch decoders.
 //!
-//! # Serving
-//!
-//! The pipeline is built to be held for the lifetime of a service, not a
-//! single request. It owns a [`ScratchPool`] of warmed decode working
-//! sets: every [`AsrPipeline::recognize`] call and every streaming
-//! [`StreamingSession`] checks one out and returns it, so after the pool's
-//! high-water mark is reached, the decode frame loop performs **zero
-//! steady-state heap allocations** (pinned by `tests/facade_alloc.rs`).
-//! Concurrent callers are fine — the pool grows to the peak concurrency
-//! and stays there. For utterances that arrive incrementally, use
-//! [`AsrPipeline::open_session`]: sessions accept either pre-scored rows
-//! ([`StreamingSession::push_row`]) or raw 16 kHz audio
-//! ([`StreamingSession::push_samples`]), the latter through a pooled
-//! streaming front-end (incremental MFCC + scorer, see
-//! `asr_acoustic::online`) whose output is bit-identical to batch
-//! scoring. [`AsrPipeline::recognize`] itself runs on the online path,
-//! so batch recognition and streaming share one front-end.
+//! Everything documented here keeps its behaviour: pooled scratches,
+//! zero steady-state allocations per frame, byte-identical streaming
+//! (`tests/facade_alloc.rs`, `tests/serving.rs`, `tests/audio_session.rs`
+//! all still pin this surface).
 
+use crate::runtime::{AsrRuntime, Session};
 use asr_accel::config::AcceleratorConfig;
-use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
-use asr_acoustic::online::{FrameScorer, OnlineMfcc};
+use asr_accel::sim::SimResult;
 use asr_acoustic::scores::AcousticTable;
-use asr_acoustic::signal::{SignalConfig, Utterance};
-use asr_acoustic::template::TemplateScorer;
+use asr_acoustic::signal::Utterance;
 use asr_decoder::pool::ScratchPool;
-use asr_decoder::search::{DecodeOptions, ViterbiDecoder};
-use asr_decoder::stream::StreamingDecode;
-use asr_decoder::wer;
-use asr_wfst::compose::build_decoding_graph;
+use asr_decoder::search::DecodeOptions;
 use asr_wfst::grammar::Grammar;
-use asr_wfst::lexicon::{demo_lexicon, Lexicon};
-use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
-use std::fmt;
-use std::sync::Mutex;
+use asr_wfst::lexicon::Lexicon;
+use asr_wfst::Wfst;
+use std::marker::PhantomData;
 
-/// Errors from pipeline construction or use.
-#[derive(Debug, Clone, PartialEq)]
-#[non_exhaustive]
-pub enum PipelineError {
-    /// Underlying WFST construction failed.
-    Wfst(WfstError),
-    /// A word is not in the pipeline's lexicon.
-    UnknownWord(String),
-}
+pub use crate::runtime::{Hypothesis, PipelineError, Transcript};
 
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Wfst(e) => write!(f, "decoding-graph construction failed: {e}"),
-            PipelineError::UnknownWord(w) => write!(f, "word {w:?} is not in the lexicon"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            PipelineError::Wfst(e) => Some(e),
-            PipelineError::UnknownWord(_) => None,
-        }
-    }
-}
-
-impl From<WfstError> for PipelineError {
-    fn from(e: WfstError) -> Self {
-        PipelineError::Wfst(e)
-    }
-}
-
-/// A recognized utterance.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Transcript {
-    /// Recognized words, in order.
-    pub words: Vec<String>,
-    /// Viterbi path cost (lower is better).
-    pub cost: f32,
-    /// Whether the best path ended in a final state of the graph.
-    pub reached_final: bool,
-}
-
-/// A mid-utterance hypothesis pulled from a [`StreamingSession`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct Hypothesis {
-    /// Words on the current best path, in utterance order.
-    pub words: Vec<String>,
-    /// Path cost of the current best token (no final cost applied).
-    pub cost: f32,
-    /// Frames the search has consumed so far (one behind the frames
-    /// pushed: the newest row waits in the session's score buffer).
-    pub frames_decoded: usize,
-}
-
-/// A complete small-vocabulary ASR system.
+/// A complete small-vocabulary ASR system — the legacy name for a
+/// [`AsrRuntime`] handle (see the module docs; prefer the runtime in new
+/// code).
 #[derive(Debug)]
 pub struct AsrPipeline {
-    lexicon: Lexicon,
-    graph: Wfst,
-    scorer: TemplateScorer,
-    signal: SignalConfig,
-    options: DecodeOptions,
-    scratch_pool: ScratchPool,
-    /// Warmed streaming front-ends (online MFCC state + scoring buffers),
-    /// pooled like decode scratches so raw-audio sessions are
-    /// allocation-free per frame in the steady state.
-    frontend_pool: Mutex<Vec<SessionFrontend>>,
-    frames_per_phone: usize,
-}
-
-/// The per-session streaming front-end: an [`OnlineMfcc`] plus the
-/// feature/row buffers one frame of scoring works over. Checked out of
-/// (and restored to) the pipeline's front-end pool.
-#[derive(Debug)]
-struct SessionFrontend {
-    mfcc: OnlineMfcc,
-    feat: Vec<f32>,
-    row: Vec<f32>,
+    runtime: AsrRuntime,
 }
 
 impl AsrPipeline {
@@ -132,52 +47,9 @@ impl AsrPipeline {
     /// Returns [`PipelineError::Wfst`] if the decoding graph cannot be
     /// composed.
     pub fn new(lexicon: Lexicon, grammar: &Grammar) -> Result<Self, PipelineError> {
-        let graph = build_decoding_graph(&lexicon, grammar)?;
-        let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
-        let options = DecodeOptions::with_beam(40.0);
-        let scratch_pool = ScratchPool::new(graph.num_states());
         Ok(Self {
-            lexicon,
-            graph,
-            scorer,
-            signal: SignalConfig::default(),
-            options,
-            scratch_pool,
-            frontend_pool: Mutex::new(Vec::new()),
-            frames_per_phone: 6,
+            runtime: AsrRuntime::new(lexicon, grammar)?,
         })
-    }
-
-    /// Pops a warmed streaming front-end, or builds the first one.
-    fn checkout_frontend(&self) -> SessionFrontend {
-        let pooled = self
-            .frontend_pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .pop();
-        match pooled {
-            Some(mut fe) => {
-                fe.mfcc.reset();
-                fe
-            }
-            None => {
-                let mfcc = OnlineMfcc::new(*self.scorer.mfcc_config());
-                let dim = mfcc.dim();
-                SessionFrontend {
-                    mfcc,
-                    feat: vec![0.0; dim],
-                    row: vec![0.0; FrameScorer::row_len(&self.scorer)],
-                }
-            }
-        }
-    }
-
-    /// Returns a front-end to the pool for the next raw-audio session.
-    fn restore_frontend(&self, frontend: SessionFrontend) {
-        self.frontend_pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(frontend);
     }
 
     /// The ready-made demo system: twelve command words, uniform grammar.
@@ -186,30 +58,41 @@ impl AsrPipeline {
     ///
     /// Propagates graph construction failures (none for the built-in data).
     pub fn demo() -> Result<Self, PipelineError> {
-        let lexicon = demo_lexicon();
-        let words: Vec<WordId> = (1..=lexicon.num_words() as u32).map(WordId).collect();
-        Self::new(lexicon, &Grammar::uniform(&words))
+        Ok(Self {
+            runtime: AsrRuntime::demo()?,
+        })
+    }
+
+    /// The runtime this facade wraps — the full API (owned sessions,
+    /// executor, configuration) lives there.
+    pub fn runtime(&self) -> &AsrRuntime {
+        &self.runtime
+    }
+
+    /// Unwraps the facade into its runtime handle.
+    pub fn into_runtime(self) -> AsrRuntime {
+        self.runtime
     }
 
     /// The decoding graph (for inspection and accelerator experiments).
     pub fn graph(&self) -> &Wfst {
-        &self.graph
+        self.runtime.graph()
     }
 
     /// The lexicon.
     pub fn lexicon(&self) -> &Lexicon {
-        &self.lexicon
+        self.runtime.lexicon()
     }
 
     /// The beam-search options every software decode uses.
     pub fn options(&self) -> &DecodeOptions {
-        &self.options
+        self.runtime.options()
     }
 
     /// The scratch pool backing the serving path (for observability:
-    /// [`ScratchPool::idle`] is the warm-set high-water mark).
+    /// [`ScratchPool::stats`] splits cold checkouts from warm restores).
     pub fn scratch_pool(&self) -> &ScratchPool {
-        &self.scratch_pool
+        self.runtime.scratch_pool()
     }
 
     /// Renders a synthetic utterance speaking `words`.
@@ -218,25 +101,7 @@ impl AsrPipeline {
     ///
     /// Returns [`PipelineError::UnknownWord`] for out-of-vocabulary words.
     pub fn render_words(&self, words: &[&str]) -> Result<Utterance, PipelineError> {
-        let mut phones: Vec<PhoneId> = Vec::new();
-        for word in words {
-            let id = self
-                .lexicon
-                .word_id(word)
-                .ok_or_else(|| PipelineError::UnknownWord((*word).to_owned()))?;
-            let pron = self
-                .lexicon
-                .pronunciations()
-                .iter()
-                .find(|(w, _)| *w == id)
-                .expect("lexicon invariant: every word has a pronunciation");
-            phones.extend_from_slice(&pron.1);
-        }
-        Ok(Utterance::render(
-            &phones,
-            self.frames_per_phone,
-            &self.signal,
-        ))
+        self.runtime.render_words(words)
     }
 
     /// Scores a waveform into the per-frame acoustic cost table the
@@ -244,21 +109,14 @@ impl AsrPipeline {
     /// exposed so callers can split scoring from search (batch scoring,
     /// then streaming the rows through a session).
     pub fn score(&self, utterance: &Utterance) -> AcousticTable {
-        self.scorer.score_waveform(&utterance.samples)
+        self.runtime.score(utterance)
     }
 
     /// Recognizes a waveform with the software decoder, through the
-    /// pooled serving path.
-    ///
-    /// Batch recognition and streaming share one front-end: this runs the
-    /// *online* path — a session fed the raw samples via
-    /// [`StreamingSession::push_samples`] — which is byte-identical to
-    /// batch-scoring the waveform and decoding the table (both halves of
-    /// that contract are pinned by tests).
+    /// pooled serving path (a one-shot session internally — see
+    /// [`AsrRuntime::recognize`]).
     pub fn recognize(&self, utterance: &Utterance) -> Transcript {
-        let mut session = self.open_session();
-        session.push_samples(&utterance.samples);
-        session.finalize()
+        self.runtime.recognize(utterance)
     }
 
     /// Recognizes a pre-scored utterance (the accelerator-style
@@ -266,14 +124,7 @@ impl AsrPipeline {
     /// pooled serving path: the decode reuses a warmed scratch from the
     /// pool and is allocation-free per frame in the steady state.
     pub fn recognize_scores(&self, scores: &AcousticTable) -> Transcript {
-        let mut scratch = self.scratch_pool.scratch();
-        let decoder = ViterbiDecoder::new(self.options.clone());
-        let result = decoder.decode_with(&mut scratch, &self.graph, scores);
-        Transcript {
-            words: self.lexicon.transcript(&result.words),
-            cost: result.cost,
-            reached_final: result.reached_final,
-        }
+        self.runtime.recognize_scores(scores)
     }
 
     /// Opens a streaming recognition session: push score frames as they
@@ -287,6 +138,10 @@ impl AsrPipeline {
     /// final row can receive the batch decoder's end-of-utterance
     /// treatment. Finalizing therefore yields exactly the transcript
     /// [`AsrPipeline::recognize_scores`] produces for the same rows.
+    ///
+    /// The returned session is an owned [`Session`] wearing the
+    /// pipeline's lifetime for source compatibility; use
+    /// [`AsrRuntime::open_session`] for one that is `Send + 'static`.
     ///
     /// # Example
     ///
@@ -309,19 +164,9 @@ impl AsrPipeline {
     /// # Ok::<(), asr_repro::PipelineError>(())
     /// ```
     pub fn open_session(&self) -> StreamingSession<'_> {
-        let scratch = self.scratch_pool.checkout();
         StreamingSession {
-            pipeline: self,
-            decode: Some(StreamingDecode::new(
-                &self.graph,
-                self.options.clone(),
-                scratch,
-            )),
-            frontend: None,
-            front: Vec::new(),
-            staging: Vec::new(),
-            have_front: false,
-            frames_pushed: 0,
+            session: self.runtime.open_session(),
+            _pipeline: PhantomData,
         }
     }
 
@@ -337,97 +182,43 @@ impl AsrPipeline {
         utterance: &Utterance,
         cfg: AcceleratorConfig,
     ) -> Result<(Transcript, SimResult), PipelineError> {
-        let scores = self.scorer.score_waveform(&utterance.samples);
-        let mut cfg = cfg;
-        cfg.beam = self.options.beam;
-        let prepared = PreparedWfst::new(&self.graph, &cfg)?;
-        let result = Simulator::new(cfg).decode(&prepared, &scores);
-        let transcript = Transcript {
-            words: self.lexicon.transcript(&result.words),
-            cost: result.cost,
-            reached_final: result.reached_final,
-        };
-        Ok((transcript, result))
+        self.runtime.recognize_on_accelerator(utterance, cfg)
     }
 
     /// Word error rate of a hypothesis against a reference word sequence.
     pub fn wer(&self, reference: &[&str], transcript: &Transcript) -> f64 {
-        let to_ids = |words: &[String]| -> Vec<WordId> {
-            words
-                .iter()
-                .map(|w| self.lexicon.word_id(w).unwrap_or(WordId(u32::MAX)))
-                .collect()
-        };
-        let ref_owned: Vec<String> = reference.iter().map(|s| (*s).to_owned()).collect();
-        wer::wer(&to_ids(&ref_owned), &to_ids(&transcript.words))
+        self.runtime.wer(reference, transcript)
     }
 }
 
-/// An in-flight streaming recognition over a borrowed [`AsrPipeline`].
+/// An in-flight streaming recognition bound to a borrowed
+/// [`AsrPipeline`] — the legacy session type.
 ///
-/// Created by [`AsrPipeline::open_session`]. Push acoustic score rows with
-/// [`StreamingSession::push_row`]/[`StreamingSession::push_frames`], read
-/// the evolving best hypothesis with [`StreamingSession::partial`], and
-/// end with [`StreamingSession::finalize`]. Dropping a session without
-/// finalizing returns its warmed scratch to the pipeline's pool.
+/// Created by [`AsrPipeline::open_session`]. Underneath it is an owned
+/// runtime [`Session`]; the lifetime exists only for source
+/// compatibility with pre-runtime callers. Push acoustic score rows with
+/// [`StreamingSession::push_row`]/[`StreamingSession::push_frames`] or
+/// raw audio with [`StreamingSession::push_samples`], read the evolving
+/// best hypothesis with [`StreamingSession::partial`], and end with
+/// [`StreamingSession::finalize`]. Dropping a session without finalizing
+/// returns its warmed scratch to the pipeline's pool.
 ///
 /// Sessions are independent: any number may be open concurrently, from
 /// any threads, against one pipeline.
 #[derive(Debug)]
 pub struct StreamingSession<'p> {
-    pipeline: &'p AsrPipeline,
-    decode: Option<StreamingDecode<'p>>,
-    /// The pooled streaming front-end, checked out lazily by the first
-    /// [`StreamingSession::push_samples`]. `None` for row-fed sessions.
-    frontend: Option<SessionFrontend>,
-    /// Front half of the score double buffer: the row the search will
-    /// consume next (held back one row for last-frame semantics).
-    front: Vec<f32>,
-    /// Staging half: where an incoming row lands before the swap.
-    staging: Vec<f32>,
-    have_front: bool,
-    frames_pushed: usize,
+    session: Session,
+    _pipeline: PhantomData<&'p AsrPipeline>,
 }
 
 impl StreamingSession<'_> {
-    /// Pushes raw 16 kHz audio samples, in any chunking — the
-    /// microphone-style entry point. The pooled online front-end turns
-    /// them into MFCC frames and acoustic cost rows (bit-identical to
-    /// batch scoring) and feeds each row through
-    /// [`StreamingSession::push_row`]; pushes are allocation-free per
-    /// frame once the session is warm.
-    ///
-    /// The Δ/ΔΔ recurrence looks two frames ahead, so the search lags the
-    /// newest audio by up to three frames (two in the front-end, one in
-    /// the session's held-back row) until [`StreamingSession::finalize`]
-    /// flushes the tail. Feed a session *either* samples *or* pre-scored
-    /// rows: rows pushed while the front-end still holds lookahead frames
-    /// would be searched ahead of them, reordering the utterance.
+    /// Pushes raw 16 kHz audio samples, in any chunking (see
+    /// [`Session::push_samples`]).
     pub fn push_samples(&mut self, samples: &[f32]) {
-        let mut frontend = self
-            .frontend
-            .take()
-            .unwrap_or_else(|| self.pipeline.checkout_frontend());
-        frontend.mfcc.push_samples(samples);
-        self.drain_frontend(&mut frontend);
-        self.frontend = Some(frontend);
+        self.session.push_samples(samples);
     }
 
-    /// Scores every completed front-end frame and pushes its cost row.
-    fn drain_frontend(&mut self, frontend: &mut SessionFrontend) {
-        let mut scorer = &self.pipeline.scorer;
-        while frontend.mfcc.pop_frame_into(&mut frontend.feat) {
-            scorer.score_into(&frontend.feat, &mut frontend.row);
-            self.push_row(&frontend.row);
-        }
-    }
-    /// Pushes one frame's acoustic score row (`row[p]` = cost of phone
-    /// `p`; use [`AcousticTable::frame_row`] or a scorer's output).
-    ///
-    /// The row is staged in the back half of the session's score buffer
-    /// while the search consumes the previously staged row — the
-    /// double-buffered handoff of the paper's Acoustic Likelihood Buffer.
-    /// After the first few rows the push itself is allocation-free.
+    /// Pushes one frame's acoustic score row (see [`Session::push_row`]).
     ///
     /// # Panics
     ///
@@ -435,90 +226,29 @@ impl StreamingSession<'_> {
     /// [`StreamingSession::push_samples`]: the front-end's lookahead
     /// frames would be searched after this row, reordering the utterance.
     pub fn push_row(&mut self, row: &[f32]) {
-        assert!(
-            self.frontend.is_none(),
-            "push_row after push_samples: the online front-end still holds \
-             lookahead frames, so this row would be searched out of order"
-        );
-        self.staging.clear();
-        self.staging.extend_from_slice(row);
-        if self.have_front {
-            if let Some(decode) = self.decode.as_mut() {
-                decode.step(&self.front);
-            }
-        }
-        std::mem::swap(&mut self.front, &mut self.staging);
-        self.have_front = true;
-        self.frames_pushed += 1;
+        self.session.push_row(row);
     }
 
-    /// Pushes every frame of a scored batch, in order — the per-batch
-    /// handoff a pipelined scorer would perform.
+    /// Pushes every frame of a scored batch, in order.
     pub fn push_frames(&mut self, scores: &AcousticTable) {
-        for frame in 0..scores.num_frames() {
-            self.push_row(scores.frame_row(frame));
-        }
+        self.session.push_frames(scores);
     }
 
     /// Frames pushed into the session so far.
     pub fn frames_pushed(&self) -> usize {
-        self.frames_pushed
+        self.session.frames_pushed()
     }
 
-    /// The current best hypothesis (empty words before any audio: the
-    /// start state's closure), or `None` after the beam pruned every
-    /// path or the session was finalized. The search runs one row behind
-    /// the pushes, so `frames_decoded` lags [`Self::frames_pushed`] by
-    /// one.
+    /// The current best hypothesis (see [`Session::partial`]).
     pub fn partial(&self) -> Option<Hypothesis> {
-        let decode = self.decode.as_ref()?;
-        decode.partial().map(|p| Hypothesis {
-            words: self.pipeline.lexicon.transcript(&p.words),
-            cost: p.cost,
-            frames_decoded: p.frames,
-        })
+        self.session.partial()
     }
 
-    /// Ends the utterance: the front-end's delta lookahead (for raw-audio
-    /// sessions) is flushed with the batch edge clamping, the held-back
-    /// final row gets the batch decoder's end-of-utterance treatment,
-    /// final states are selected, and the warmed scratch and front-end
-    /// return to the pipeline's pools.
-    ///
-    /// The transcript is byte-identical to
-    /// [`AsrPipeline::recognize_scores`] over the same rows — and, for
-    /// sessions fed raw samples, to batch-scoring the same waveform and
-    /// decoding the table.
-    pub fn finalize(mut self) -> Transcript {
-        if let Some(mut frontend) = self.frontend.take() {
-            frontend.mfcc.finish();
-            self.drain_frontend(&mut frontend);
-            self.pipeline.restore_frontend(frontend);
-        }
-        let decode = self.decode.take().expect("session not yet finalized");
-        let last = if self.have_front {
-            Some(self.front.as_slice())
-        } else {
-            None
-        };
-        let (result, scratch) = decode.finish(last);
-        self.pipeline.scratch_pool.restore(scratch);
-        Transcript {
-            words: self.pipeline.lexicon.transcript(&result.words),
-            cost: result.cost,
-            reached_final: result.reached_final,
-        }
-    }
-}
-
-impl Drop for StreamingSession<'_> {
-    fn drop(&mut self) {
-        if let Some(frontend) = self.frontend.take() {
-            self.pipeline.restore_frontend(frontend);
-        }
-        if let Some(decode) = self.decode.take() {
-            self.pipeline.scratch_pool.restore(decode.into_scratch());
-        }
+    /// Ends the utterance and returns the transcript (see
+    /// [`Session::finalize`]): byte-identical to
+    /// [`AsrPipeline::recognize_scores`] over the same rows.
+    pub fn finalize(self) -> Transcript {
+        self.session.finalize()
     }
 }
 
@@ -562,6 +292,9 @@ mod tests {
             1,
             "sequential decodes share one scratch"
         );
+        let stats = p.scratch_pool().stats();
+        assert_eq!(stats.cold_checkouts, 1, "only the first checkout was cold");
+        assert_eq!(stats.warm_checkouts, 3);
     }
 
     #[test]

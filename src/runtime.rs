@@ -1,0 +1,900 @@
+//! The shared serving runtime: one engine, one executor, any number of
+//! owned sessions.
+//!
+//! The paper's accelerator is a *shared* recognition resource — one
+//! datapath multiplexed across all traffic, with scoring and search
+//! overlapped (Section VI) — and [`AsrRuntime`] is the software image of
+//! that deployment shape. The runtime owns the engine state (decoding
+//! graph, lexicon, acoustic scorer, scratch and front-end pools) behind
+//! an [`Arc`], plus **one global work-stealing executor**
+//! ([`WorkerPool`]): per-decoder private pools are replaced by lane
+//! leases from the shared executor, so N concurrent decodes share all
+//! lanes instead of serializing behind per-request thread sets.
+//!
+//! [`AsrRuntime::open_session`] returns an **owned [`Session`]**:
+//! `Send + 'static`, no borrowed pipeline lifetime, so callers can open
+//! a session on one thread, hand it to another mid-utterance, and
+//! finalize it anywhere — the natural shape for per-connection tasks in
+//! a server. Cloning the runtime handle is an `Arc` bump; all clones
+//! share the same pools and executor.
+//!
+//! # Section VI pipelining
+//!
+//! On top of the shared executor, a session overlaps its front-end with
+//! its search: while the search relaxes the held-back row of packet
+//! *i*, the scoring of packet *i + 1* runs as a stolen task on another
+//! lane — exactly the paper's GPU-scores-batch-*i + 1*-while-the-
+//! accelerator-searches-batch-*i* overlap, shrunk to frame granularity.
+//! Results stay **byte-identical** to the sequential path because the
+//! two halves touch disjoint state (the search never reads the row
+//! being scored, the scorer never reads the search) and the rows enter
+//! the search in the same order; determinism is structural, not lucky.
+//! When the runtime has a single lane (or overlap is disabled through
+//! [`SessionOptions`]), the session simply scores inline — same bytes,
+//! no synchronization.
+//!
+//! # Entry points, unified
+//!
+//! Batch, pre-scored, and raw-audio recognition are all one code path:
+//! [`AsrRuntime::recognize`] and [`AsrRuntime::recognize_scores`] are
+//! one-shot sessions internally, so every equivalence pinned for
+//! sessions (byte-identity to the batch decoder, zero steady-state
+//! allocations per frame) covers the batch API for free. The legacy
+//! [`crate::pipeline::AsrPipeline`] facade survives as a thin wrapper
+//! over a runtime.
+
+use asr_accel::config::AcceleratorConfig;
+use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
+use asr_acoustic::online::{FrameScorer, OnlineMfcc};
+use asr_acoustic::scores::AcousticTable;
+use asr_acoustic::signal::{SignalConfig, Utterance};
+use asr_acoustic::template::TemplateScorer;
+use asr_decoder::parallel::ParallelDecoder;
+use asr_decoder::pool::{ScratchPool, WorkerPool};
+use asr_decoder::search::DecodeOptions;
+use asr_decoder::stream::StreamingDecode;
+use asr_decoder::wer;
+use asr_wfst::compose::build_decoding_graph;
+use asr_wfst::grammar::Grammar;
+use asr_wfst::lexicon::{demo_lexicon, Lexicon};
+use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Errors from runtime (or pipeline) construction or use.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Underlying WFST construction failed.
+    Wfst(WfstError),
+    /// A word is not in the runtime's lexicon.
+    UnknownWord(String),
+}
+
+/// The runtime's error type — the same enum the legacy pipeline facade
+/// reports, under the name the new API reads naturally with.
+pub type RuntimeError = PipelineError;
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Wfst(e) => write!(f, "decoding-graph construction failed: {e}"),
+            PipelineError::UnknownWord(w) => write!(f, "word {w:?} is not in the lexicon"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Wfst(e) => Some(e),
+            PipelineError::UnknownWord(_) => None,
+        }
+    }
+}
+
+impl From<WfstError> for PipelineError {
+    fn from(e: WfstError) -> Self {
+        PipelineError::Wfst(e)
+    }
+}
+
+/// A recognized utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// Recognized words, in order.
+    pub words: Vec<String>,
+    /// Viterbi path cost (lower is better).
+    pub cost: f32,
+    /// Whether the best path ended in a final state of the graph.
+    pub reached_final: bool,
+}
+
+/// A mid-utterance hypothesis pulled from a [`Session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// Words on the current best path, in utterance order.
+    pub words: Vec<String>,
+    /// Path cost of the current best token (no final cost applied).
+    pub cost: f32,
+    /// Frames the search has consumed so far (one behind the frames
+    /// pushed: the newest row waits in the session's score buffer).
+    pub frames_decoded: usize,
+}
+
+/// Construction-time configuration for an [`AsrRuntime`], as a builder.
+///
+/// ```
+/// use asr_repro::runtime::{AsrRuntime, RuntimeConfig};
+///
+/// let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2).beam(40.0))?;
+/// assert_eq!(runtime.lanes(), 2);
+/// # Ok::<(), asr_repro::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    lanes: usize,
+    options: DecodeOptions,
+    frames_per_phone: usize,
+}
+
+impl Default for RuntimeConfig {
+    /// Machine-sized executor, the demo beam, six frames per rendered
+    /// phone.
+    fn default() -> Self {
+        Self {
+            lanes: WorkerPool::default_lanes(),
+            options: DecodeOptions::with_beam(40.0),
+            frames_per_phone: 6,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration (see [`RuntimeConfig::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the executor width: the number of lanes the runtime's shared
+    /// [`WorkerPool`] has. `1` means no worker threads at all — every
+    /// decode and every session runs inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        self.lanes = lanes;
+        self
+    }
+
+    /// Sets the beam width every decode uses.
+    pub fn beam(mut self, beam: f32) -> Self {
+        self.options.beam = beam;
+        self
+    }
+
+    /// Replaces the full beam-search option set.
+    pub fn decode_options(mut self, options: DecodeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Frames per phone for [`AsrRuntime::render_words`]' synthetic
+    /// speech.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames_per_phone == 0`.
+    pub fn frames_per_phone(mut self, frames_per_phone: usize) -> Self {
+        assert!(frames_per_phone > 0, "need at least one frame per phone");
+        self.frames_per_phone = frames_per_phone;
+        self
+    }
+}
+
+/// Per-session options for [`AsrRuntime::open_session_with`], as a
+/// builder.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// `None` = automatic: overlap scoring with the search whenever the
+    /// runtime's executor has more than one lane.
+    overlap: Option<bool>,
+}
+
+impl SessionOptions {
+    /// The default options: overlap scoring and search automatically
+    /// when the executor has lanes to steal from.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces the Section VI scoring/search overlap on or off for this
+    /// session. Results are byte-identical either way; `false` removes
+    /// all executor traffic from the session's pushes, `true` requests
+    /// overlap even where it cannot win (it still degrades to inline
+    /// execution on a one-lane runtime).
+    pub fn overlap_scoring(mut self, overlap: bool) -> Self {
+        self.overlap = Some(overlap);
+        self
+    }
+}
+
+/// The per-session streaming front-end: an [`OnlineMfcc`] plus the
+/// feature/row buffers one frame of scoring works over. Checked out of
+/// (and restored to) the runtime's front-end pool.
+#[derive(Debug)]
+struct SessionFrontend {
+    mfcc: OnlineMfcc,
+    feat: Vec<f32>,
+    row: Vec<f32>,
+}
+
+/// Engine state shared by every clone of a runtime handle and every
+/// session opened from it.
+#[derive(Debug)]
+struct RuntimeInner {
+    lexicon: Lexicon,
+    graph: Arc<Wfst>,
+    scorer: TemplateScorer,
+    signal: SignalConfig,
+    options: DecodeOptions,
+    lanes: usize,
+    scratch_pool: ScratchPool,
+    /// Warmed streaming front-ends (online MFCC state + scoring
+    /// buffers), pooled like decode scratches so raw-audio sessions are
+    /// allocation-free per frame in the steady state.
+    frontend_pool: Mutex<Vec<SessionFrontend>>,
+    /// The shared work-stealing executor, spun up on first use (a
+    /// one-lane runtime never spawns it).
+    executor: OnceLock<Arc<WorkerPool>>,
+    frames_per_phone: usize,
+}
+
+impl RuntimeInner {
+    /// Pops a warmed streaming front-end, or builds the first one.
+    fn checkout_frontend(&self) -> SessionFrontend {
+        let pooled = self
+            .frontend_pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match pooled {
+            Some(mut fe) => {
+                fe.mfcc.reset();
+                fe
+            }
+            None => {
+                let mfcc = OnlineMfcc::new(*self.scorer.mfcc_config());
+                let dim = mfcc.dim();
+                SessionFrontend {
+                    mfcc,
+                    feat: vec![0.0; dim],
+                    row: vec![0.0; FrameScorer::row_len(&&self.scorer)],
+                }
+            }
+        }
+    }
+
+    /// Returns a front-end to the pool for the next raw-audio session.
+    fn restore_frontend(&self, frontend: SessionFrontend) {
+        self.frontend_pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(frontend);
+    }
+}
+
+/// The shared serving runtime: engine state plus one global
+/// work-stealing executor, handing out owned [`Session`]s.
+///
+/// Cloning the handle is an `Arc` bump — clone it freely into
+/// per-connection threads; every clone shares the scratch pool, the
+/// front-end pool, and the executor.
+///
+/// # Quick start
+///
+/// ```
+/// use asr_repro::runtime::AsrRuntime;
+///
+/// let runtime = AsrRuntime::demo()?;
+/// let audio = runtime.render_words(&["call", "mom"])?;
+/// let transcript = runtime.recognize(&audio);
+/// assert_eq!(transcript.words, vec!["call", "mom"]);
+/// # Ok::<(), asr_repro::PipelineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsrRuntime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl AsrRuntime {
+    /// Builds a runtime from a lexicon and grammar with the default
+    /// [`RuntimeConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Wfst`] if the decoding graph cannot be
+    /// composed.
+    pub fn new(lexicon: Lexicon, grammar: &Grammar) -> Result<Self, PipelineError> {
+        Self::with_config(lexicon, grammar, RuntimeConfig::default())
+    }
+
+    /// Builds a runtime with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Wfst`] if the decoding graph cannot be
+    /// composed.
+    pub fn with_config(
+        lexicon: Lexicon,
+        grammar: &Grammar,
+        config: RuntimeConfig,
+    ) -> Result<Self, PipelineError> {
+        let graph = Arc::new(build_decoding_graph(&lexicon, grammar)?);
+        let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
+        let scratch_pool = ScratchPool::new(graph.num_states());
+        Ok(Self {
+            inner: Arc::new(RuntimeInner {
+                lexicon,
+                graph,
+                scorer,
+                signal: SignalConfig::default(),
+                options: config.options,
+                lanes: config.lanes,
+                scratch_pool,
+                frontend_pool: Mutex::new(Vec::new()),
+                executor: OnceLock::new(),
+                frames_per_phone: config.frames_per_phone,
+            }),
+        })
+    }
+
+    /// The ready-made demo system: twelve command words, uniform
+    /// grammar, default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction failures (none for the built-in
+    /// data).
+    pub fn demo() -> Result<Self, PipelineError> {
+        Self::demo_with(RuntimeConfig::default())
+    }
+
+    /// The demo system with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction failures (none for the built-in
+    /// data).
+    pub fn demo_with(config: RuntimeConfig) -> Result<Self, PipelineError> {
+        let lexicon = demo_lexicon();
+        let words: Vec<WordId> = (1..=lexicon.num_words() as u32).map(WordId).collect();
+        Self::with_config(lexicon, &Grammar::uniform(&words), config)
+    }
+
+    /// The decoding graph (for inspection and accelerator experiments).
+    pub fn graph(&self) -> &Wfst {
+        &self.inner.graph
+    }
+
+    /// The lexicon.
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.inner.lexicon
+    }
+
+    /// The beam-search options every decode uses.
+    pub fn options(&self) -> &DecodeOptions {
+        &self.inner.options
+    }
+
+    /// The configured executor width.
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes
+    }
+
+    /// The scratch pool backing the serving path (for observability:
+    /// [`ScratchPool::stats`] splits cold checkouts from warm restores).
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.inner.scratch_pool
+    }
+
+    /// The shared work-stealing executor, or `None` on a one-lane
+    /// runtime (which never spawns worker threads). Spun up lazily on
+    /// first call; every session and leased decoder shares it.
+    pub fn executor(&self) -> Option<&Arc<WorkerPool>> {
+        if self.inner.lanes <= 1 {
+            return None;
+        }
+        Some(
+            self.inner
+                .executor
+                .get_or_init(|| Arc::new(WorkerPool::new(self.inner.lanes))),
+        )
+    }
+
+    /// Leases a parallel batch decoder on the runtime's shared executor
+    /// (the accelerator-deployment shape for bulk pre-scored decodes):
+    /// its per-frame shard phases interleave with every other lease and
+    /// session in the same injector, so concurrent batch decodes share
+    /// all lanes. On a one-lane runtime the decoder runs fully inline.
+    pub fn lease_decoder(&self) -> ParallelDecoder {
+        match self.executor() {
+            Some(pool) => ParallelDecoder::on_pool(
+                self.inner.options.clone(),
+                self.inner.lanes,
+                Arc::clone(pool),
+            ),
+            None => ParallelDecoder::new(self.inner.options.clone(), 1),
+        }
+    }
+
+    /// Renders a synthetic utterance speaking `words`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::UnknownWord`] for out-of-vocabulary
+    /// words.
+    pub fn render_words(&self, words: &[&str]) -> Result<Utterance, PipelineError> {
+        let mut phones: Vec<PhoneId> = Vec::new();
+        for word in words {
+            let id = self
+                .inner
+                .lexicon
+                .word_id(word)
+                .ok_or_else(|| PipelineError::UnknownWord((*word).to_owned()))?;
+            let pron = self
+                .inner
+                .lexicon
+                .pronunciations()
+                .iter()
+                .find(|(w, _)| *w == id)
+                .expect("lexicon invariant: every word has a pronunciation");
+            phones.extend_from_slice(&pron.1);
+        }
+        Ok(Utterance::render(
+            &phones,
+            self.inner.frames_per_phone,
+            &self.inner.signal,
+        ))
+    }
+
+    /// Scores a waveform into the per-frame acoustic cost table the
+    /// search consumes — the scoring stage of the paper's pipeline,
+    /// exposed so callers can split scoring from search.
+    pub fn score(&self, utterance: &Utterance) -> AcousticTable {
+        self.inner.scorer.score_waveform(&utterance.samples)
+    }
+
+    /// Recognizes a waveform: a one-shot [`Session`] fed the raw
+    /// samples. Byte-identical to batch-scoring the waveform and
+    /// decoding the table (both halves of that contract are pinned by
+    /// tests), allocation-free per frame once the pools are warm.
+    pub fn recognize(&self, utterance: &Utterance) -> Transcript {
+        let mut session = self.open_session();
+        session.push_samples(&utterance.samples);
+        session.finalize()
+    }
+
+    /// Recognizes a pre-scored utterance (the accelerator-style
+    /// deployment, where the acoustic model runs elsewhere): a one-shot
+    /// [`Session`] fed the score rows, riding a warmed scratch from the
+    /// shared pool.
+    pub fn recognize_scores(&self, scores: &AcousticTable) -> Transcript {
+        let mut session = self.open_session();
+        session.push_frames(scores);
+        session.finalize()
+    }
+
+    /// Opens an owned streaming session with default [`SessionOptions`].
+    ///
+    /// The session is `Send + 'static`: it holds the engine through the
+    /// runtime's `Arc`, not a borrow, so it can be driven from any
+    /// thread and handed between threads mid-utterance. Push score rows
+    /// or raw audio, read [`Session::partial`] hypotheses, then
+    /// [`Session::finalize`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asr_repro::runtime::AsrRuntime;
+    ///
+    /// let runtime = AsrRuntime::demo()?;
+    /// let audio = runtime.render_words(&["play", "music"])?;
+    ///
+    /// let mut session = runtime.open_session();
+    /// session.push_samples(&audio.samples);
+    /// // Owned and Send: finish the utterance on another thread.
+    /// let transcript = std::thread::spawn(move || session.finalize())
+    ///     .join()
+    ///     .expect("session thread");
+    /// assert_eq!(transcript.words, vec!["play", "music"]);
+    /// # Ok::<(), asr_repro::PipelineError>(())
+    /// ```
+    pub fn open_session(&self) -> Session {
+        self.open_session_with(SessionOptions::default())
+    }
+
+    /// Opens an owned streaming session with explicit options.
+    pub fn open_session_with(&self, options: SessionOptions) -> Session {
+        let scratch = self.inner.scratch_pool.checkout();
+        let overlap = options.overlap.unwrap_or(true);
+        let executor = if overlap {
+            self.executor().cloned()
+        } else {
+            None
+        };
+        Session {
+            runtime: Arc::clone(&self.inner),
+            decode: Some(StreamingDecode::new(
+                Arc::clone(&self.inner.graph),
+                self.inner.options.clone(),
+                scratch,
+            )),
+            frontend: None,
+            executor,
+            front: Vec::new(),
+            staging: Vec::new(),
+            have_front: false,
+            frames_pushed: 0,
+        }
+    }
+
+    /// Recognizes a waveform on the simulated accelerator, returning the
+    /// transcript together with the full hardware result (cycles,
+    /// traffic, cache statistics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WFST re-layout failures for state-optimized designs.
+    pub fn recognize_on_accelerator(
+        &self,
+        utterance: &Utterance,
+        cfg: AcceleratorConfig,
+    ) -> Result<(Transcript, SimResult), PipelineError> {
+        let scores = self.inner.scorer.score_waveform(&utterance.samples);
+        let mut cfg = cfg;
+        cfg.beam = self.inner.options.beam;
+        let prepared = PreparedWfst::new(&self.inner.graph, &cfg)?;
+        let result = Simulator::new(cfg).decode(&prepared, &scores);
+        let transcript = Transcript {
+            words: self.inner.lexicon.transcript(&result.words),
+            cost: result.cost,
+            reached_final: result.reached_final,
+        };
+        Ok((transcript, result))
+    }
+
+    /// Word error rate of a hypothesis against a reference word
+    /// sequence.
+    pub fn wer(&self, reference: &[&str], transcript: &Transcript) -> f64 {
+        let to_ids = |words: &[String]| -> Vec<WordId> {
+            words
+                .iter()
+                .map(|w| self.inner.lexicon.word_id(w).unwrap_or(WordId(u32::MAX)))
+                .collect()
+        };
+        let ref_owned: Vec<String> = reference.iter().map(|s| (*s).to_owned()).collect();
+        wer::wer(&to_ids(&ref_owned), &to_ids(&transcript.words))
+    }
+}
+
+/// An owned, in-flight streaming recognition: `Send + 'static`.
+///
+/// Created by [`AsrRuntime::open_session`]. The session holds the engine
+/// through the runtime's `Arc` — no borrowed lifetime — so it can be
+/// moved freely between threads, including mid-utterance. Push acoustic
+/// score rows with [`Session::push_row`]/[`Session::push_frames`] or raw
+/// 16 kHz audio with [`Session::push_samples`], read the evolving best
+/// hypothesis with [`Session::partial`], and end with
+/// [`Session::finalize`]. Dropping a session without finalizing returns
+/// its warmed scratch and front-end to the runtime's pools.
+///
+/// Sessions are independent: any number may be open concurrently, from
+/// any threads, against one runtime. When the runtime's executor has
+/// more than one lane, a raw-audio session overlaps the scoring of each
+/// new frame with the search of the previous one (the paper's Section VI
+/// pipelining) — byte-identical to the inline path.
+#[derive(Debug)]
+pub struct Session {
+    runtime: Arc<RuntimeInner>,
+    decode: Option<StreamingDecode<Arc<Wfst>>>,
+    /// The pooled streaming front-end, checked out lazily by the first
+    /// [`Session::push_samples`]. `None` for row-fed sessions.
+    frontend: Option<SessionFrontend>,
+    /// The shared executor, when this session overlaps scoring with the
+    /// search; `None` scores inline.
+    executor: Option<Arc<WorkerPool>>,
+    /// Front half of the score double buffer: the row the search will
+    /// consume next (held back one row for last-frame semantics).
+    front: Vec<f32>,
+    /// Staging half: where an incoming row lands before the swap.
+    staging: Vec<f32>,
+    have_front: bool,
+    frames_pushed: usize,
+}
+
+impl Session {
+    /// Pushes raw 16 kHz audio samples, in any chunking — the
+    /// microphone-style entry point. The pooled online front-end turns
+    /// them into MFCC frames and acoustic cost rows (bit-identical to
+    /// batch scoring) and stages each row behind the search; pushes are
+    /// allocation-free per frame once the session is warm.
+    ///
+    /// With a multi-lane runtime, each completed frame's scoring runs as
+    /// a stolen task on the shared executor *while* the search relaxes
+    /// the previously staged row — the paper's Section VI overlap — with
+    /// byte-identical results to inline scoring.
+    ///
+    /// The Δ/ΔΔ recurrence looks two frames ahead, so the search lags
+    /// the newest audio by up to three frames (two in the front-end, one
+    /// in the session's held-back row) until [`Session::finalize`]
+    /// flushes the tail. Feed a session *either* samples *or* pre-scored
+    /// rows: rows pushed while the front-end still holds lookahead
+    /// frames would be searched ahead of them, reordering the utterance.
+    pub fn push_samples(&mut self, samples: &[f32]) {
+        let mut frontend = self
+            .frontend
+            .take()
+            .unwrap_or_else(|| self.runtime.checkout_frontend());
+        frontend.mfcc.push_samples(samples);
+        self.drain_frontend(&mut frontend);
+        self.frontend = Some(frontend);
+    }
+
+    /// Scores every completed front-end frame and stages its cost row,
+    /// overlapping scoring with the search when an executor is attached.
+    fn drain_frontend(&mut self, frontend: &mut SessionFrontend) {
+        while frontend.mfcc.pop_frame_into(&mut frontend.feat) {
+            self.score_and_stage(frontend);
+        }
+    }
+
+    /// One frame of the pipelined front-end: score `frontend.feat` into
+    /// `frontend.row` while the search consumes the held-back front row,
+    /// then swap the fresh row in — the ALB handoff with the paper's
+    /// Section VI overlap on top.
+    ///
+    /// Determinism: the two overlapped halves share no mutable state
+    /// (the scorer writes `frontend.row`, the search reads `self.front`
+    /// and mutates only the decode), and the row order into the search
+    /// is unchanged, so the transcript is byte-identical to the inline
+    /// path for any executor width and steal schedule.
+    fn score_and_stage(&mut self, frontend: &mut SessionFrontend) {
+        let scorer = &self.runtime.scorer;
+        let overlap = self.have_front && self.decode.is_some();
+        match (&self.executor, overlap) {
+            (Some(pool), true) => {
+                let decode_slot = Mutex::new(self.decode.as_mut().expect("overlap checked"));
+                let row_slot = Mutex::new(&mut frontend.row);
+                let front: &[f32] = &self.front;
+                let feat: &[f32] = &frontend.feat;
+                pool.fork_join(2, &|chunk| {
+                    if chunk == 0 {
+                        let mut decode = decode_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        decode.step(front);
+                    } else {
+                        let mut shared_scorer = scorer;
+                        let mut row = row_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        shared_scorer.score_into(feat, row.as_mut_slice());
+                    }
+                });
+            }
+            _ => {
+                let mut shared_scorer = scorer;
+                shared_scorer.score_into(&frontend.feat, &mut frontend.row);
+                self.step_front();
+            }
+        }
+        self.staging.clear();
+        self.staging.extend_from_slice(&frontend.row);
+        self.commit_staged_row();
+    }
+
+    /// Advances the search over the held-back front row, if there is
+    /// one — the search half of the ALB handoff, shared by the row-fed
+    /// and audio-fed paths.
+    fn step_front(&mut self) {
+        if self.have_front {
+            if let Some(decode) = self.decode.as_mut() {
+                decode.step(&self.front);
+            }
+        }
+    }
+
+    /// Completes the ALB handoff: `self.staging` holds the freshly
+    /// produced row (the search half has already run), so swap it in as
+    /// the next held-back front row. The hold-back-one-row semantics
+    /// live here, in one place, for every push path.
+    fn commit_staged_row(&mut self) {
+        std::mem::swap(&mut self.front, &mut self.staging);
+        self.have_front = true;
+        self.frames_pushed += 1;
+    }
+
+    /// Pushes one frame's acoustic score row (`row[p]` = cost of phone
+    /// `p`; use [`AcousticTable::frame_row`] or a scorer's output).
+    ///
+    /// The row is staged in the back half of the session's score buffer
+    /// while the search consumes the previously staged row — the
+    /// double-buffered handoff of the paper's Acoustic Likelihood
+    /// Buffer. After the first few rows the push itself is
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has been fed raw audio via
+    /// [`Session::push_samples`]: the front-end's lookahead frames would
+    /// be searched after this row, reordering the utterance.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert!(
+            self.frontend.is_none(),
+            "push_row after push_samples: the online front-end still holds \
+             lookahead frames, so this row would be searched out of order"
+        );
+        self.staging.clear();
+        self.staging.extend_from_slice(row);
+        self.step_front();
+        self.commit_staged_row();
+    }
+
+    /// Pushes every frame of a scored batch, in order — the per-batch
+    /// handoff a pipelined scorer would perform.
+    pub fn push_frames(&mut self, scores: &AcousticTable) {
+        for frame in 0..scores.num_frames() {
+            self.push_row(scores.frame_row(frame));
+        }
+    }
+
+    /// Frames pushed into the session so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frames_pushed
+    }
+
+    /// The current best hypothesis (empty words before any audio: the
+    /// start state's closure), or `None` after the beam pruned every
+    /// path or the session was finalized. The search runs one row behind
+    /// the pushes, so `frames_decoded` lags [`Session::frames_pushed`]
+    /// by one.
+    pub fn partial(&self) -> Option<Hypothesis> {
+        let decode = self.decode.as_ref()?;
+        decode.partial().map(|p| Hypothesis {
+            words: self.runtime.lexicon.transcript(&p.words),
+            cost: p.cost,
+            frames_decoded: p.frames,
+        })
+    }
+
+    /// Ends the utterance: the front-end's delta lookahead (for
+    /// raw-audio sessions) is flushed with the batch edge clamping, the
+    /// held-back final row gets the batch decoder's end-of-utterance
+    /// treatment, final states are selected, and the warmed scratch and
+    /// front-end return to the runtime's pools.
+    ///
+    /// The transcript is byte-identical to
+    /// [`AsrRuntime::recognize_scores`] over the same rows — and, for
+    /// sessions fed raw samples, to batch-scoring the same waveform and
+    /// decoding the table.
+    pub fn finalize(mut self) -> Transcript {
+        if let Some(mut frontend) = self.frontend.take() {
+            frontend.mfcc.finish();
+            self.drain_frontend(&mut frontend);
+            self.runtime.restore_frontend(frontend);
+        }
+        let decode = self.decode.take().expect("session not yet finalized");
+        let last = if self.have_front {
+            Some(self.front.as_slice())
+        } else {
+            None
+        };
+        let (result, scratch) = decode.finish(last);
+        self.runtime.scratch_pool.restore(scratch);
+        Transcript {
+            words: self.runtime.lexicon.transcript(&result.words),
+            cost: result.cost,
+            reached_final: result.reached_final,
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(frontend) = self.frontend.take() {
+            self.runtime.restore_frontend(frontend);
+        }
+        if let Some(decode) = self.decode.take() {
+            self.runtime.scratch_pool.restore(decode.into_scratch());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_static<T: Send + 'static>() {}
+
+    #[test]
+    fn session_and_runtime_are_send_and_static() {
+        assert_send_static::<Session>();
+        assert_send_static::<AsrRuntime>();
+    }
+
+    #[test]
+    fn runtime_clones_share_the_pools() {
+        let a = AsrRuntime::demo().unwrap();
+        let b = a.clone();
+        let audio = a.render_words(&["go"]).unwrap();
+        let t = a.recognize(&audio);
+        assert_eq!(t.words, vec!["go"]);
+        assert_eq!(
+            b.scratch_pool().stats().cold_checkouts,
+            1,
+            "clone observes the same scratch pool"
+        );
+        let t2 = b.recognize(&audio);
+        assert_eq!(t2, t);
+        assert_eq!(
+            b.scratch_pool().stats().cold_checkouts,
+            1,
+            "second recognize rode the warmed scratch"
+        );
+    }
+
+    #[test]
+    fn one_lane_runtime_has_no_executor() {
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(1)).unwrap();
+        assert!(runtime.executor().is_none());
+        let audio = runtime.render_words(&["stop"]).unwrap();
+        assert_eq!(runtime.recognize(&audio).words, vec!["stop"]);
+    }
+
+    #[test]
+    fn overlapped_and_inline_scoring_are_byte_identical() {
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+        assert!(runtime.executor().is_some());
+        let audio = runtime.render_words(&["lights", "on"]).unwrap();
+        let run = |overlap: bool| {
+            let mut session =
+                runtime.open_session_with(SessionOptions::new().overlap_scoring(overlap));
+            for packet in audio.samples.chunks(160) {
+                session.push_samples(packet);
+            }
+            session.finalize()
+        };
+        let overlapped = run(true);
+        let inline = run(false);
+        assert_eq!(overlapped.words, inline.words);
+        assert_eq!(overlapped.cost.to_bits(), inline.cost.to_bits());
+        assert_eq!(overlapped.reached_final, inline.reached_final);
+        // ... and both match the batch path.
+        let batch = runtime.recognize_scores(&runtime.score(&audio));
+        assert_eq!(overlapped.words, batch.words);
+        assert_eq!(overlapped.cost.to_bits(), batch.cost.to_bits());
+    }
+
+    #[test]
+    fn leased_decoder_matches_the_session_path() {
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+        let audio = runtime.render_words(&["call", "mom"]).unwrap();
+        let scores = runtime.score(&audio);
+        let sessioned = runtime.recognize_scores(&scores);
+        let decoder = runtime.lease_decoder();
+        let leased = decoder.decode(runtime.graph(), &scores);
+        assert_eq!(runtime.lexicon().transcript(&leased.words), sessioned.words);
+        assert_eq!(leased.cost.to_bits(), sessioned.cost.to_bits());
+    }
+
+    #[test]
+    fn config_builder_is_applied() {
+        let runtime =
+            AsrRuntime::demo_with(RuntimeConfig::new().lanes(3).beam(12.0).frames_per_phone(4))
+                .unwrap();
+        assert_eq!(runtime.lanes(), 3);
+        assert_eq!(runtime.options().beam, 12.0);
+        let audio = runtime.render_words(&["go"]).unwrap();
+        let t = runtime.recognize(&audio);
+        assert_eq!(t.words, vec!["go"]);
+    }
+}

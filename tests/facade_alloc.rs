@@ -13,10 +13,13 @@
 //! Same methodology as the decoder crate's `tests/alloc_free.rs`, one
 //! layer up: here the pool checkout/restore, the session's double-buffered
 //! row handoff, and the transcript assembly are all inside the counted
-//! region.
+//! region. The facade wraps `AsrRuntime`, so these pins cover owned
+//! runtime `Session`s too; the dedicated runtime test additionally pins
+//! the *overlapped* (shared-executor) push path.
 
 use asr_repro::acoustic::scores::AcousticTable;
 use asr_repro::pipeline::AsrPipeline;
+use asr_repro::runtime::{AsrRuntime, RuntimeConfig, SessionOptions};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -169,6 +172,50 @@ fn audio_session_pushes_are_allocation_free_after_warmup() {
         steady <= 8,
         "{frames} steady-state raw-audio pushes performed {steady} allocations: \
          the online front-end is allocating per frame"
+    );
+    drop(session);
+}
+
+#[test]
+fn runtime_session_pushes_are_allocation_free_after_warmup() {
+    let _guard = serialized();
+    // Two executor lanes with overlap forced on: the counted region is
+    // the *pipelined* push path — fork-join submission, steal-back, and
+    // the worker-side scoring all inside the allocation count.
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+    let words = [
+        "play", "music", "play", "music", "play", "music", "play", "music", "play", "music",
+    ];
+    let audio = runtime.render_words(&words).unwrap();
+    // Warm every pool and queue: decode scratch, session row buffers,
+    // the online front-end, the executor's injector/deque capacities,
+    // and the worker thread's lazy initialization.
+    {
+        let mut session = runtime.open_session_with(SessionOptions::new().overlap_scoring(true));
+        session.push_samples(&audio.samples);
+        session.finalize();
+    }
+
+    let mut session = runtime.open_session_with(SessionOptions::new().overlap_scoring(true));
+    let chunks: Vec<&[f32]> = audio.samples.chunks(160).collect();
+    let tail_start = chunks.len() * 2 / 3;
+    for piece in &chunks[..tail_start] {
+        session.push_samples(piece);
+    }
+    let steady = count_allocs(|| {
+        for piece in &chunks[tail_start..] {
+            session.push_samples(piece);
+        }
+    });
+    let frames = (chunks.len() - tail_start) as u64;
+    assert!(
+        frames >= 40,
+        "workload too small to separate per-frame allocation from noise"
+    );
+    assert!(
+        steady <= 8,
+        "{frames} steady-state overlapped pushes performed {steady} allocations: \
+         the shared-executor session path is allocating per frame"
     );
     drop(session);
 }
