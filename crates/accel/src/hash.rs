@@ -1,4 +1,4 @@
-//! The accelerator's token hash tables (Section III).
+//! Timing model of the accelerator's token hash tables (Section III).
 //!
 //! Two hash tables track the active tokens of the current and next frame.
 //! Each entry stores the token's likelihood, the main-memory address of its
@@ -8,13 +8,22 @@
 //! Overflow Buffer in main memory — rare at 32K entries (Figure 5), and
 //! costly when it happens.
 //!
+//! Since the simulator's *functional* search moved onto
+//! [`asr_decoder::token_table::TokenTable`], this module no longer stores
+//! any search state: the token table's slots are the source of truth for
+//! which states are live and in what order they were inserted (its active
+//! list *is* the hardware's linked-list walk). What remains here is pure
+//! timing, keyed off the same per-state slots — an epoch-tagged chain
+//! position per state, chain lengths per bucket, and the backup/overflow
+//! occupancy — driven by one [`HashTable::access`] per observed insert
+//! attempt.
+//!
 //! Timing model: an access that lands on its home bucket takes one cycle;
 //! each chained entry traversed adds a cycle; an access that must touch the
 //! overflow buffer pays a main-memory round trip (accounted by the caller
 //! through the DRAM model so contention is shared).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Result of one hash access (lookup-or-insert).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +64,7 @@ impl HashStats {
     }
 }
 
-/// One token hash table.
+/// Timing model of one token hash table.
 ///
 /// # Example
 ///
@@ -69,7 +78,6 @@ impl HashStats {
 /// let again = table.access(42); // likelihood update
 /// assert!(again.existing);
 /// assert_eq!(table.occupancy(), 1);
-/// assert_eq!(table.walk(), &[42]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct HashTable {
@@ -78,11 +86,16 @@ pub struct HashTable {
     ideal: bool,
     /// Chain length per bucket (0 = empty).
     chain_len: Vec<u16>,
-    /// Position of each resident state within its bucket chain
-    /// (0 = home slot). Insertion order is preserved for the walk.
-    index: HashMap<u32, u32>,
-    /// Insertion-ordered list of states (the hardware's linked list).
-    order: Vec<u32>,
+    /// Chain position per state slot (0 = home slot), mirroring the token
+    /// table's dense state-indexed layout; grown on demand to the highest
+    /// state seen.
+    pos: Vec<u32>,
+    /// Epoch tag per state slot; a position is valid only when its tag
+    /// matches [`HashTable::epoch`], so [`HashTable::clear`] is one bump.
+    pos_epoch: Vec<u32>,
+    epoch: u32,
+    /// Distinct states resident this epoch.
+    occupancy: usize,
     backup_used: usize,
     overflow_used: usize,
     stats: HashStats,
@@ -103,8 +116,10 @@ impl HashTable {
             backup_capacity: entries / 2,
             ideal,
             chain_len: vec![0; entries],
-            index: HashMap::new(),
-            order: Vec::new(),
+            pos: Vec::new(),
+            pos_epoch: Vec::new(),
+            epoch: 1,
+            occupancy: 0,
             backup_used: 0,
             overflow_used: 0,
             stats: HashStats::default(),
@@ -117,27 +132,51 @@ impl HashTable {
         (state.wrapping_mul(2_654_435_761) as usize) % self.entries
     }
 
+    /// Grows the per-state slot arrays to cover `state`; amortized by
+    /// doubling, and a no-op once sized to the graph.
+    #[inline]
+    fn slot(&mut self, state: u32) -> usize {
+        let slot = state as usize;
+        if slot >= self.pos.len() {
+            let len = (slot + 1).next_power_of_two();
+            self.pos.resize(len, 0);
+            self.pos_epoch.resize(len, 0);
+        }
+        slot
+    }
+
+    /// Pre-sizes the per-state slot arrays for a graph of `num_states`
+    /// states so steady-state accesses never reallocate.
+    pub fn reserve_states(&mut self, num_states: usize) {
+        if num_states > self.pos.len() {
+            self.pos.resize(num_states, 0);
+            self.pos_epoch.resize(num_states, 0);
+        }
+    }
+
     /// Looks up `state`, inserting it if absent. Returns the timing and
     /// placement outcome.
     pub fn access(&mut self, state: u32) -> HashAccess {
         self.stats.requests += 1;
+        let slot = self.slot(state);
+        let existing = self.pos_epoch[slot] == self.epoch;
         if self.ideal {
             self.stats.cycles += 1;
-            let existing = self.index.contains_key(&state);
             if !existing {
-                self.index.insert(state, 0);
-                self.order.push(state);
+                self.pos_epoch[slot] = self.epoch;
+                self.pos[slot] = 0;
+                self.occupancy += 1;
             }
-            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.index.len() as u64);
+            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy as u64);
             return HashAccess {
                 existing,
                 cycles: 1,
                 overflow: false,
             };
         }
-        let bucket = self.bucket(state);
-        if let Some(&pos) = self.index.get(&state) {
+        if existing {
             // Traverse the chain up to the entry's position.
+            let pos = self.pos[slot];
             let cycles = 1 + pos as u64;
             let overflow = self.position_overflows(pos);
             self.stats.cycles += cycles;
@@ -154,6 +193,7 @@ impl HashTable {
             };
         }
         // Insert at the tail of the bucket's chain.
+        let bucket = self.bucket(state);
         let pos = self.chain_len[bucket] as u32;
         let cycles = 1 + pos as u64;
         let mut overflow = false;
@@ -173,10 +213,11 @@ impl HashTable {
             self.stats.overflow_accesses += 1;
         }
         self.chain_len[bucket] = self.chain_len[bucket].saturating_add(1);
-        self.index.insert(state, pos);
-        self.order.push(state);
+        self.pos_epoch[slot] = self.epoch;
+        self.pos[slot] = pos;
+        self.occupancy += 1;
         self.stats.cycles += cycles;
-        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.index.len() as u64);
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy as u64);
         HashAccess {
             existing: false,
             cycles,
@@ -192,20 +233,21 @@ impl HashTable {
 
     /// Number of distinct states resident.
     pub fn occupancy(&self) -> usize {
-        self.index.len()
+        self.occupancy
     }
 
-    /// The active states in insertion order — the linked-list walk the
-    /// State Issuer performs at the start of a frame.
-    pub fn walk(&self) -> &[u32] {
-        &self.order
-    }
-
-    /// Clears contents for the next frame (counters are kept).
+    /// Clears contents for the next frame (counters are kept). One epoch
+    /// bump invalidates every state slot — the same constant-time clear as
+    /// the token table it shadows; only the bucket chain lengths are wiped.
     pub fn clear(&mut self) {
         self.chain_len.iter_mut().for_each(|c| *c = 0);
-        self.index.clear();
-        self.order.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap: the only O(n) tag reset, once every 2^32 frames.
+            self.pos_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.occupancy = 0;
         self.backup_used = 0;
         self.overflow_used = 0;
     }
@@ -250,23 +292,12 @@ mod tests {
     }
 
     #[test]
-    fn walk_preserves_insertion_order() {
-        let mut h = HashTable::new(64, false);
-        for s in [5u32, 1, 9, 3] {
-            h.access(s);
-        }
-        h.access(1); // update, not re-insert
-        assert_eq!(h.walk(), &[5, 1, 9, 3]);
-    }
-
-    #[test]
     fn clear_resets_contents_keeps_stats() {
         let mut h = HashTable::new(64, false);
         h.access(1);
         h.access(2);
         h.clear();
         assert_eq!(h.occupancy(), 0);
-        assert!(h.walk().is_empty());
         assert_eq!(h.stats().requests, 2);
         // Post-clear, the same state inserts fresh.
         assert!(!h.access(1).existing);
@@ -332,5 +363,27 @@ mod tests {
             h.access(s);
         }
         assert_eq!(h.stats().peak_occupancy, 10);
+    }
+
+    #[test]
+    fn reserve_states_presizes_slots() {
+        let mut h = HashTable::new(64, false);
+        h.reserve_states(1000);
+        assert!(!h.access(999).existing);
+        assert_eq!(h.occupancy(), 1);
+    }
+
+    #[test]
+    fn epoch_clear_is_equivalent_to_fresh_table() {
+        let mut cleared = HashTable::new(8, false);
+        for s in 0..20u32 {
+            cleared.access(s);
+        }
+        cleared.clear();
+        let mut fresh = HashTable::new(8, false);
+        for s in (0..20u32).rev() {
+            assert_eq!(cleared.access(s), fresh.access(s));
+        }
+        assert_eq!(cleared.occupancy(), fresh.occupancy());
     }
 }

@@ -2,17 +2,40 @@
 //!
 //! Execution-driven: the simulator *performs* the Viterbi beam search
 //! (producing the same best path as [`asr_decoder::search::ViterbiDecoder`];
-//! integration tests assert it) while a scoreboard timing model tracks when
-//! every hardware structure would have produced each value.
+//! the differential suite in `tests/sim_token_table_equivalence.rs` pins it
+//! byte-identical) while a scoreboard timing model tracks when every
+//! hardware structure would have produced each value.
+//!
+//! # Functional search vs. timing scoreboard
+//!
+//! The functional side of the search — token insertion with best-ingoing
+//! relaxation, the running frame-best that drives prune-on-insert, the
+//! epsilon fixpoint, and backpointer recording — runs on the same verified
+//! structures as the software decoder: the epoch-tagged
+//! [`asr_decoder::token_table::TokenTable`] (double-buffered, its active
+//! list standing in for the hardware's insertion-ordered token linked
+//! list) and the [`asr_decoder::lattice::Lattice`] backpointer trace. The
+//! simulator owns **no search state of its own**: there is exactly one
+//! search implementation in the workspace, and the simulator is one more
+//! execution shape of it.
+//!
+//! The timing model rides along as an observer. Every insert attempt into
+//! a token table reports its slot-level outcome
+//! ([`asr_decoder::token_table::RelaxOutcome`]) through the
+//! [`asr_decoder::token_table::InsertObserver`] hook; the simulator's
+//! `TokenIssue` observer converts each outcome into hash-probe cycles,
+//! collision chains, and overflow round trips on the
+//! [`crate::hash::HashTable`] timing model — which itself stores no search
+//! state, only chain positions keyed off the same per-state slots.
 //!
 //! # Pipeline model
 //!
 //! The five stages of Figure 3 are modelled with per-resource time cursors
 //! and in-order windows:
 //!
-//! * **token fetch** — the State Issuer walks the current hash table's
-//!   linked token list, one token per cycle, and prunes against
-//!   `frame_best + beam`;
+//! * **token fetch** — the State Issuer walks the current table's active
+//!   list (the hardware's linked token list), one token per cycle, and
+//!   prunes against `frame_best + beam`;
 //! * **state resolve** — surviving tokens fetch their 64-bit state record
 //!   through the State cache (8 in flight, in order). With the Section IV-B
 //!   optimization, states in the sorted region skip the fetch entirely: the
@@ -45,9 +68,9 @@ use crate::prefetch::InOrderWindow;
 use crate::stats::SimStats;
 use asr_acoustic::scores::AcousticTable;
 use asr_decoder::lattice::{Lattice, TraceId};
+use asr_decoder::token_table::{InsertObserver, RelaxOutcome, TokenTable};
 use asr_wfst::sorted::{DirectIndexUnit, SortedWfst};
-use asr_wfst::{ArcId, Result as WfstResult, StateId, Wfst, WordId};
-use std::collections::{HashMap, VecDeque};
+use asr_wfst::{ArcId, Result as WfstResult, StateId, Wfst, WfstError, WordId};
 
 /// A WFST prepared for a particular design point: plain layout for the base
 /// design, degree-sorted layout (plus the comparator unit) when the
@@ -103,24 +126,30 @@ impl PreparedWfst {
 }
 
 /// Outcome of one simulated decode.
+///
+/// The result fields follow the same contract as
+/// [`asr_decoder::search::DecodeResult`], state ids translated back to the
+/// *original* WFST numbering: when no token survives to the end of the
+/// utterance the sentinel is an empty word sequence, `cost` of
+/// [`f32::INFINITY`], `reached_final == false`, and `best_state` pinned to
+/// the start state; a zero-frame decode reports the best token of the
+/// start state's epsilon closure (cost `0.0` at the start state when that
+/// closure is trivial). The differential suite asserts the two
+/// implementations agree on all of it.
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Words on the best path.
     pub words: Vec<WordId>,
-    /// Best path cost (with final cost when reached).
+    /// Best path cost (with final cost when reached); [`f32::INFINITY`]
+    /// when the beam killed every path.
     pub cost: f32,
     /// Whether a final state terminated the path.
     pub reached_final: bool,
-    /// Winning state, in the *original* WFST numbering.
+    /// Winning state, in the *original* WFST numbering; the start state
+    /// when no token survived.
     pub best_state: StateId,
     /// All hardware counters.
     pub stats: SimStats,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Cell {
-    cost: f32,
-    trace: TraceId,
 }
 
 /// The simulator. One instance per decode (its caches and hash tables carry
@@ -146,19 +175,112 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Propagates layout-preparation errors.
+    /// Propagates layout-preparation errors, and layout-corruption errors
+    /// detected during the decode (see [`Simulator::decode`]).
     pub fn decode_wfst(&self, wfst: &Wfst, scores: &AcousticTable) -> WfstResult<SimResult> {
         let prepared = PreparedWfst::new(wfst, &self.cfg)?;
-        Ok(self.decode(&prepared, scores))
+        self.decode(&prepared, scores)
     }
 
     /// Simulates the decode of `scores` over `prepared`.
-    pub fn decode(&self, prepared: &PreparedWfst, scores: &AcousticTable) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WfstError::LayoutMismatch`] if the prepared layout's
+    /// direct-index unit disagrees with the state array it describes (a
+    /// corrupted or stale sorted layout) — the hardware would silently
+    /// walk the wrong arcs, so the model refuses instead.
+    pub fn decode(&self, prepared: &PreparedWfst, scores: &AcousticTable) -> WfstResult<SimResult> {
         Engine::new(&self.cfg, prepared, scores).run()
     }
 }
 
+/// The Token Issuer's timing, hung off the token table's insert events:
+/// every relax attempt (stored or rejected — a rejected insert still costs
+/// a probe in hardware) pays the hash access on the observed table, plus a
+/// DRAM round trip when the entry spills to the memory-backed overflow
+/// buffer.
+struct TokenIssue<'x> {
+    hash: &'x mut HashTable,
+    dram: &'x mut Dram,
+    cursor: &'x mut u64,
+}
+
+impl InsertObserver for TokenIssue<'_> {
+    fn observe(&mut self, state: u32, outcome: RelaxOutcome) {
+        let hacc = self.hash.access(state);
+        debug_assert_eq!(
+            hacc.existing,
+            outcome.existing(),
+            "hash timing model out of sync with token table slots at state {state}"
+        );
+        *self.cursor += hacc.cycles;
+        if hacc.overflow {
+            *self.cursor = self.dram.request(*self.cursor, TrafficKind::Overflow);
+        }
+    }
+}
+
+/// Writes a token's backpointer + word record through the Token cache.
+/// Writes are buffered (32 in-flight tokens) so they do not stall the
+/// pipeline; they do generate fills and writebacks.
+fn write_token(
+    map: &AddressMap,
+    token_cache: &mut Cache,
+    dram: &mut Dram,
+    at_cycle: u64,
+    trace: TraceId,
+) {
+    let addr = map.token_addr(trace.0 as u64);
+    match token_cache.access(addr, true) {
+        crate::mem::Access::Hit => {}
+        crate::mem::Access::Miss { writeback } => {
+            dram.request(at_cycle, TrafficKind::Tokens);
+            if writeback.is_some() {
+                dram.request(at_cycle, TrafficKind::Tokens);
+            }
+        }
+    }
+}
+
+/// Conventional-prefetcher reaction to an arc-cache demand miss: guess
+/// the next line from the miss stream, spend DRAM bandwidth fetching
+/// it, and install it (possibly evicting useful lines). The decoupled
+/// architecture of Section IV-A never calls this — its addresses are
+/// computed, not predicted.
+fn hw_prefetch_arc(
+    cfg: &AcceleratorConfig,
+    last_arc_miss: &mut Option<u64>,
+    arc_cache: &mut Cache,
+    dram: &mut Dram,
+    miss_line: u64,
+    at_cycle: u64,
+) {
+    use crate::config::HwPrefetcher;
+    let predicted = match cfg.hw_prefetcher {
+        HwPrefetcher::None => None,
+        HwPrefetcher::NextLine => Some(miss_line + 64),
+        HwPrefetcher::Stride => last_arc_miss
+            .and_then(|prev| miss_line.checked_add(miss_line.wrapping_sub(prev)))
+            .filter(|&p| p != miss_line),
+    };
+    *last_arc_miss = Some(miss_line);
+    if let Some(addr) = predicted {
+        if arc_cache.prefetch(addr) {
+            // The speculative line transfer competes with demand
+            // misses for controller slots and burns DRAM energy.
+            dram.request(at_cycle, TrafficKind::Arcs);
+        }
+    }
+}
+
 /// Per-decode machinery (borrowed config + workload, owned hardware state).
+///
+/// `cur`/`next` are the double-buffered token tables — the functional
+/// twin of the two on-chip hash tables; `hash_cur`/`hash_next` are their
+/// timing shadows, swapped and cleared in lockstep. `expanded` is the
+/// State Issuer's per-wave dedup ("already expanded at this or a better
+/// cost"), itself an epoch-tagged table so a wave reset is one bump.
 struct Engine<'a> {
     cfg: &'a AcceleratorConfig,
     prepared: &'a PreparedWfst,
@@ -170,6 +292,12 @@ struct Engine<'a> {
     dram: Dram,
     hash_cur: HashTable,
     hash_next: HashTable,
+    cur: TokenTable<TraceId>,
+    next: TokenTable<TraceId>,
+    expanded: TokenTable<()>,
+    /// Wave worklist: seeded from the active list, extended by stored
+    /// epsilon relaxes, drained FIFO (the hardware's linked-list walk).
+    worklist: Vec<u32>,
     lattice: Lattice,
     stats: SimStats,
     // Last arc-miss line, for the stride prefetcher's delta prediction.
@@ -183,8 +311,13 @@ impl<'a> Engine<'a> {
         scores: &'a AcousticTable,
     ) -> Self {
         let wfst = prepared.wfst();
+        let num_states = wfst.num_states();
         // Generous token region: the trace is append-only.
         let map = AddressMap::new(wfst, 1 << 34);
+        let mut hash_cur = HashTable::new(cfg.hash_entries, cfg.ideal_hash);
+        let mut hash_next = HashTable::new(cfg.hash_entries, cfg.ideal_hash);
+        hash_cur.reserve_states(num_states);
+        hash_next.reserve_states(num_states);
         Self {
             cfg,
             prepared,
@@ -194,55 +327,43 @@ impl<'a> Engine<'a> {
             arc_cache: Cache::new(cfg.arc_cache, cfg.perfect_arc_cache),
             token_cache: Cache::new(cfg.token_cache, cfg.perfect_token_cache),
             dram: Dram::new(cfg.mem_latency, cfg.mem_inflight, 64),
-            hash_cur: HashTable::new(cfg.hash_entries, cfg.ideal_hash),
-            hash_next: HashTable::new(cfg.hash_entries, cfg.ideal_hash),
+            hash_cur,
+            hash_next,
+            cur: TokenTable::new(num_states, TraceId::ROOT),
+            next: TokenTable::new(num_states, TraceId::ROOT),
+            expanded: TokenTable::new(num_states, ()),
+            worklist: Vec::new(),
             lattice: Lattice::new(),
             stats: SimStats::default(),
             last_arc_miss: None,
         }
     }
 
-    /// Conventional-prefetcher reaction to an arc-cache demand miss: guess
-    /// the next line from the miss stream, spend DRAM bandwidth fetching
-    /// it, and install it (possibly evicting useful lines). The decoupled
-    /// architecture of Section IV-A never calls this — its addresses are
-    /// computed, not predicted.
-    fn hw_prefetch_arc(&mut self, miss_line: u64, at_cycle: u64) {
-        use crate::config::HwPrefetcher;
-        let predicted = match self.cfg.hw_prefetcher {
-            HwPrefetcher::None => None,
-            HwPrefetcher::NextLine => Some(miss_line + 64),
-            HwPrefetcher::Stride => self
-                .last_arc_miss
-                .and_then(|prev| miss_line.checked_add(miss_line.wrapping_sub(prev)))
-                .filter(|&p| p != miss_line),
-        };
-        self.last_arc_miss = Some(miss_line);
-        if let Some(addr) = predicted {
-            if self.arc_cache.prefetch(addr) {
-                // The speculative line transfer competes with demand
-                // misses for controller slots and burns DRAM energy.
-                self.dram.request(at_cycle, TrafficKind::Arcs);
-            }
-        }
-    }
-
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> WfstResult<SimResult> {
         let wfst = self.prepared.wfst();
-        let mut cur: HashMap<u32, Cell> = HashMap::new();
-        let start_trace = self.lattice.push(TraceId::ROOT, WordId::NONE);
-        cur.insert(
-            wfst.start().0,
-            Cell {
-                cost: 0.0,
-                trace: start_trace,
+        let start = wfst.start().0;
+        self.cur.begin_frame();
+        let mut init_cursor = 0u64;
+        self.cur.relax_observed(
+            start,
+            0.0,
+            || self.lattice.push(TraceId::ROOT, WordId::NONE),
+            &mut TokenIssue {
+                hash: &mut self.hash_cur,
+                dram: &mut self.dram,
+                cursor: &mut init_cursor,
             },
         );
-        self.hash_cur.access(wfst.start().0);
-        self.write_token(0, start_trace);
+        write_token(
+            &self.map,
+            &mut self.token_cache,
+            &mut self.dram,
+            0,
+            self.cur.payload(start),
+        );
 
         // Initial epsilon closure (no frame consumed, unpruned).
-        let mut cycle = self.wave(None, 0, &mut cur);
+        let mut cycle = self.wave(None, 0)?;
 
         // Acoustic DMA of the first frame must land before decode starts.
         let link_bytes_per_cycle = 16;
@@ -264,21 +385,21 @@ impl<'a> Engine<'a> {
             }
             let tokens_before = self.stats.tokens_fetched;
             let arcs_before = self.stats.arcs_processed + self.stats.eps_arcs_processed;
-            let end = self.wave(Some(frame), cycle, &mut cur);
+            let end = self.wave(Some(frame), cycle)?;
             self.stats.per_frame.push(crate::stats::FrameStats {
                 cycles: end - cycle,
                 tokens: self.stats.tokens_fetched - tokens_before,
                 arcs: self.stats.arcs_processed + self.stats.eps_arcs_processed - arcs_before,
             });
             cycle = end.max(next_scores_ready);
-            if cur.is_empty() {
+            if self.cur.is_empty() {
                 break;
             }
         }
 
         // Final epsilon closure so the last frame's epsilon-reachable
         // tokens participate in final-state selection.
-        cycle = self.wave(None, cycle, &mut cur);
+        cycle = self.wave(None, cycle)?;
 
         self.stats.frames = self.scores.num_frames();
         self.stats.cycles = cycle;
@@ -296,7 +417,7 @@ impl<'a> Engine<'a> {
         self.stats.traffic = self.dram.traffic();
         self.stats.mem_requests = self.dram.requests();
 
-        self.finish(cur)
+        Ok(self.finish())
     }
 
     /// Runs one wave through the pipeline.
@@ -307,28 +428,61 @@ impl<'a> Engine<'a> {
     /// unpruned (initialization and finalization).
     ///
     /// Returns the cycle at which the wave has fully drained. On a
-    /// `Some(f)` wave, `cur` is replaced by the next frame's tokens.
-    fn wave(&mut self, frame: Option<usize>, start: u64, cur: &mut HashMap<u32, Cell>) -> u64 {
-        let wfst = self.prepared.wfst();
+    /// `Some(f)` wave, the token tables (and their hash shadows) swap:
+    /// `cur` becomes the next frame's tokens.
+    fn wave(&mut self, frame: Option<usize>, start: u64) -> WfstResult<u64> {
+        let Engine {
+            cfg,
+            prepared,
+            scores,
+            map,
+            state_cache,
+            arc_cache,
+            token_cache,
+            dram,
+            hash_cur,
+            hash_next,
+            cur,
+            next,
+            expanded,
+            worklist,
+            lattice,
+            stats,
+            last_arc_miss,
+        } = self;
+        let wfst = prepared.wfst();
         let emitting = frame.is_some();
         let threshold = if emitting {
-            let best = cur.values().map(|c| c.cost).fold(f32::INFINITY, f32::min);
-            best + self.cfg.beam
+            // The running frame-best was maintained on insert (the
+            // hardware's likelihood max-reduction); no O(active) rescan.
+            #[cfg(debug_assertions)]
+            {
+                let rescan = cur
+                    .active()
+                    .iter()
+                    .map(|&s| cur.cost(s))
+                    .fold(f32::INFINITY, f32::min);
+                assert_eq!(
+                    rescan,
+                    cur.best(),
+                    "running frame-best diverged from the active-list rescan"
+                );
+            }
+            cur.best() + cfg.beam
         } else {
             f32::INFINITY
         };
 
-        let mut next: HashMap<u32, Cell> = HashMap::with_capacity(cur.len() * 2);
-        let mut worklist: VecDeque<u32> = self.hash_cur.walk().iter().copied().collect();
-        if worklist.is_empty() {
-            // Closure waves can run on a map not mirrored in the hash
-            // (initialization): seed from the functional map.
-            let mut states: Vec<u32> = cur.keys().copied().collect();
-            states.sort_unstable();
-            worklist.extend(states);
+        if emitting {
+            next.begin_frame();
         }
-        // Cost at which each state was last expanded this wave.
-        let mut expanded: HashMap<u32, f32> = HashMap::new();
+        expanded.begin_frame();
+        // The wave walks the tokens in insertion order — the hardware's
+        // linked-list walk is the table's active list. Stored epsilon
+        // relaxes re-enter at the tail.
+        worklist.clear();
+        worklist.extend_from_slice(cur.active());
+        let mut cursor = 0usize;
 
         // Timing cursors. The back-end (Acoustic Likelihood Issuer ->
         // Likelihood Evaluation -> Token Issuer hash update) processes one
@@ -337,77 +491,83 @@ impl<'a> Engine<'a> {
         let mut token_cursor = start;
         let mut arc_tag_cursor = start;
         let mut backend_cursor = start;
-        let mut state_window = InOrderWindow::new(self.cfg.state_window());
-        let mut arc_window = InOrderWindow::new(self.cfg.arc_window());
+        let mut state_window = InOrderWindow::new(cfg.state_window());
+        let mut arc_window = InOrderWindow::new(cfg.arc_window());
         state_window.reset_at(start);
         arc_window.reset_at(start);
 
-        while let Some(state_raw) = worklist.pop_front() {
-            let Some(&cell) = cur.get(&state_raw) else {
+        while cursor < worklist.len() {
+            let state_raw = worklist[cursor];
+            cursor += 1;
+            let Some((cell_cost, cell_trace)) = cur.get(state_raw) else {
                 continue;
             };
             // Token fetch: one linked-list read per cycle.
             token_cursor += 1;
-            self.stats.tokens_fetched += 1;
-            self.stats.fp_compares += 1; // pruning comparison
-            if cell.cost > threshold {
-                self.stats.tokens_pruned += 1;
+            stats.tokens_fetched += 1;
+            stats.fp_compares += 1; // pruning comparison
+            if cell_cost > threshold {
+                stats.tokens_pruned += 1;
                 continue;
             }
-            if expanded.get(&state_raw).is_some_and(|&c| c <= cell.cost) {
+            if !expanded.relax(state_raw, cell_cost, || ()) {
                 continue; // already expanded at this or a better cost
             }
-            expanded.insert(state_raw, cell.cost);
 
             let state = StateId(state_raw);
             let entry = wfst.state(state);
             // Resolve the state's arc range: direct computation or fetch.
-            let (range, state_ready) = match self
-                .prepared
-                .direct()
-                .and_then(|u| u.direct_arc_index(state))
-            {
-                Some((first, degree)) => {
-                    self.stats.state_fetches_avoided += 1;
-                    debug_assert_eq!(first, entry.first_arc);
-                    debug_assert_eq!(degree as usize, entry.num_arcs());
-                    (entry.arc_range(), token_cursor)
-                }
-                None => {
-                    if entry.num_arcs() == 0 {
-                        continue;
+            let (range, state_ready) =
+                match prepared.direct().and_then(|u| u.direct_arc_index(state)) {
+                    Some((first, degree)) => {
+                        stats.state_fetches_avoided += 1;
+                        if first != entry.first_arc || degree as usize != entry.num_arcs() {
+                            // A silently mis-indexed arc walk would decode
+                            // garbage; refuse the corrupted layout instead.
+                            return Err(WfstError::LayoutMismatch {
+                                state,
+                                computed_first: first,
+                                computed_degree: degree as usize,
+                                actual_first: entry.first_arc,
+                                actual_degree: entry.num_arcs(),
+                            });
+                        }
+                        (entry.arc_range(), token_cursor)
                     }
-                    self.stats.state_fetches += 1;
-                    let t0 = state_window.admit(token_cursor);
-                    let acc = self.state_cache.access(self.map.state_addr(state), false);
-                    let ready = if acc.is_hit() {
-                        t0 + 1
-                    } else {
-                        self.dram.request(t0 + 1, TrafficKind::States)
-                    };
-                    (entry.arc_range(), state_window.push(ready))
-                }
-            };
+                    None => {
+                        if entry.num_arcs() == 0 {
+                            continue;
+                        }
+                        stats.state_fetches += 1;
+                        let t0 = state_window.admit(token_cursor);
+                        let acc = state_cache.access(map.state_addr(state), false);
+                        let ready = if acc.is_hit() {
+                            t0 + 1
+                        } else {
+                            dram.request(t0 + 1, TrafficKind::States)
+                        };
+                        (entry.arc_range(), state_window.push(ready))
+                    }
+                };
 
             for arc_idx in range {
                 let arc = wfst.arc(ArcId::from_index(arc_idx));
-                if !emitting && !arc.is_epsilon() {
-                    // Closure waves evaluate epsilon arcs only, but the
-                    // record still streams through the cache (the hardware
-                    // fetches the state's arcs as one contiguous burst).
-                }
                 // Arc fetch: tag check at one per cycle, in-order window.
+                // Closure waves evaluate epsilon arcs only, but every
+                // record still streams through the cache (the hardware
+                // fetches the state's arcs as one contiguous burst).
                 let mut t = state_ready.max(arc_tag_cursor + 1);
                 t = arc_window.admit(t);
                 arc_tag_cursor = t;
-                self.stats.arc_fetches += 1;
-                let addr = self.map.arc_addr(ArcId::from_index(arc_idx));
-                let acc = self.arc_cache.access(addr, false);
+                stats.arc_fetches += 1;
+                let addr = map.arc_addr(ArcId::from_index(arc_idx));
+                let acc = arc_cache.access(addr, false);
                 let ready = if acc.is_hit() {
                     t + 1
                 } else {
-                    let done = self.dram.request(t + 1, TrafficKind::Arcs);
-                    self.hw_prefetch_arc(self.arc_cache.line_addr(addr), t + 1);
+                    let done = dram.request(t + 1, TrafficKind::Arcs);
+                    let line = arc_cache.line_addr(addr);
+                    hw_prefetch_arc(cfg, last_arc_miss, arc_cache, dram, line, t + 1);
                     done
                 };
                 let commit = arc_window.push(ready);
@@ -416,47 +576,60 @@ impl<'a> Engine<'a> {
                     // Evaluate (one addition, no acoustic lookup), then the
                     // Token Issuer's hash update — serial per arc.
                     backend_cursor = backend_cursor.max(commit) + 1;
-                    self.stats.eps_arcs_processed += 1;
-                    self.stats.fp_adds += 1;
-                    let cost = cell.cost + arc.weight;
-                    let hacc = self.hash_cur.access(arc.dest.0);
-                    backend_cursor += hacc.cycles;
-                    if hacc.overflow {
-                        backend_cursor = self.dram.request(backend_cursor, TrafficKind::Overflow);
-                    }
-                    self.stats.fp_compares += 1;
-                    if self.relax(
-                        cur,
+                    stats.eps_arcs_processed += 1;
+                    stats.fp_adds += 1;
+                    let cost = cell_cost + arc.weight;
+                    stats.fp_compares += 1;
+                    let stored = cur.relax_observed(
                         arc.dest.0,
                         cost,
-                        cell.trace,
-                        arc.olabel,
-                        backend_cursor,
-                    ) {
-                        worklist.push_back(arc.dest.0);
+                        || lattice.push(cell_trace, arc.olabel),
+                        &mut TokenIssue {
+                            hash: hash_cur,
+                            dram,
+                            cursor: &mut backend_cursor,
+                        },
+                    );
+                    if stored {
+                        stats.tokens_created += 1;
+                        write_token(
+                            map,
+                            token_cache,
+                            dram,
+                            backend_cursor,
+                            cur.payload(arc.dest.0),
+                        );
+                        worklist.push(arc.dest.0);
                     }
                 } else if emitting {
                     let f = frame.expect("emitting wave has a frame");
                     // Acoustic buffer read (one in-flight arc), the
                     // three-way log-space sum, then the hash update.
                     backend_cursor = backend_cursor.max(commit) + 2;
-                    self.stats.arcs_processed += 1;
-                    self.stats.fp_adds += 2;
-                    let cost = cell.cost + arc.weight + self.scores.cost(f, arc.ilabel);
-                    let hacc = self.hash_next.access(arc.dest.0);
-                    backend_cursor += hacc.cycles;
-                    if hacc.overflow {
-                        backend_cursor = self.dram.request(backend_cursor, TrafficKind::Overflow);
-                    }
-                    self.stats.fp_compares += 1;
-                    self.relax(
-                        &mut next,
+                    stats.arcs_processed += 1;
+                    stats.fp_adds += 2;
+                    let cost = cell_cost + arc.weight + scores.cost(f, arc.ilabel);
+                    stats.fp_compares += 1;
+                    let stored = next.relax_observed(
                         arc.dest.0,
                         cost,
-                        cell.trace,
-                        arc.olabel,
-                        backend_cursor,
+                        || lattice.push(cell_trace, arc.olabel),
+                        &mut TokenIssue {
+                            hash: hash_next,
+                            dram,
+                            cursor: &mut backend_cursor,
+                        },
                     );
+                    if stored {
+                        stats.tokens_created += 1;
+                        write_token(
+                            map,
+                            token_cache,
+                            dram,
+                            backend_cursor,
+                            next.payload(arc.dest.0),
+                        );
+                    }
                 }
                 // Non-matching arcs in a closure wave are fetched and
                 // dropped (no evaluation slot consumed).
@@ -470,74 +643,41 @@ impl<'a> Engine<'a> {
             .max(arc_window.last_commit());
 
         if emitting {
-            // Frame boundary: the next-frame table becomes current.
-            *cur = next;
-            std::mem::swap(&mut self.hash_cur, &mut self.hash_next);
-            self.hash_next.clear();
+            // Frame boundary: the next-frame table (and its timing shadow)
+            // becomes current.
+            std::mem::swap(cur, next);
+            std::mem::swap(hash_cur, hash_next);
+            hash_next.clear();
         }
-        end
+        Ok(end)
     }
 
-    /// Min-relaxation into a token map, with lattice append and token write
-    /// on improvement. Returns whether the destination improved.
-    fn relax(
-        &mut self,
-        map: &mut HashMap<u32, Cell>,
-        dest: u32,
-        cost: f32,
-        prev: TraceId,
-        word: WordId,
-        at_cycle: u64,
-    ) -> bool {
-        match map.get_mut(&dest) {
-            Some(cell) if cell.cost <= cost => false,
-            slot => {
-                let trace = self.lattice.push(prev, word);
-                let cell = Cell { cost, trace };
-                match slot {
-                    Some(existing) => *existing = cell,
-                    None => {
-                        map.insert(dest, cell);
-                    }
-                }
-                self.stats.tokens_created += 1;
-                self.write_token(at_cycle, trace);
-                true
-            }
-        }
-    }
-
-    /// Writes a token's backpointer + word record through the Token cache.
-    /// Writes are buffered (32 in-flight tokens) so they do not stall the
-    /// pipeline; they do generate fills and writebacks.
-    fn write_token(&mut self, at_cycle: u64, trace: TraceId) {
-        let addr = self.map.token_addr(trace.0 as u64);
-        match self.token_cache.access(addr, true) {
-            crate::mem::Access::Hit => {}
-            crate::mem::Access::Miss { writeback } => {
-                self.dram.request(at_cycle, TrafficKind::Tokens);
-                if writeback.is_some() {
-                    self.dram.request(at_cycle, TrafficKind::Tokens);
-                }
-            }
-        }
-    }
-
-    fn finish(self, cur: HashMap<u32, Cell>) -> SimResult {
+    /// End-of-utterance selection, exactly [`ViterbiDecoder`]'s contract:
+    /// prefer tokens in final states (cost + final cost), fall back to the
+    /// globally cheapest token, and break ties by ascending state id in
+    /// the *original* numbering — so a degree-sorted layout cannot flip
+    /// the winner on equal costs.
+    ///
+    /// [`ViterbiDecoder`]: asr_decoder::search::ViterbiDecoder
+    fn finish(self) -> SimResult {
         let wfst = self.prepared.wfst();
+        let mut states: Vec<u32> = self.cur.active().to_vec();
+        states.sort_unstable_by_key(|&s| self.prepared.to_original(StateId(s)).0);
         let mut best_final: Option<(u32, f32, TraceId)> = None;
         let mut best_any: Option<(u32, f32, TraceId)> = None;
-        let mut states: Vec<(&u32, &Cell)> = cur.iter().collect();
-        states.sort_unstable_by_key(|(s, _)| **s);
-        for (&state, cell) in states {
-            if best_any.is_none_or(|(_, c, _)| cell.cost < c) {
-                best_any = Some((state, cell.cost, cell.trace));
+        for &state in &states {
+            let (cost, trace) = self
+                .cur
+                .get(state)
+                .expect("active-list states are live by construction");
+            if best_any.is_none_or(|(_, c, _)| cost < c) {
+                best_any = Some((state, cost, trace));
             }
             let f = wfst.final_cost(StateId(state));
             if f.is_finite() {
-                let total = cell.cost + f;
+                let total = cost + f;
                 if best_final.is_none_or(|(_, c, _)| total < c) {
-                    best_final = Some((state, total, cell.trace));
+                    best_final = Some((state, total, trace));
                 }
             }
         }
@@ -758,5 +898,30 @@ mod tests {
             .unwrap();
         assert_eq!(r.stats.frames, 0);
         assert!(r.words.is_empty());
+    }
+
+    #[test]
+    fn corrupted_direct_index_unit_is_refused() {
+        use asr_wfst::sorted::DirectIndexUnit;
+        let (w, scores) = workload(2_000, 5, 5);
+        let cfg = AcceleratorConfig::for_design(DesignPoint::StateOpt).with_beam(6.0);
+        let mut sorted = SortedWfst::with_threshold(&w, cfg.state_opt_threshold).unwrap();
+        // Shift every offset register: each direct computation now points
+        // one arc past the real range start.
+        let unit = sorted.unit();
+        let offsets: Vec<i64> = (0..unit.threshold() as u32)
+            .map(|g| unit.group_offset(g as usize) + 1)
+            .collect();
+        let boundaries = (1..=unit.threshold())
+            .map(|d| unit.group_boundary(d - 1))
+            .collect();
+        sorted.replace_unit(DirectIndexUnit::from_registers(boundaries, offsets));
+        let err = Simulator::new(cfg)
+            .decode(&PreparedWfst::Sorted(sorted), &scores)
+            .unwrap_err();
+        assert!(
+            matches!(err, WfstError::LayoutMismatch { .. }),
+            "got {err:?}"
+        );
     }
 }

@@ -54,9 +54,12 @@ fn bench_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash");
     group.bench_function("access_32k_entries", |b| {
         let mut h = HashTable::new(32 * 1024, false);
+        // Realistic state space: the timing model's slot arrays are dense
+        // per-state, like the token table they shadow.
+        h.reserve_states(1 << 20);
         let mut s = 0u32;
         b.iter(|| {
-            s = s.wrapping_add(7919);
+            s = s.wrapping_add(7919) & ((1 << 20) - 1);
             black_box(h.access(black_box(s)))
         })
     });

@@ -1,0 +1,220 @@
+//! Accelerator-simulator benchmark: all four design points on the pinned
+//! fixture, with an exact-counter regression gate against the pre-port
+//! simulator.
+//!
+//! The PR that ported the simulator's functional search onto
+//! `asr-decoder::token_table` promised that the timing model would not
+//! move: for the base design the hardware counters (cycles, token and arc
+//! activity, hash probes, off-chip traffic) must equal the values the
+//! HashMap-era simulator produced on the same fixture. This binary
+//! measures all four design points, reports cycles/frame and the
+//! real-time factor at the paper's 600 MHz clock, computes the
+//! base-design deltas against that frozen baseline, and splices an
+//! `"accel"` section into `BENCH_decode.json`. CI greps the section and
+//! the `"stats_regression_ok": true` gate.
+//!
+//! ```text
+//! cargo run --release -p asr-bench --bin bench_accel
+//! ```
+
+use asr_accel::config::{AcceleratorConfig, DesignPoint};
+use asr_accel::sim::Simulator;
+use asr_acoustic::scores::AcousticTable;
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The pinned fixture (also asserted, counter by counter, in
+/// `crates/accel/tests/sim_token_table_equivalence.rs`).
+const STATES: usize = 20_000;
+const FRAMES: usize = 30;
+const SEED: u64 = 2;
+const BEAM: f32 = 6.0;
+
+/// Pre-port base-design counters on the fixture above, captured from the
+/// HashMap-era simulator at the commit before the token-table port.
+#[derive(Debug, Clone, Copy)]
+struct PrePortBaseline {
+    cycles: u64,
+    tokens_fetched: u64,
+    tokens_pruned: u64,
+    tokens_created: u64,
+    arcs_processed: u64,
+    eps_arcs_processed: u64,
+    hash_requests: u64,
+    hash_cycles: u64,
+    traffic_states: u64,
+    traffic_arcs: u64,
+    traffic_tokens: u64,
+    mem_requests: u64,
+    fp_adds: u64,
+    fp_compares: u64,
+}
+
+const PRE_PORT: PrePortBaseline = PrePortBaseline {
+    cycles: 72_085,
+    tokens_fetched: 4_230,
+    tokens_pruned: 2_624,
+    tokens_created: 4_273,
+    arcs_processed: 3_710,
+    eps_arcs_processed: 633,
+    hash_requests: 4_344,
+    hash_cycles: 4_344,
+    traffic_states: 59_008,
+    traffic_arcs: 111_040,
+    traffic_tokens: 34_240,
+    mem_requests: 3_192,
+    fp_adds: 8_053,
+    fp_compares: 8_573,
+};
+
+#[derive(Debug, Clone, Serialize)]
+struct DesignRow {
+    design: String,
+    cycles: u64,
+    cycles_per_frame: f64,
+    cycles_per_arc: f64,
+    /// Speech seconds decoded per wall-clock second at the paper's clock.
+    real_time_factor_at_600mhz: f64,
+    /// Host seconds to simulate the decode (simulator throughput).
+    sim_wall_seconds: f64,
+    /// Simulated cycles per host second.
+    sim_cycles_per_second: f64,
+    off_chip_bytes: u64,
+}
+
+/// Signed difference of one counter against the pre-port baseline.
+#[derive(Debug, Clone, Serialize)]
+struct StatDelta {
+    counter: String,
+    pre_port: u64,
+    measured: u64,
+    delta: i64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    benchmark: String,
+    states: usize,
+    frames: usize,
+    seed: u64,
+    beam: f32,
+    designs: Vec<DesignRow>,
+    /// Base-design counter deltas vs the pre-port (HashMap-era) simulator.
+    base_deltas_vs_pre_port: Vec<StatDelta>,
+    /// The regression bound: every base-design counter delta is exactly 0.
+    stats_regression_ok: bool,
+}
+
+fn main() {
+    asr_bench::banner(
+        "bench_accel",
+        "accelerator simulator on the shared token table",
+        "Section III datapath; counters gated against the pre-port model",
+    );
+    let wfst = SynthWfst::generate(&SynthConfig::with_states(STATES).with_seed(SEED)).unwrap();
+    let scores = AcousticTable::random(
+        FRAMES,
+        wfst.num_phones() as usize,
+        (0.5, 4.0),
+        SEED ^ 0xABCD,
+    );
+
+    let mut designs = Vec::new();
+    let mut base_deltas = Vec::new();
+    let mut regression_ok = true;
+    for design in DesignPoint::ALL {
+        let cfg = AcceleratorConfig::for_design(design).with_beam(BEAM);
+        let sim = Simulator::new(cfg.clone());
+        // Warm-up, then best-of-3 wall clock (the result is deterministic;
+        // only the host timing varies).
+        let result = sim.decode_wfst(&wfst, &scores).unwrap();
+        let mut wall = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let again = sim.decode_wfst(&wfst, &scores).unwrap();
+            wall = wall.min(t0.elapsed().as_secs_f64());
+            assert_eq!(again.stats.cycles, result.stats.cycles, "nondeterminism");
+        }
+        let s = &result.stats;
+        let row = DesignRow {
+            design: design.label().to_owned(),
+            cycles: s.cycles,
+            cycles_per_frame: s.cycles as f64 / FRAMES as f64,
+            cycles_per_arc: s.cycles_per_arc(),
+            real_time_factor_at_600mhz: s.real_time_factor(cfg.frequency_hz),
+            sim_wall_seconds: wall,
+            sim_cycles_per_second: s.cycles as f64 / wall,
+            off_chip_bytes: s.traffic.search_bytes(),
+        };
+        println!(
+            "{:<16} cycles {:>8}  cyc/frame {:>8.1}  RTF {:>7.1}x  sim {:>7.3} ms",
+            row.design,
+            row.cycles,
+            row.cycles_per_frame,
+            row.real_time_factor_at_600mhz,
+            wall * 1e3,
+        );
+        if design == DesignPoint::Base {
+            let pairs: [(&str, u64, u64); 14] = [
+                ("cycles", PRE_PORT.cycles, s.cycles),
+                ("tokens_fetched", PRE_PORT.tokens_fetched, s.tokens_fetched),
+                ("tokens_pruned", PRE_PORT.tokens_pruned, s.tokens_pruned),
+                ("tokens_created", PRE_PORT.tokens_created, s.tokens_created),
+                ("arcs_processed", PRE_PORT.arcs_processed, s.arcs_processed),
+                (
+                    "eps_arcs_processed",
+                    PRE_PORT.eps_arcs_processed,
+                    s.eps_arcs_processed,
+                ),
+                ("hash_requests", PRE_PORT.hash_requests, s.hash.requests),
+                ("hash_cycles", PRE_PORT.hash_cycles, s.hash.cycles),
+                ("traffic_states", PRE_PORT.traffic_states, s.traffic.states),
+                ("traffic_arcs", PRE_PORT.traffic_arcs, s.traffic.arcs),
+                ("traffic_tokens", PRE_PORT.traffic_tokens, s.traffic.tokens),
+                ("mem_requests", PRE_PORT.mem_requests, s.mem_requests),
+                ("fp_adds", PRE_PORT.fp_adds, s.fp_adds),
+                ("fp_compares", PRE_PORT.fp_compares, s.fp_compares),
+            ];
+            for (name, pre, measured) in pairs {
+                let delta = measured as i64 - pre as i64;
+                regression_ok &= delta == 0;
+                base_deltas.push(StatDelta {
+                    counter: name.to_owned(),
+                    pre_port: pre,
+                    measured,
+                    delta,
+                });
+            }
+        }
+        designs.push(row);
+    }
+    println!(
+        "base-design counters vs pre-port simulator: {}",
+        if regression_ok {
+            "all deltas 0 (exact)"
+        } else {
+            "REGRESSION — see base_deltas_vs_pre_port"
+        }
+    );
+
+    let report = Report {
+        benchmark: "accel_simulator_token_table_port".to_owned(),
+        states: STATES,
+        frames: FRAMES,
+        seed: SEED,
+        beam: BEAM,
+        designs,
+        base_deltas_vs_pre_port: base_deltas,
+        stats_regression_ok: regression_ok,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
+    asr_bench::splice_json_section(&path, "accel", &json);
+    println!("[spliced \"accel\" into {}]", path.display());
+    assert!(
+        report.stats_regression_ok,
+        "base-design hardware counters drifted from the pre-port simulator"
+    );
+}

@@ -27,6 +27,68 @@
 //! (`cost <= best + beam`) — the accelerator's prune-on-insert — is one
 //! compare away.
 
+/// Slot-level outcome of one [`TokenTable::relax`], as reported to an
+/// [`InsertObserver`].
+///
+/// This is exactly the case split the accelerator's Token Issuer sees at
+/// the hash table: a probe either allocates a fresh entry (append to the
+/// active list), updates an existing entry with a better likelihood, or
+/// leaves a better-or-equal entry untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelaxOutcome {
+    /// First touch of the state this epoch: a new slot went live and the
+    /// state was appended to the active list.
+    Appended,
+    /// The state was already live and the new cost was strictly better;
+    /// the slot was overwritten in place.
+    Improved,
+    /// The state was already live at an equal or better cost; nothing was
+    /// stored and the payload closure was never evaluated.
+    Rejected,
+}
+
+impl RelaxOutcome {
+    /// `true` when the relax stored cost + payload (insert or improve) —
+    /// the boolean [`TokenTable::relax`] returns.
+    #[inline]
+    pub fn stored(self) -> bool {
+        !matches!(self, RelaxOutcome::Rejected)
+    }
+
+    /// `true` when the state was already live before the relax (the hash
+    /// probe found an existing entry rather than allocating one).
+    #[inline]
+    pub fn existing(self) -> bool {
+        !matches!(self, RelaxOutcome::Appended)
+    }
+}
+
+/// Hook receiving one event per [`TokenTable::relax_observed`] call,
+/// *before* the slot is written (and before the payload closure runs).
+///
+/// This is how a timing model rides along the functional search without
+/// owning any search state: `asr-accel`'s simulator implements it to
+/// charge hash-probe cycles, collision chains, and overflow round trips
+/// for every insert attempt — including rejected ones, which still cost a
+/// probe in hardware. The non-observing entry point
+/// ([`TokenTable::relax`]) passes the zero-sized [`NoopObserver`], which
+/// monomorphizes to nothing, so the decoder hot path pays no cost for the
+/// hook.
+pub trait InsertObserver {
+    /// Called once per relax attempt with the slot-level outcome.
+    fn observe(&mut self, state: u32, outcome: RelaxOutcome);
+}
+
+/// The do-nothing observer used by the non-instrumented search paths;
+/// calls through it compile away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl InsertObserver for NoopObserver {
+    #[inline(always)]
+    fn observe(&mut self, _state: u32, _outcome: RelaxOutcome) {}
+}
+
 /// One frame's tokens, stored flat and cleared by epoch bump.
 ///
 /// `P` is the per-token payload stored next to the path cost; it must be
@@ -176,12 +238,31 @@ impl<P: Copy> TokenTable<P> {
     /// sequential decoder allocates its lattice entry inside it).
     #[inline]
     pub fn relax(&mut self, state: u32, cost: f32, payload: impl FnOnce() -> P) -> bool {
+        self.relax_observed(state, cost, payload, &mut NoopObserver)
+    }
+
+    /// [`TokenTable::relax`] with a slot-event hook: `observer` sees the
+    /// [`RelaxOutcome`] of every attempt (including rejections) before the
+    /// slot is written and before `payload` runs. The accelerator
+    /// simulator's scoreboard hangs its hash/token timing off this; with
+    /// [`NoopObserver`] it compiles down to exactly [`TokenTable::relax`].
+    #[inline]
+    pub fn relax_observed(
+        &mut self,
+        state: u32,
+        cost: f32,
+        payload: impl FnOnce() -> P,
+        observer: &mut impl InsertObserver,
+    ) -> bool {
         let slot = self.slot(state);
         if self.epochs[slot] == self.epoch {
             if self.costs[slot] <= cost {
+                observer.observe(state, RelaxOutcome::Rejected);
                 return false;
             }
+            observer.observe(state, RelaxOutcome::Improved);
         } else {
+            observer.observe(state, RelaxOutcome::Appended);
             self.epochs[slot] = self.epoch;
             self.active.push(state);
         }
@@ -309,6 +390,43 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.get(3), None, "no phantom live tokens before begin_frame");
         assert_eq!(t.best(), f32::INFINITY);
+    }
+
+    #[test]
+    fn observer_sees_every_relax_outcome() {
+        struct Recorder(Vec<(u32, RelaxOutcome)>);
+        impl InsertObserver for Recorder {
+            fn observe(&mut self, state: u32, outcome: RelaxOutcome) {
+                self.0.push((state, outcome));
+            }
+        }
+        let mut t: TokenTable<u32> = TokenTable::new(8, 0);
+        let mut obs = Recorder(Vec::new());
+        t.begin_frame();
+        assert!(t.relax_observed(3, 2.0, || 1, &mut obs));
+        assert!(!t.relax_observed(3, 2.5, || 2, &mut obs));
+        assert!(t.relax_observed(3, 1.0, || 3, &mut obs));
+        assert!(t.relax_observed(5, 4.0, || 4, &mut obs));
+        assert_eq!(
+            obs.0,
+            vec![
+                (3, RelaxOutcome::Appended),
+                (3, RelaxOutcome::Rejected),
+                (3, RelaxOutcome::Improved),
+                (5, RelaxOutcome::Appended),
+            ]
+        );
+        assert_eq!(t.get(3), Some((1.0, 3)), "rejected payload never stored");
+    }
+
+    #[test]
+    fn relax_outcome_predicates() {
+        assert!(RelaxOutcome::Appended.stored());
+        assert!(RelaxOutcome::Improved.stored());
+        assert!(!RelaxOutcome::Rejected.stored());
+        assert!(!RelaxOutcome::Appended.existing());
+        assert!(RelaxOutcome::Improved.existing());
+        assert!(RelaxOutcome::Rejected.existing());
     }
 
     #[test]

@@ -31,6 +31,21 @@ pub enum WfstError {
     },
     /// A serialized image was truncated or malformed.
     Corrupt(String),
+    /// A degree-sorted layout's direct-index unit disagreed with the state
+    /// array it describes: the computed arc range does not match the
+    /// stored one, so the layout (or the unit's registers) is corrupt.
+    LayoutMismatch {
+        /// State (in the sorted numbering) where the mismatch surfaced.
+        state: StateId,
+        /// First-arc index the unit computed.
+        computed_first: ArcId,
+        /// Out-degree the unit computed.
+        computed_degree: usize,
+        /// First-arc index stored in the state array.
+        actual_first: ArcId,
+        /// Out-degree stored in the state array.
+        actual_degree: usize,
+    },
     /// The operands of a composition used incompatible label spaces.
     IncompatibleComposition(String),
 }
@@ -50,6 +65,18 @@ impl fmt::Display for WfstError {
                 write!(f, "arc from {state:?} has non-finite weight {weight}")
             }
             WfstError::Corrupt(msg) => write!(f, "corrupt serialized transducer: {msg}"),
+            WfstError::LayoutMismatch {
+                state,
+                computed_first,
+                computed_degree,
+                actual_first,
+                actual_degree,
+            } => write!(
+                f,
+                "direct-index unit disagrees with the sorted layout at {state:?}: \
+                 computed ({computed_first:?}, degree {computed_degree}), \
+                 stored ({actual_first:?}, degree {actual_degree})"
+            ),
             WfstError::IncompatibleComposition(msg) => {
                 write!(f, "incompatible composition operands: {msg}")
             }

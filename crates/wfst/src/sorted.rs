@@ -45,9 +45,50 @@ pub struct DirectIndexUnit {
 }
 
 impl DirectIndexUnit {
+    /// Assembles a unit directly from its hardware registers: the
+    /// cumulative group `boundaries` and per-degree `offsets` (one of each
+    /// per comparator). This is the hardware bring-up path — the registers
+    /// are programmed separately from the graph image — and what the
+    /// fault-injection tests use to present a unit that disagrees with the
+    /// layout it claims to describe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries` and `offsets` differ in length (every
+    /// comparator has exactly one offset register).
+    pub fn from_registers(boundaries: Vec<u32>, offsets: Vec<i64>) -> Self {
+        assert_eq!(
+            boundaries.len(),
+            offsets.len(),
+            "one offset register per comparator"
+        );
+        Self {
+            boundaries,
+            offsets,
+        }
+    }
+
     /// Number of comparators (the paper's `N`).
     pub fn threshold(&self) -> usize {
         self.boundaries.len()
+    }
+
+    /// The cumulative boundary register bounding degree group `d = group + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= threshold()`.
+    pub fn group_boundary(&self, group: usize) -> u32 {
+        self.boundaries[group]
+    }
+
+    /// The offset register of degree group `d = group + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= threshold()`.
+    pub fn group_offset(&self, group: usize) -> i64 {
+        self.offsets[group]
     }
 
     /// One past the last state index served by direct computation.
@@ -220,6 +261,14 @@ impl SortedWfst {
     /// The hardware decision unit (comparators + offset table).
     pub fn unit(&self) -> &DirectIndexUnit {
         &self.unit
+    }
+
+    /// Replaces the decision unit, returning the previous one — the
+    /// fault-injection hook used to validate that consumers detect a
+    /// unit/layout mismatch (see `asr-accel`'s corrupted-layout tests)
+    /// rather than silently mis-indexing arcs.
+    pub fn replace_unit(&mut self, unit: DirectIndexUnit) -> DirectIndexUnit {
+        std::mem::replace(&mut self.unit, unit)
     }
 
     /// Comparator count `N`.

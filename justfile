@@ -38,6 +38,14 @@ bench-runtime:
 bench-frontend:
     cargo run --release -p asr-bench --bin bench_frontend
 
+# Accelerator-simulator benchmark: all four design points on the pinned
+# fixture, cycles/frame + RTF at the paper's 600 MHz clock, base-design
+# counter deltas vs the pre-port (HashMap-era) simulator; splices an
+# "accel" section into BENCH_decode.json and fails if any delta is
+# non-zero.
+bench-accel:
+    cargo run --release -p asr-bench --bin bench_accel
+
 # Rustdoc for the whole workspace, warnings denied (as CI runs it).
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

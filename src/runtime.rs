@@ -557,7 +557,7 @@ impl AsrRuntime {
         let mut cfg = cfg;
         cfg.beam = self.inner.options.beam;
         let prepared = PreparedWfst::new(&self.inner.graph, &cfg)?;
-        let result = Simulator::new(cfg).decode(&prepared, &scores);
+        let result = Simulator::new(cfg).decode(&prepared, &scores)?;
         let transcript = Transcript {
             words: self.inner.lexicon.transcript(&result.words),
             cost: result.cost,
