@@ -17,7 +17,10 @@
 //!   and *steals back* any of its still-queued chunks, so a busy pool
 //!   degrades gracefully to inline execution instead of queueing up.
 //!   Concurrent decodes therefore share all lanes instead of serializing
-//!   behind per-decoder pools.
+//!   behind per-decoder pools. [`WorkerPool::stats`] and
+//!   [`WorkerPool::queue_depth`] expose the scheduler's counters and live
+//!   backlog — the saturation signal the serving runtime's QoS monitor
+//!   samples.
 //! * [`ScratchPool`] recycles warmed [`DecodeScratch`] working sets, so a
 //!   serving facade that decodes request after request performs zero
 //!   steady-state allocations in the frame loop: checkout pops a warm
@@ -61,6 +64,32 @@ struct Task {
 // that owns the header.
 unsafe impl Send for Task {}
 
+/// Scheduling counters accumulated under the queue mutex — the
+/// executor's observable saturation signal (see [`WorkerPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerPoolStats {
+    /// Fork-join jobs whose chunk tasks entered the shared queues
+    /// (single-chunk jobs and every job on a one-lane pool run inline
+    /// without touching the scheduler, and are not counted).
+    pub jobs_submitted: u64,
+    /// Chunk tasks pushed to the global injector (chunk 0 of every job
+    /// runs inline on its submitter and is never queued).
+    pub tasks_queued: u64,
+    /// Tasks executed by parked worker lanes (from their own deque, the
+    /// injector, or a victim's deque) rather than the submitter.
+    pub tasks_taken_by_lanes: u64,
+    /// The subset of [`WorkerPoolStats::tasks_taken_by_lanes`] an idle
+    /// lane stole from another lane's deque.
+    pub tasks_stolen: u64,
+    /// Still-queued tasks a submitter reclaimed (steal-back) because no
+    /// lane had picked them up — a direct saturation signal: a busy pool
+    /// degrades its submitters to inline execution.
+    pub tasks_stolen_back: u64,
+    /// Deepest the combined queues (injector + every lane deque) have
+    /// been, in tasks, sampled at each job submission.
+    pub peak_queue_depth: usize,
+}
+
 /// Queues shared by all lanes and submitters, guarded by one mutex (the
 /// scheduler holds it only for queue pushes/pops, never while a task
 /// runs).
@@ -71,15 +100,24 @@ struct ExecState {
     /// batch-grabs the job's queued siblings into its own deque, where
     /// idle lanes (and the submitter's steal-back) can take them.
     lane_deques: Vec<VecDeque<Task>>,
+    /// Scheduling counters; updated under the mutex the queue operations
+    /// already hold, so observing them costs nothing extra.
+    counters: WorkerPoolStats,
     shutdown: bool,
 }
 
 impl ExecState {
+    /// Tasks currently sitting in the injector plus every lane deque.
+    fn queue_depth(&self) -> usize {
+        self.injector.len() + self.lane_deques.iter().map(VecDeque::len).sum::<usize>()
+    }
+
     /// Next task for a worker lane: own deque first, then the injector
     /// (batch-grabbing contiguous siblings), then steal from the deepest
     /// other lane.
     fn take_for_lane(&mut self, lane: usize) -> Option<Task> {
         if let Some(task) = self.lane_deques[lane].pop_front() {
+            self.counters.tasks_taken_by_lanes += 1;
             return Some(task);
         }
         if let Some(task) = self.injector.pop_front() {
@@ -90,12 +128,18 @@ impl ExecState {
                 let sibling = self.injector.pop_front().expect("front exists");
                 self.lane_deques[lane].push_back(sibling);
             }
+            self.counters.tasks_taken_by_lanes += 1;
             return Some(task);
         }
         let victim = (0..self.lane_deques.len())
             .filter(|&l| l != lane)
             .max_by_key(|&l| self.lane_deques[l].len())?;
-        self.lane_deques[victim].pop_front()
+        let stolen = self.lane_deques[victim].pop_front();
+        if stolen.is_some() {
+            self.counters.tasks_taken_by_lanes += 1;
+            self.counters.tasks_stolen += 1;
+        }
+        stolen
     }
 
     /// Steal-back for a submitter: any still-queued task of *its own*
@@ -106,10 +150,12 @@ impl ExecState {
             .iter()
             .position(|t| std::ptr::eq(t.header, header))
         {
+            self.counters.tasks_stolen_back += 1;
             return self.injector.remove(pos);
         }
         for deque in &mut self.lane_deques {
             if let Some(pos) = deque.iter().position(|t| std::ptr::eq(t.header, header)) {
+                self.counters.tasks_stolen_back += 1;
                 return deque.remove(pos);
             }
         }
@@ -235,6 +281,7 @@ impl WorkerPool {
             state: Mutex::new(ExecState {
                 injector: VecDeque::with_capacity(64),
                 lane_deques: (0..workers).map(|_| VecDeque::with_capacity(16)).collect(),
+                counters: WorkerPoolStats::default(),
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -268,6 +315,25 @@ impl WorkerPool {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
+    }
+
+    /// Tasks currently waiting in the shared queues (the global injector
+    /// plus every lane deque) — the executor's live saturation gauge. A
+    /// pool keeping up reads `0` almost always: chunks are grabbed as
+    /// fast as submitters publish them. Sustained depth means offered
+    /// load exceeds lane capacity, which is exactly the signal the
+    /// serving runtime's QoS pressure monitor samples.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().queue_depth()
+    }
+
+    /// Scheduling counters since construction: jobs and tasks through
+    /// the shared queues, the lane/steal split, submitter steal-backs,
+    /// and the peak combined queue depth. Counters cover scheduled jobs
+    /// only — single-chunk jobs and every job on a one-lane pool run
+    /// inline without touching the queues.
+    pub fn stats(&self) -> WorkerPoolStats {
+        self.shared.lock().counters
     }
 
     /// Runs `f(chunk)` once for every `chunk in 0..chunks`, across the
@@ -323,6 +389,12 @@ impl WorkerPool {
                     header: &header,
                     chunk: chunk as u32,
                 });
+            }
+            state.counters.jobs_submitted += 1;
+            state.counters.tasks_queued += (chunks - 1) as u64;
+            let depth = state.queue_depth();
+            if depth > state.counters.peak_queue_depth {
+                state.counters.peak_queue_depth = depth;
             }
             if chunks == 2 {
                 self.shared.work.notify_one();
@@ -635,6 +707,39 @@ mod tests {
             handle.join().expect("submitter thread");
         }
         assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * 3);
+    }
+
+    #[test]
+    fn counters_track_jobs_and_task_ownership() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.stats(), WorkerPoolStats::default());
+        assert_eq!(pool.queue_depth(), 0);
+        for _ in 0..20 {
+            pool.fork_join(4, &|_| {});
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_submitted, 20);
+        assert_eq!(stats.tasks_queued, 20 * 3, "chunk 0 is never queued");
+        // Every queued task was retired by exactly one side.
+        assert_eq!(
+            stats.tasks_taken_by_lanes + stats.tasks_stolen_back,
+            stats.tasks_queued
+        );
+        assert!(stats.tasks_stolen <= stats.tasks_taken_by_lanes);
+        assert!(stats.peak_queue_depth >= 1);
+        assert_eq!(pool.queue_depth(), 0, "queues drain when the pool is idle");
+    }
+
+    #[test]
+    fn inline_paths_do_not_touch_the_scheduler() {
+        // One-lane pool: every job runs inline, nothing is counted.
+        let one = WorkerPool::new(1);
+        one.fork_join(8, &|_| {});
+        assert_eq!(one.stats(), WorkerPoolStats::default());
+        // Single-chunk jobs skip the queues even on a multi-lane pool.
+        let two = WorkerPool::new(2);
+        two.fork_join(1, &|_| {});
+        assert_eq!(two.stats(), WorkerPoolStats::default());
     }
 
     #[test]

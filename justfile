@@ -33,6 +33,13 @@ bench-serving:
 bench-runtime:
     cargo run --release -p asr-bench --bin bench_serving -- --sessions 1,2,4,8
 
+# Open-loop overload harness: Poisson arrivals at 1x/2x the calibrated
+# saturation rate against fixed-beam vs QoS-degrading runtimes; splices a
+# "load" section into BENCH_decode.json (bar: fixed p99 >= 3x QoS p99 at
+# 2x, zero panics, shed counts reported).
+bench-load:
+    cargo run --release -p asr-bench --bin bench_load -- --arrivals 150 --loads 1,2
+
 # Front-end benchmark: streaming MFCC/scorer vs the batch path; splices a
 # "frontend" section into BENCH_decode.json (bar: online <= 1.25x batch).
 bench-frontend:

@@ -42,6 +42,27 @@
 //! allocations per frame) covers the batch API for free. The legacy
 //! [`crate::pipeline::AsrPipeline`] facade survives as a thin wrapper
 //! over a runtime.
+//!
+//! # Load-adaptive QoS
+//!
+//! The paper trades beam width against cycles and accuracy at design
+//! time; the runtime turns the same knob at *serving* time. Installing
+//! a [`QosPolicy`] ([`RuntimeConfig::qos`]) gives the runtime ordered
+//! pressure tiers that narrow `beam`/`max_active` as a pressure signal
+//! rises — the maximum of session saturation, executor queue depth per
+//! lane, and an EWMA of the per-frame real-time factor — with
+//! configurable per-session floors. It also arms admission control:
+//! past the policy's saturation point, [`AsrRuntime::try_open_session`]
+//! sheds new sessions with a typed [`PipelineError::Overloaded`]
+//! instead of queueing them into unbounded latency, while every
+//! admitted session always runs to completion. Tier changes apply at
+//! frame boundaries only, so a session's decode is deterministic given
+//! its tier trace — pinned to one tier it is byte-identical to a
+//! fixed-beam decode at that tier's parameters, and with QoS off the
+//! runtime is byte-identical to a runtime with no policy at all.
+//! [`AsrRuntime::stats`] exposes the whole signal chain
+//! ([`RuntimeStats`]): active/peak/shed sessions, EWMA RTF, pressure,
+//! current and peak tier, plus the scratch-pool and executor counters.
 
 use asr_accel::config::AcceleratorConfig;
 use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
@@ -50,7 +71,7 @@ use asr_acoustic::scores::AcousticTable;
 use asr_acoustic::signal::{SignalConfig, Utterance};
 use asr_acoustic::template::TemplateScorer;
 use asr_decoder::parallel::ParallelDecoder;
-use asr_decoder::pool::{ScratchPool, WorkerPool};
+use asr_decoder::pool::{ScratchPool, ScratchPoolStats, WorkerPool, WorkerPoolStats};
 use asr_decoder::search::DecodeOptions;
 use asr_decoder::stream::StreamingDecode;
 use asr_decoder::wer;
@@ -59,7 +80,14 @@ use asr_wfst::grammar::Grammar;
 use asr_wfst::lexicon::{demo_lexicon, Lexicon};
 use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Nominal wall-clock duration of one acoustic frame (the 10 ms frame
+/// shift every front-end in the repo uses): the denominator of the
+/// real-time factor the pressure monitor tracks.
+const FRAME_SECONDS: f64 = 0.01;
 
 /// Errors from runtime (or pipeline) construction or use.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +97,17 @@ pub enum PipelineError {
     Wfst(WfstError),
     /// A word is not in the runtime's lexicon.
     UnknownWord(String),
+    /// Admission control refused a new session: the runtime is at its
+    /// [`QosPolicy`] saturation point. Returned by
+    /// [`AsrRuntime::try_open_session`] — never a panic — so callers
+    /// can shed load (reject, retry later, fail over) while every
+    /// in-flight session runs to completion.
+    Overloaded {
+        /// Sessions in flight when admission was refused.
+        active: usize,
+        /// The policy's configured session limit.
+        limit: usize,
+    },
 }
 
 /// The runtime's error type — the same enum the legacy pipeline facade
@@ -80,6 +119,10 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Wfst(e) => write!(f, "decoding-graph construction failed: {e}"),
             PipelineError::UnknownWord(w) => write!(f, "word {w:?} is not in the lexicon"),
+            PipelineError::Overloaded { active, limit } => write!(
+                f,
+                "runtime overloaded: {active} active sessions at the admission limit of {limit}"
+            ),
         }
     }
 }
@@ -88,7 +131,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Wfst(e) => Some(e),
-            PipelineError::UnknownWord(_) => None,
+            PipelineError::UnknownWord(_) | PipelineError::Overloaded { .. } => None,
         }
     }
 }
@@ -122,6 +165,241 @@ pub struct Hypothesis {
     pub frames_decoded: usize,
 }
 
+/// One rung of a [`QosPolicy`]: at or above `min_pressure`, adaptive
+/// sessions decode with this beam / max-active pair (clamped to the
+/// policy's floors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosTier {
+    min_pressure: f64,
+    beam: f32,
+    max_active: Option<usize>,
+}
+
+impl QosTier {
+    /// The pressure at which this tier engages.
+    pub fn min_pressure(&self) -> f64 {
+        self.min_pressure
+    }
+
+    /// The beam width this tier decodes with (before floor clamping).
+    pub fn beam(&self) -> f32 {
+        self.beam
+    }
+
+    /// The max-active cap this tier decodes with (before floor
+    /// clamping); `None` leaves the token count beam-limited only.
+    pub fn max_active(&self) -> Option<usize> {
+        self.max_active
+    }
+}
+
+/// A tiered degradation policy: the serving-time image of the paper's
+/// beam-width/cycles/accuracy trade-off, plus admission control.
+///
+/// A policy is an ordered list of pressure tiers. Tier `0` is the
+/// runtime's base [`DecodeOptions`]; each [`QosPolicy::tier`] call adds
+/// the next rung, engaged when the pressure signal reaches its
+/// threshold. Per-session floors ([`QosPolicy::floors`]) bound how far
+/// degradation may narrow the search, and
+/// [`QosPolicy::max_sessions`] arms admission control for
+/// [`AsrRuntime::try_open_session`].
+///
+/// ```
+/// use asr_repro::runtime::QosPolicy;
+///
+/// let policy = QosPolicy::new()
+///     .tier(0.50, 30.0, None)         // mild pressure: narrow the beam
+///     .tier(0.75, 20.0, Some(2048))   // heavy: cap active tokens too
+///     .tier(0.95, 12.0, Some(512))    // saturated: survival mode
+///     .floors(8.0, 128)
+///     .max_sessions(8);
+/// assert_eq!(policy.num_tiers(), 4); // base + three rungs
+/// assert_eq!(policy.select_tier(0.6), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosPolicy {
+    tiers: Vec<QosTier>,
+    beam_floor: f32,
+    max_active_floor: usize,
+    max_sessions: usize,
+    ewma_alpha: f64,
+}
+
+impl Default for QosPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QosPolicy {
+    /// An empty policy: no degradation tiers, no admission limit. On
+    /// its own it only turns on pressure tracking; add tiers and a
+    /// session limit to make it bite.
+    pub fn new() -> Self {
+        Self {
+            tiers: Vec::new(),
+            beam_floor: 0.0,
+            max_active_floor: 1,
+            max_sessions: 0,
+            ewma_alpha: 0.2,
+        }
+    }
+
+    /// Appends a degradation tier engaged at `min_pressure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_pressure` is positive, finite, and strictly
+    /// greater than the previous tier's threshold (tiers are declared
+    /// in ascending pressure order).
+    pub fn tier(mut self, min_pressure: f64, beam: f32, max_active: Option<usize>) -> Self {
+        assert!(
+            min_pressure.is_finite() && min_pressure > 0.0,
+            "tier threshold must be positive and finite"
+        );
+        if let Some(last) = self.tiers.last() {
+            assert!(
+                min_pressure > last.min_pressure,
+                "tiers must be declared in ascending pressure order \
+                 ({min_pressure} after {})",
+                last.min_pressure
+            );
+        }
+        self.tiers.push(QosTier {
+            min_pressure,
+            beam,
+            max_active,
+        });
+        self
+    }
+
+    /// Per-session floors degradation never crosses: no tier decodes
+    /// below `beam_floor` or with fewer than `max_active_floor` active
+    /// tokens, however hard the runtime is pressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_active_floor == 0` (the search needs at least one
+    /// live token).
+    pub fn floors(mut self, beam_floor: f32, max_active_floor: usize) -> Self {
+        assert!(max_active_floor > 0, "need at least one active token");
+        self.beam_floor = beam_floor;
+        self.max_active_floor = max_active_floor;
+        self
+    }
+
+    /// Arms admission control: [`AsrRuntime::try_open_session`] sheds
+    /// new sessions once `limit` are in flight. `0` (the default)
+    /// leaves admission unlimited.
+    pub fn max_sessions(mut self, limit: usize) -> Self {
+        self.max_sessions = limit;
+        self
+    }
+
+    /// Smoothing factor of the per-frame RTF EWMA, in `(0, 1]`; higher
+    /// reacts faster. Defaults to `0.2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn ewma_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.ewma_alpha = alpha;
+        self
+    }
+
+    /// The declared degradation rungs, in ascending pressure order
+    /// (tier `0`, the runtime's base options, is implicit).
+    pub fn tiers(&self) -> &[QosTier] {
+        &self.tiers
+    }
+
+    /// The configured admission limit (`0` = unlimited).
+    pub fn session_limit(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Number of tiers including the implicit base tier `0`.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len() + 1
+    }
+
+    /// The tier a given pressure selects: the highest rung whose
+    /// threshold the pressure reaches, or `0` below every threshold.
+    pub fn select_tier(&self, pressure: f64) -> usize {
+        self.tiers
+            .iter()
+            .take_while(|t| pressure >= t.min_pressure)
+            .count()
+    }
+
+    /// The `(beam, max_active)` a session decodes with at `tier`, given
+    /// the runtime's base options: tier `0` is the base pair untouched;
+    /// higher tiers are the declared rungs clamped to the policy's
+    /// floors. Tiers past the last rung saturate at the last rung.
+    pub fn params(&self, tier: usize, base: &DecodeOptions) -> (f32, Option<usize>) {
+        if tier == 0 || self.tiers.is_empty() {
+            return (base.beam, base.max_active);
+        }
+        let rung = self.tiers[tier.min(self.tiers.len()) - 1];
+        let beam = rung.beam.max(self.beam_floor);
+        let max_active = rung.max_active.map(|m| m.max(self.max_active_floor));
+        (beam, max_active)
+    }
+}
+
+/// Lock-free pressure bookkeeping shared by every runtime clone: the
+/// serving-side observability the accelerator exposes through its
+/// cycle counters, kept off the frame hot path (a handful of relaxed
+/// atomics per frame, none at all when no [`QosPolicy`] is installed).
+#[derive(Debug, Default)]
+struct PressureMonitor {
+    active_sessions: AtomicUsize,
+    peak_sessions: AtomicUsize,
+    shed_sessions: AtomicU64,
+    frames_observed: AtomicU64,
+    /// EWMA of the per-frame real-time factor, as `f64` bits (`0` =
+    /// nothing observed yet).
+    ewma_rtf_bits: AtomicU64,
+    /// The latest combined pressure signal, as `f64` bits.
+    pressure_bits: AtomicU64,
+    tier: AtomicUsize,
+    peak_tier: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the runtime's serving state, from
+/// [`AsrRuntime::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeStats {
+    /// Sessions currently in flight.
+    pub active_sessions: usize,
+    /// High-water mark of concurrent sessions.
+    pub peak_sessions: usize,
+    /// Sessions refused by [`AsrRuntime::try_open_session`].
+    pub shed_sessions: u64,
+    /// Frames the pressure monitor has timed (0 without a policy).
+    pub frames_observed: u64,
+    /// EWMA of the per-frame real-time factor (decode seconds per 10 ms
+    /// frame); `0.0` before any frame is observed.
+    pub ewma_rtf: f64,
+    /// The combined pressure signal: the maximum of session saturation,
+    /// executor queue depth per lane, and the RTF EWMA.
+    pub pressure: f64,
+    /// The degradation tier adaptive sessions currently decode at
+    /// (`0` = base options).
+    pub tier: usize,
+    /// The highest tier the runtime has reached.
+    pub peak_tier: usize,
+    /// Scratch-pool counters (cold checkouts vs warm restores).
+    pub scratch: ScratchPoolStats,
+    /// Executor scheduling counters, when the shared pool has been
+    /// spun up (`None` on one-lane runtimes or before first use).
+    pub executor: Option<WorkerPoolStats>,
+    /// Tasks queued in the executor right now (0 when `executor` is
+    /// `None`).
+    pub executor_queue_depth: usize,
+}
+
 /// Construction-time configuration for an [`AsrRuntime`], as a builder.
 ///
 /// ```
@@ -136,16 +414,18 @@ pub struct RuntimeConfig {
     lanes: usize,
     options: DecodeOptions,
     frames_per_phone: usize,
+    qos: Option<QosPolicy>,
 }
 
 impl Default for RuntimeConfig {
     /// Machine-sized executor, the demo beam, six frames per rendered
-    /// phone.
+    /// phone, no QoS policy.
     fn default() -> Self {
         Self {
             lanes: WorkerPool::default_lanes(),
             options: DecodeOptions::with_beam(40.0),
             frames_per_phone: 6,
+            qos: None,
         }
     }
 }
@@ -192,6 +472,15 @@ impl RuntimeConfig {
         self.frames_per_phone = frames_per_phone;
         self
     }
+
+    /// Installs a load-adaptive [`QosPolicy`]: tiered degradation plus
+    /// admission control. Without a policy the runtime behaves exactly
+    /// as before — no pressure tracking on the frame path, infallible
+    /// admission, fixed search parameters.
+    pub fn qos(mut self, policy: QosPolicy) -> Self {
+        self.qos = Some(policy);
+        self
+    }
 }
 
 /// Per-session options for [`AsrRuntime::open_session_with`], as a
@@ -201,6 +490,12 @@ pub struct SessionOptions {
     /// `None` = automatic: overlap scoring with the search whenever the
     /// runtime's executor has more than one lane.
     overlap: Option<bool>,
+    /// `None` = automatic: follow the runtime's [`QosPolicy`] tier
+    /// whenever one is installed.
+    qos: Option<bool>,
+    /// Pin the session to one policy tier instead of following the
+    /// pressure signal.
+    pinned_tier: Option<usize>,
 }
 
 impl SessionOptions {
@@ -217,6 +512,31 @@ impl SessionOptions {
     /// execution on a one-lane runtime).
     pub fn overlap_scoring(mut self, overlap: bool) -> Self {
         self.overlap = Some(overlap);
+        self
+    }
+
+    /// Opts this session out of (or explicitly into) the runtime's
+    /// adaptive QoS. With `false` the session decodes at the runtime's
+    /// base [`DecodeOptions`] for its whole life — byte-identical to a
+    /// session on a runtime with no policy installed — though it still
+    /// counts toward admission control.
+    pub fn adaptive_qos(mut self, enabled: bool) -> Self {
+        self.qos = Some(enabled);
+        self
+    }
+
+    /// Pins the session to policy tier `tier` (0 = base options)
+    /// instead of following the pressure signal: every frame decodes at
+    /// that tier's beam/max-active, making the session byte-identical
+    /// to a fixed-beam decode at those parameters. Implies QoS is
+    /// enabled for the session.
+    ///
+    /// # Panics (at `open_session*`)
+    ///
+    /// Opening the session panics if the runtime has no policy, `tier`
+    /// is out of range, or the session also set `adaptive_qos(false)`.
+    pub fn pin_tier(mut self, tier: usize) -> Self {
+        self.pinned_tier = Some(tier);
         self
     }
 }
@@ -250,6 +570,11 @@ struct RuntimeInner {
     /// one-lane runtime never spawns it).
     executor: OnceLock<Arc<WorkerPool>>,
     frames_per_phone: usize,
+    /// The load-adaptive degradation policy, when one is installed.
+    qos: Option<QosPolicy>,
+    /// Pressure bookkeeping: session counts always, frame timing and
+    /// tier selection only when `qos` is present.
+    monitor: PressureMonitor,
 }
 
 impl RuntimeInner {
@@ -283,6 +608,98 @@ impl RuntimeInner {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(frontend);
+    }
+
+    /// Unconditional admission: counts the session in and refreshes the
+    /// pressure signal (the infallible [`AsrRuntime::open_session`]
+    /// path).
+    fn session_opened(&self) {
+        let now = self.monitor.active_sessions.fetch_add(1, Ordering::AcqRel) + 1;
+        self.monitor.peak_sessions.fetch_max(now, Ordering::AcqRel);
+        self.refresh_pressure();
+    }
+
+    /// Counts a session out (from `Session`'s `Drop`, so finalize and
+    /// abandonment both land here exactly once) and lets the pressure
+    /// signal relax.
+    fn session_closed(&self) {
+        self.monitor.active_sessions.fetch_sub(1, Ordering::AcqRel);
+        self.refresh_pressure();
+    }
+
+    /// Fallible admission: atomically admits the session iff the
+    /// policy's limit leaves room, otherwise sheds it with a typed
+    /// [`PipelineError::Overloaded`]. No limit (or no policy) admits
+    /// unconditionally.
+    fn try_admit(&self) -> Result<(), PipelineError> {
+        let limit = self.qos.as_ref().map_or(0, QosPolicy::session_limit);
+        if limit == 0 {
+            self.session_opened();
+            return Ok(());
+        }
+        let admitted = self.monitor.active_sessions.fetch_update(
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            |active| (active < limit).then_some(active + 1),
+        );
+        match admitted {
+            Ok(previous) => {
+                self.monitor
+                    .peak_sessions
+                    .fetch_max(previous + 1, Ordering::AcqRel);
+                self.refresh_pressure();
+                Ok(())
+            }
+            Err(active) => {
+                self.monitor.shed_sessions.fetch_add(1, Ordering::AcqRel);
+                Err(PipelineError::Overloaded { active, limit })
+            }
+        }
+    }
+
+    /// Feeds one frame's decode wall time into the RTF EWMA and
+    /// re-selects the degradation tier. Called at most once per frame,
+    /// and only when a policy is installed.
+    fn observe_frame(&self, elapsed: Duration) {
+        let Some(policy) = &self.qos else { return };
+        self.monitor.frames_observed.fetch_add(1, Ordering::Relaxed);
+        let rtf = elapsed.as_secs_f64() / FRAME_SECONDS;
+        let alpha = policy.ewma_alpha;
+        let _ =
+            self.monitor
+                .ewma_rtf_bits
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |bits| {
+                    let next = if bits == 0 {
+                        rtf
+                    } else {
+                        let prev = f64::from_bits(bits);
+                        prev + alpha * (rtf - prev)
+                    };
+                    Some(next.to_bits())
+                });
+        self.refresh_pressure();
+    }
+
+    /// Recomputes the combined pressure signal — the maximum of session
+    /// saturation, executor queue depth per lane, and the RTF EWMA —
+    /// and the tier it selects. Deliberately reads `executor.get()` so
+    /// observation never spawns the pool.
+    fn refresh_pressure(&self) {
+        let Some(policy) = &self.qos else { return };
+        let mut pressure = f64::from_bits(self.monitor.ewma_rtf_bits.load(Ordering::Acquire));
+        if policy.max_sessions > 0 {
+            let active = self.monitor.active_sessions.load(Ordering::Acquire);
+            pressure = pressure.max(active as f64 / policy.max_sessions as f64);
+        }
+        if let Some(pool) = self.executor.get() {
+            pressure = pressure.max(pool.queue_depth() as f64 / self.lanes as f64);
+        }
+        self.monitor
+            .pressure_bits
+            .store(pressure.to_bits(), Ordering::Release);
+        let tier = policy.select_tier(pressure);
+        self.monitor.tier.store(tier, Ordering::Release);
+        self.monitor.peak_tier.fetch_max(tier, Ordering::AcqRel);
     }
 }
 
@@ -332,10 +749,25 @@ impl AsrRuntime {
         grammar: &Grammar,
         config: RuntimeConfig,
     ) -> Result<Self, PipelineError> {
-        let graph = Arc::new(build_decoding_graph(&lexicon, grammar)?);
+        let graph = build_decoding_graph(&lexicon, grammar)?;
+        Ok(Self::with_graph(graph, lexicon, config))
+    }
+
+    /// Builds a runtime directly over an existing decoding graph — the
+    /// entry point for synthetic-scale serving experiments (the
+    /// `bench_load` overload harness builds graphs far larger than any
+    /// composed demo vocabulary) and for callers that compose or load
+    /// graphs themselves.
+    ///
+    /// The lexicon provides word spellings for transcripts and the
+    /// phone space for the *raw-audio* path; sessions fed pre-scored
+    /// rows only need the rows to match the graph's phone labels.
+    /// Unknown word IDs on decoded paths render as `"<?>"`.
+    pub fn with_graph(graph: Wfst, lexicon: Lexicon, config: RuntimeConfig) -> Self {
+        let graph = Arc::new(graph);
         let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
         let scratch_pool = ScratchPool::new(graph.num_states());
-        Ok(Self {
+        Self {
             inner: Arc::new(RuntimeInner {
                 lexicon,
                 graph,
@@ -347,8 +779,10 @@ impl AsrRuntime {
                 frontend_pool: Mutex::new(Vec::new()),
                 executor: OnceLock::new(),
                 frames_per_phone: config.frames_per_phone,
+                qos: config.qos,
+                monitor: PressureMonitor::default(),
             }),
-        })
+        }
     }
 
     /// The ready-made demo system: twelve command words, uniform
@@ -398,6 +832,34 @@ impl AsrRuntime {
     /// [`ScratchPool::stats`] splits cold checkouts from warm restores).
     pub fn scratch_pool(&self) -> &ScratchPool {
         &self.inner.scratch_pool
+    }
+
+    /// The installed QoS policy, when the runtime has one.
+    pub fn qos_policy(&self) -> Option<&QosPolicy> {
+        self.inner.qos.as_ref()
+    }
+
+    /// A point-in-time snapshot of the serving state: session counts,
+    /// shed counts, pressure and tier, scratch-pool counters, and the
+    /// executor's scheduling counters. Reading stats never spawns the
+    /// executor — `executor` is `None` until some decode first needs
+    /// the pool (and always on one-lane runtimes).
+    pub fn stats(&self) -> RuntimeStats {
+        let m = &self.inner.monitor;
+        let executor = self.inner.executor.get();
+        RuntimeStats {
+            active_sessions: m.active_sessions.load(Ordering::Acquire),
+            peak_sessions: m.peak_sessions.load(Ordering::Acquire),
+            shed_sessions: m.shed_sessions.load(Ordering::Acquire),
+            frames_observed: m.frames_observed.load(Ordering::Acquire),
+            ewma_rtf: f64::from_bits(m.ewma_rtf_bits.load(Ordering::Acquire)),
+            pressure: f64::from_bits(m.pressure_bits.load(Ordering::Acquire)),
+            tier: m.tier.load(Ordering::Acquire),
+            peak_tier: m.peak_tier.load(Ordering::Acquire),
+            scratch: self.inner.scratch_pool.stats(),
+            executor: executor.map(|p| p.stats()),
+            executor_queue_depth: executor.map_or(0, |p| p.queue_depth()),
+        }
     }
 
     /// The shared work-stealing executor, or `None` on a one-lane
@@ -517,7 +979,87 @@ impl AsrRuntime {
     }
 
     /// Opens an owned streaming session with explicit options.
+    ///
+    /// Admission is unconditional: this path never sheds, even past the
+    /// policy's session limit (use [`AsrRuntime::try_open_session_with`]
+    /// for load-shedding admission).
     pub fn open_session_with(&self, options: SessionOptions) -> Session {
+        self.inner.session_opened();
+        self.build_session(options)
+    }
+
+    /// Opens a session with default options under admission control:
+    /// sheds with [`PipelineError::Overloaded`] once the runtime's
+    /// [`QosPolicy`] session limit is reached. Without a policy (or
+    /// with a limit of `0`) admission is unlimited and this never
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Overloaded`] at the admission limit.
+    /// Shedding is a typed error, never a panic, and leaves every
+    /// in-flight session untouched.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asr_repro::runtime::{AsrRuntime, PipelineError, QosPolicy, RuntimeConfig};
+    ///
+    /// let runtime = AsrRuntime::demo_with(
+    ///     RuntimeConfig::new().qos(QosPolicy::new().max_sessions(1)),
+    /// )?;
+    /// let admitted = runtime.try_open_session()?;
+    /// match runtime.try_open_session() {
+    ///     Err(PipelineError::Overloaded { active, limit }) => {
+    ///         assert_eq!((active, limit), (1, 1));
+    ///     }
+    ///     _ => unreachable!("second session must shed"),
+    /// }
+    /// drop(admitted); // in-flight work finishing reopens admission
+    /// assert!(runtime.try_open_session().is_ok());
+    /// # Ok::<(), asr_repro::PipelineError>(())
+    /// ```
+    pub fn try_open_session(&self) -> Result<Session, RuntimeError> {
+        self.try_open_session_with(SessionOptions::default())
+    }
+
+    /// Opens a session with explicit options under admission control
+    /// (see [`AsrRuntime::try_open_session`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Overloaded`] at the admission limit.
+    pub fn try_open_session_with(&self, options: SessionOptions) -> Result<Session, RuntimeError> {
+        self.inner.try_admit()?;
+        Ok(self.build_session(options))
+    }
+
+    /// Constructs the session once admission has been decided.
+    fn build_session(&self, options: SessionOptions) -> Session {
+        let qos_enabled = match &self.inner.qos {
+            Some(policy) => {
+                let enabled = options.qos.unwrap_or(true);
+                if let Some(tier) = options.pinned_tier {
+                    assert!(
+                        enabled,
+                        "SessionOptions::pin_tier contradicts adaptive_qos(false)"
+                    );
+                    assert!(
+                        tier < policy.num_tiers(),
+                        "pinned tier {tier} out of range: the policy has {} tiers",
+                        policy.num_tiers()
+                    );
+                }
+                enabled
+            }
+            None => {
+                assert!(
+                    options.pinned_tier.is_none(),
+                    "SessionOptions::pin_tier on a runtime without a QosPolicy"
+                );
+                false
+            }
+        };
         let scratch = self.inner.scratch_pool.checkout();
         let overlap = options.overlap.unwrap_or(true);
         let executor = if overlap {
@@ -538,6 +1080,8 @@ impl AsrRuntime {
             staging: Vec::new(),
             have_front: false,
             frames_pushed: 0,
+            qos_enabled,
+            pinned_tier: options.pinned_tier,
         }
     }
 
@@ -553,11 +1097,49 @@ impl AsrRuntime {
         utterance: &Utterance,
         cfg: AcceleratorConfig,
     ) -> Result<(Transcript, SimResult), PipelineError> {
+        let prepared = self.prepare_accelerator(&cfg)?;
+        self.recognize_on_prepared(utterance, cfg, &prepared)
+    }
+
+    /// Prepares the runtime's decoding graph for an accelerator design
+    /// point: the original layout for the base design, the
+    /// degree-sorted layout (plus direct-index registers) for
+    /// state-optimized designs. Preparing once and decoding many
+    /// utterances with [`AsrRuntime::recognize_on_prepared`] amortizes
+    /// the re-layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WFST re-layout validation failures as
+    /// [`PipelineError::Wfst`].
+    pub fn prepare_accelerator(
+        &self,
+        cfg: &AcceleratorConfig,
+    ) -> Result<PreparedWfst, PipelineError> {
+        Ok(PreparedWfst::new(&self.inner.graph, cfg)?)
+    }
+
+    /// Recognizes a waveform on the simulated accelerator over an
+    /// already-prepared graph layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Wfst`] when the simulator refuses the
+    /// prepared layout — e.g. [`WfstError::LayoutMismatch`] when the
+    /// direct-index registers disagree with the sorted graph. The
+    /// failure is a typed error, never a panic, and leaves the runtime
+    /// fully serviceable: live sessions, pools, and future accelerator
+    /// decodes are untouched.
+    pub fn recognize_on_prepared(
+        &self,
+        utterance: &Utterance,
+        cfg: AcceleratorConfig,
+        prepared: &PreparedWfst,
+    ) -> Result<(Transcript, SimResult), PipelineError> {
         let scores = self.inner.scorer.score_waveform(&utterance.samples);
         let mut cfg = cfg;
         cfg.beam = self.inner.options.beam;
-        let prepared = PreparedWfst::new(&self.inner.graph, &cfg)?;
-        let result = Simulator::new(cfg).decode(&prepared, &scores)?;
+        let result = Simulator::new(cfg).decode(prepared, &scores)?;
         let transcript = Transcript {
             words: self.inner.lexicon.transcript(&result.words),
             cost: result.cost,
@@ -613,6 +1195,11 @@ pub struct Session {
     staging: Vec<f32>,
     have_front: bool,
     frames_pushed: usize,
+    /// Whether this session follows the runtime's QoS policy (always
+    /// `false` without a policy).
+    qos_enabled: bool,
+    /// A fixed tier overriding the pressure signal, when pinned.
+    pinned_tier: Option<usize>,
 }
 
 impl Session {
@@ -662,6 +1249,8 @@ impl Session {
     /// is unchanged, so the transcript is byte-identical to the inline
     /// path for any executor width and steal schedule.
     fn score_and_stage(&mut self, frontend: &mut SessionFrontend) {
+        self.apply_qos();
+        let timer = self.frame_timer();
         let scorer = &self.runtime.scorer;
         let overlap = self.have_front && self.decode.is_some();
         match (&self.executor, overlap) {
@@ -690,6 +1279,7 @@ impl Session {
         self.staging.clear();
         self.staging.extend_from_slice(&frontend.row);
         self.commit_staged_row();
+        self.observe_frame(timer);
     }
 
     /// Advances the search over the held-back front row, if there is
@@ -735,8 +1325,18 @@ impl Session {
         );
         self.staging.clear();
         self.staging.extend_from_slice(row);
+        self.apply_qos();
+        // Only time rows that actually drive a search step: the first
+        // row is merely staged, and a zero-cost sample would drag the
+        // RTF EWMA toward zero for free.
+        let timer = if self.have_front {
+            self.frame_timer()
+        } else {
+            None
+        };
         self.step_front();
         self.commit_staged_row();
+        self.observe_frame(timer);
     }
 
     /// Pushes every frame of a scored batch, in order — the per-batch
@@ -750,6 +1350,74 @@ impl Session {
     /// Frames pushed into the session so far.
     pub fn frames_pushed(&self) -> usize {
         self.frames_pushed
+    }
+
+    /// The degradation tier the *next* frame will decode at: the pinned
+    /// tier if set, otherwise the runtime's current pressure tier.
+    /// Always `0` when QoS is off for this session.
+    pub fn tier(&self) -> usize {
+        if !self.qos_enabled {
+            return 0;
+        }
+        self.pinned_tier
+            .unwrap_or_else(|| self.runtime.monitor.tier.load(Ordering::Acquire))
+    }
+
+    /// Pins the session to policy tier `tier` from the next frame on —
+    /// the mid-utterance form of [`SessionOptions::pin_tier`], for
+    /// scripted tier traces. Tier changes only ever land at frame
+    /// boundaries, so the decode stays deterministic given the trace.
+    /// Implies QoS is enabled for the session from here on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime has no [`QosPolicy`] or `tier` is out of
+    /// range.
+    pub fn pin_tier(&mut self, tier: usize) {
+        let policy = self
+            .runtime
+            .qos
+            .as_ref()
+            .expect("Session::pin_tier on a runtime without a QosPolicy");
+        assert!(
+            tier < policy.num_tiers(),
+            "pinned tier {tier} out of range: the policy has {} tiers",
+            policy.num_tiers()
+        );
+        self.qos_enabled = true;
+        self.pinned_tier = Some(tier);
+    }
+
+    /// Retunes the search to the session's current tier — called at
+    /// every frame boundary (and before the final frame), so parameter
+    /// changes never land mid-frame.
+    fn apply_qos(&mut self) {
+        if !self.qos_enabled {
+            return;
+        }
+        let Some(policy) = &self.runtime.qos else {
+            return;
+        };
+        let tier = self
+            .pinned_tier
+            .unwrap_or_else(|| self.runtime.monitor.tier.load(Ordering::Acquire));
+        let (beam, max_active) = policy.params(tier, &self.runtime.options);
+        if let Some(decode) = self.decode.as_mut() {
+            decode.set_search_params(beam, max_active);
+        }
+    }
+
+    /// Starts the per-frame decode timer, only when the runtime's
+    /// pressure monitor will consume the sample.
+    fn frame_timer(&self) -> Option<Instant> {
+        (self.qos_enabled && self.runtime.qos.is_some()).then(Instant::now)
+    }
+
+    /// Feeds a finished frame's wall time to the pressure monitor.
+    fn observe_frame(&self, timer: Option<Instant>) {
+        if let Some(started) = timer {
+            self.runtime.observe_frame(started.elapsed());
+        }
     }
 
     /// The current best hypothesis (empty words before any audio: the
@@ -782,6 +1450,7 @@ impl Session {
             self.drain_frontend(&mut frontend);
             self.runtime.restore_frontend(frontend);
         }
+        self.apply_qos();
         let decode = self.decode.take().expect("session not yet finalized");
         let last = if self.have_front {
             Some(self.front.as_slice())
@@ -806,6 +1475,10 @@ impl Drop for Session {
         if let Some(decode) = self.decode.take() {
             self.runtime.scratch_pool.restore(decode.into_scratch());
         }
+        // Finalized and abandoned sessions both come off the books here
+        // (finalize consumes `self`, so this runs exactly once either
+        // way); admission reopens as soon as in-flight work retires.
+        self.runtime.session_closed();
     }
 }
 
@@ -884,6 +1557,117 @@ mod tests {
         let leased = decoder.decode(runtime.graph(), &scores);
         assert_eq!(runtime.lexicon().transcript(&leased.words), sessioned.words);
         assert_eq!(leased.cost.to_bits(), sessioned.cost.to_bits());
+    }
+
+    #[test]
+    fn qos_policy_tiers_floors_and_selection() {
+        let policy = QosPolicy::new()
+            .tier(0.5, 30.0, None)
+            .tier(0.75, 20.0, Some(2048))
+            .tier(0.95, 6.0, Some(64))
+            .floors(10.0, 256);
+        assert_eq!(policy.num_tiers(), 4);
+        assert_eq!(policy.select_tier(0.0), 0);
+        assert_eq!(policy.select_tier(0.5), 1);
+        assert_eq!(policy.select_tier(0.94), 2);
+        assert_eq!(policy.select_tier(7.0), 3);
+        let base = DecodeOptions::with_beam(40.0);
+        assert_eq!(policy.params(0, &base), (40.0, None));
+        assert_eq!(policy.params(1, &base), (30.0, None));
+        assert_eq!(policy.params(2, &base), (20.0, Some(2048)));
+        // The floors bite on the last rung...
+        assert_eq!(policy.params(3, &base), (10.0, Some(256)));
+        // ...and out-of-range tiers saturate there.
+        assert_eq!(policy.params(9, &base), (10.0, Some(256)));
+    }
+
+    #[test]
+    fn try_open_session_sheds_at_the_limit_and_recovers() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .qos(QosPolicy::new().max_sessions(2)),
+        )
+        .unwrap();
+        let first = runtime.try_open_session().unwrap();
+        let second = runtime.try_open_session().unwrap();
+        match runtime.try_open_session() {
+            Err(PipelineError::Overloaded { active, limit }) => {
+                assert_eq!((active, limit), (2, 2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.active_sessions, 2);
+        assert_eq!(stats.peak_sessions, 2);
+        assert_eq!(stats.shed_sessions, 1);
+        assert!(
+            stats.pressure >= 1.0,
+            "saturated admission shows full pressure, got {}",
+            stats.pressure
+        );
+        // Retiring an in-flight session reopens admission.
+        drop(first);
+        let third = runtime.try_open_session().unwrap();
+        drop(third);
+        drop(second);
+        let after = runtime.stats();
+        assert_eq!(after.active_sessions, 0);
+        assert_eq!(after.peak_sessions, 2);
+        assert_eq!(after.shed_sessions, 1);
+    }
+
+    #[test]
+    fn open_session_never_sheds_even_at_the_limit() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .qos(QosPolicy::new().max_sessions(1)),
+        )
+        .unwrap();
+        let _admitted = runtime.try_open_session().unwrap();
+        // The infallible path keeps working past the limit...
+        let audio = runtime.render_words(&["go"]).unwrap();
+        assert_eq!(runtime.recognize(&audio).words, vec!["go"]);
+        // ...while the fallible path sheds.
+        assert!(matches!(
+            runtime.try_open_session(),
+            Err(PipelineError::Overloaded { .. })
+        ));
+    }
+
+    #[test]
+    fn pressure_monitor_times_frames_under_a_policy() {
+        let policy = QosPolicy::new().tier(1e9, 5.0, None); // unreachable rung
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(1).qos(policy)).unwrap();
+        let audio = runtime.render_words(&["go"]).unwrap();
+        assert_eq!(runtime.recognize(&audio).words, vec!["go"]);
+        let stats = runtime.stats();
+        assert!(stats.frames_observed > 0, "frames get timed under a policy");
+        assert!(stats.ewma_rtf > 0.0);
+        assert_eq!(stats.tier, 0, "unreachable threshold never engages");
+        assert_eq!(stats.peak_tier, 0);
+
+        // Without a policy, the frame path is never timed.
+        let plain = AsrRuntime::demo_with(RuntimeConfig::new().lanes(1)).unwrap();
+        assert_eq!(plain.recognize(&audio).words, vec!["go"]);
+        assert_eq!(plain.stats().frames_observed, 0);
+        assert_eq!(plain.stats().ewma_rtf, 0.0);
+    }
+
+    #[test]
+    fn sessions_follow_pins_and_report_tiers() {
+        let policy = QosPolicy::new().tier(0.5, 20.0, Some(512)).max_sessions(4);
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(1).qos(policy)).unwrap();
+        let mut session = runtime.open_session_with(SessionOptions::new().pin_tier(1));
+        assert_eq!(session.tier(), 1);
+        session.pin_tier(0);
+        assert_eq!(session.tier(), 0);
+        drop(session);
+
+        let opted_out = runtime.open_session_with(SessionOptions::new().adaptive_qos(false));
+        assert_eq!(opted_out.tier(), 0, "QoS-off sessions sit at base");
+        drop(opted_out);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Overload and fault-injection robustness: the runtime past its
+//! comfort zone.
+//!
+//! The claims under test:
+//!
+//! 1. Admission control is typed, atomic, and recoverable:
+//!    [`AsrRuntime::try_open_session`] sheds with
+//!    [`PipelineError::Overloaded`] — never a panic — the concurrent
+//!    session count never exceeds the policy limit, every admitted
+//!    session finishes with a correct transcript, and retiring
+//!    in-flight work reopens admission.
+//! 2. A corrupted graph layout (direct-index registers shifted out
+//!    from under a prepared accelerator decode) surfaces as a typed
+//!    [`WfstError::LayoutMismatch`] while live sessions keep decoding,
+//!    and afterwards the scratch pool shows a full restore — nothing
+//!    poisoned, nothing leaked.
+//! 3. [`AsrRuntime::stats`] surfaces the whole signal chain: session
+//!    counts, shed counts, scratch-pool counters, and the executor's
+//!    scheduling counters.
+//!
+//! [`AsrRuntime::try_open_session`]: asr_repro::runtime::AsrRuntime::try_open_session
+//! [`AsrRuntime::stats`]: asr_repro::runtime::AsrRuntime::stats
+//! [`PipelineError::Overloaded`]: asr_repro::runtime::PipelineError::Overloaded
+//! [`WfstError::LayoutMismatch`]: asr_repro::wfst::WfstError::LayoutMismatch
+
+use asr_repro::accel::config::{AcceleratorConfig, DesignPoint};
+use asr_repro::accel::sim::PreparedWfst;
+use asr_repro::runtime::{AsrRuntime, PipelineError, QosPolicy, RuntimeConfig, SessionOptions};
+use asr_repro::wfst::sorted::DirectIndexUnit;
+use asr_repro::wfst::WfstError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn admission_sheds_typed_at_the_limit_and_in_flight_sessions_finish() {
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(2)
+            .qos(QosPolicy::new().max_sessions(3)),
+    )
+    .unwrap();
+    let words = [vec!["go"], vec!["lights", "on"], vec!["play", "music"]];
+    let audio: Vec<_> = words
+        .iter()
+        .map(|w| runtime.render_words(w).unwrap())
+        .collect();
+
+    // Fill the runtime to its limit with mid-utterance sessions.
+    let mut in_flight = Vec::new();
+    for a in &audio {
+        let mut session = runtime.try_open_session().unwrap();
+        session.push_samples(&a.samples[..a.samples.len() / 2]);
+        in_flight.push(session);
+    }
+
+    // The fourth session sheds with a typed error, not a panic.
+    match runtime.try_open_session() {
+        Err(PipelineError::Overloaded { active, limit }) => {
+            assert_eq!((active, limit), (3, 3));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(runtime.stats().shed_sessions, 1);
+
+    // Every admitted session runs to completion, correctly, while the
+    // runtime is saturated.
+    for ((session, a), w) in in_flight.into_iter().zip(&audio).zip(&words) {
+        let mut session = session;
+        session.push_samples(&a.samples[a.samples.len() / 2..]);
+        let transcript = session.finalize();
+        assert_eq!(&transcript.words, w, "in-flight session under overload");
+    }
+
+    // Retired work reopened admission.
+    let reopened = runtime.try_open_session();
+    assert!(reopened.is_ok(), "admission recovers after drain");
+    drop(reopened);
+    let stats = runtime.stats();
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(stats.peak_sessions, 3);
+    assert_eq!(stats.shed_sessions, 1);
+}
+
+#[test]
+fn concurrent_admission_never_exceeds_the_limit() {
+    const LIMIT: usize = 2;
+    const THREADS: usize = 6;
+    const ATTEMPTS: usize = 8;
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(1)
+            .qos(QosPolicy::new().max_sessions(LIMIT)),
+    )
+    .unwrap();
+    let audio = runtime.render_words(&["stop"]).unwrap();
+    let scores = runtime.score(&audio);
+    let admitted = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let runtime = runtime.clone();
+            let scores = &scores;
+            let admitted = Arc::clone(&admitted);
+            let shed = Arc::clone(&shed);
+            scope.spawn(move || {
+                for _ in 0..ATTEMPTS {
+                    match runtime.try_open_session() {
+                        Ok(mut session) => {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            session.push_frames(scores);
+                            let t = session.finalize();
+                            assert_eq!(t.words, vec!["stop"]);
+                        }
+                        Err(PipelineError::Overloaded { active, limit }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(limit, LIMIT);
+                            assert!(active <= LIMIT);
+                        }
+                        Err(other) => panic!("unexpected error: {other}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = runtime.stats();
+    assert_eq!(
+        admitted.load(Ordering::Relaxed) + shed.load(Ordering::Relaxed),
+        THREADS * ATTEMPTS,
+        "every attempt either admitted or shed — nothing lost or panicked"
+    );
+    assert!(
+        stats.peak_sessions <= LIMIT,
+        "admission is atomic: peak {} never exceeds the limit {LIMIT}",
+        stats.peak_sessions
+    );
+    assert_eq!(stats.shed_sessions as usize, shed.load(Ordering::Relaxed));
+    assert_eq!(stats.active_sessions, 0, "everything drained");
+    // Every admitted session restored its scratch.
+    assert_eq!(stats.scratch.checkouts(), stats.scratch.restores);
+}
+
+/// Shifts every direct-index offset register by one arc: each direct
+/// computation now points past the real range start, which the
+/// simulator's layout validation must refuse.
+fn corrupt_layout(prepared: PreparedWfst) -> PreparedWfst {
+    let PreparedWfst::Sorted(mut sorted) = prepared else {
+        panic!("state-optimized designs prepare a sorted layout");
+    };
+    let unit = sorted.unit();
+    let offsets: Vec<i64> = (0..unit.threshold() as u32)
+        .map(|g| unit.group_offset(g as usize) + 1)
+        .collect();
+    let boundaries = (1..=unit.threshold())
+        .map(|d| unit.group_boundary(d - 1))
+        .collect();
+    sorted.replace_unit(DirectIndexUnit::from_registers(boundaries, offsets));
+    PreparedWfst::Sorted(sorted)
+}
+
+#[test]
+fn corrupted_layout_is_a_typed_error_under_live_sessions() {
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+    let cfg = AcceleratorConfig::for_design(DesignPoint::StateOpt);
+    let audio = runtime.render_words(&["call", "mom"]).unwrap();
+
+    // A healthy prepared layout decodes fine; then corrupt its
+    // direct-index registers out from under the runtime.
+    let healthy = runtime.prepare_accelerator(&cfg).unwrap();
+    let (transcript, _) = runtime
+        .recognize_on_prepared(&audio, cfg.clone(), &healthy)
+        .unwrap();
+    assert_eq!(transcript.words, vec!["call", "mom"]);
+    let corrupted = corrupt_layout(healthy);
+
+    std::thread::scope(|scope| {
+        // Live sessions keep decoding while the accelerator path fails
+        // repeatedly next to them.
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let runtime = runtime.clone();
+            let audio = audio.clone();
+            handles.push(scope.spawn(move || {
+                for _ in 0..4 {
+                    let mut session = runtime.open_session();
+                    for packet in audio.samples.chunks(160) {
+                        session.push_samples(packet);
+                    }
+                    let t = session.finalize();
+                    assert_eq!(t.words, vec!["call", "mom"], "session beside faults");
+                }
+            }));
+        }
+
+        for _ in 0..6 {
+            match runtime.recognize_on_prepared(&audio, cfg.clone(), &corrupted) {
+                Err(PipelineError::Wfst(WfstError::LayoutMismatch { .. })) => {}
+                Ok(_) => panic!("corrupted layout must be refused"),
+                Err(other) => panic!("expected LayoutMismatch, got {other}"),
+            }
+        }
+
+        for handle in handles {
+            handle.join().expect("live session thread");
+        }
+    });
+
+    // Nothing poisoned: every scratch came home, the runtime still
+    // serves, and a freshly prepared layout decodes again.
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.scratch.checkouts(),
+        stats.scratch.restores,
+        "scratch pool fully restored after the fault storm"
+    );
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(runtime.recognize(&audio).words, vec!["call", "mom"]);
+    let reprepared = runtime.prepare_accelerator(&cfg).unwrap();
+    let (again, _) = runtime
+        .recognize_on_prepared(&audio, cfg, &reprepared)
+        .unwrap();
+    assert_eq!(again.words, vec!["call", "mom"]);
+}
+
+#[test]
+fn stats_surface_scratch_and_executor_counters() {
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(3)).unwrap();
+
+    // Before any decode: executor not spawned, nothing counted.
+    let before = runtime.stats();
+    assert!(before.executor.is_none(), "stats never spawn the executor");
+    assert_eq!(before.executor_queue_depth, 0);
+    assert_eq!(before.scratch.checkouts(), 0);
+
+    // Overlapped raw-audio sessions schedule fork/join jobs on the
+    // shared pool.
+    let audio = runtime.render_words(&["play", "music"]).unwrap();
+    for _ in 0..3 {
+        let mut session = runtime.open_session_with(SessionOptions::new().overlap_scoring(true));
+        for packet in audio.samples.chunks(160) {
+            session.push_samples(packet);
+        }
+        assert_eq!(session.finalize().words, vec!["play", "music"]);
+    }
+
+    let after = runtime.stats();
+    let executor = after.executor.expect("overlap spun the executor up");
+    assert!(
+        executor.jobs_submitted > 0,
+        "overlapped frames went through the scheduler"
+    );
+    assert_eq!(
+        executor.tasks_taken_by_lanes + executor.tasks_stolen_back,
+        executor.tasks_queued,
+        "every queued task was owned exactly once"
+    );
+    assert_eq!(
+        after.executor_queue_depth, 0,
+        "quiesced pool has an empty queue"
+    );
+    assert_eq!(after.scratch, runtime.scratch_pool().stats());
+    assert_eq!(after.scratch.checkouts(), after.scratch.restores);
+}
