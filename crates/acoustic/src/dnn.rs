@@ -71,6 +71,90 @@ impl Dense {
     pub fn flops(&self) -> u64 {
         2 * (self.in_dim as u64) * (self.out_dim as u64)
     }
+
+    /// Applies the affine map to a *block* of `rows` input vectors at
+    /// once — the matrix–matrix form of [`Dense::forward_into`] that
+    /// cross-session batched scoring wins with, twice over. The outer
+    /// loop is **weight-row stationary** (each weight row is loaded once
+    /// and dotted against every input row), so a block of `B` rows reads
+    /// the weight matrix once instead of `B` times. And input rows are
+    /// walked four at a time: each row keeps its own accumulator (its
+    /// own exact fold), but the four dependency chains interleave, so
+    /// the float-add latency that serializes a lone dot product overlaps
+    /// across rows. A single frame has no independent rows to interleave
+    /// — this instruction-level parallelism only exists because the
+    /// gather window put several sessions' frames side by side.
+    ///
+    /// `input` and `out` are caller-owned slices holding one vector per
+    /// row at the given strides (`input[r * in_stride ..][.. in_dim]`,
+    /// `out[r * out_stride ..][.. out_dim]`); nothing here can grow or
+    /// allocate. Each output element is computed with the exact
+    /// fold order of [`Dense::forward_into`], so every row of the block
+    /// is **bit-identical** to scoring that row alone, regardless of
+    /// which other rows share the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stride is narrower than the matching dimension or
+    /// either slice is too short for `rows`.
+    pub fn forward_block_into(
+        &self,
+        input: &[f32],
+        in_stride: usize,
+        rows: usize,
+        out: &mut [f32],
+        out_stride: usize,
+    ) {
+        if rows == 0 {
+            return;
+        }
+        assert!(in_stride >= self.in_dim, "input stride below layer width");
+        assert!(
+            out_stride >= self.out_dim,
+            "output stride below layer width"
+        );
+        assert!(
+            input.len() >= (rows - 1) * in_stride + self.in_dim,
+            "input block too short for {rows} rows"
+        );
+        assert!(
+            out.len() >= (rows - 1) * out_stride + self.out_dim,
+            "output block too short for {rows} rows"
+        );
+        for o in 0..self.out_dim {
+            let w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let b = self.bias[o];
+            let mut r = 0;
+            // Four independent accumulator chains. Each accumulates in
+            // the exact order of `forward_into`'s fold, so every row's
+            // result is bit-identical to scoring it alone; only the
+            // *interleaving* of the four independent chains is new.
+            while r + 4 <= rows {
+                let x0 = &input[r * in_stride..r * in_stride + self.in_dim];
+                let x1 = &input[(r + 1) * in_stride..(r + 1) * in_stride + self.in_dim];
+                let x2 = &input[(r + 2) * in_stride..(r + 2) * in_stride + self.in_dim];
+                let x3 = &input[(r + 3) * in_stride..(r + 3) * in_stride + self.in_dim];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for i in 0..self.in_dim {
+                    let wi = w[i];
+                    a0 += wi * x0[i];
+                    a1 += wi * x1[i];
+                    a2 += wi * x2[i];
+                    a3 += wi * x3[i];
+                }
+                out[r * out_stride + o] = a0 + b;
+                out[(r + 1) * out_stride + o] = a1 + b;
+                out[(r + 2) * out_stride + o] = a2 + b;
+                out[(r + 3) * out_stride + o] = a3 + b;
+                r += 4;
+            }
+            while r < rows {
+                let x = &input[r * in_stride..r * in_stride + self.in_dim];
+                out[r * out_stride + o] = w.iter().zip(x).map(|(w, x)| w * x).sum::<f32>() + b;
+                r += 1;
+            }
+        }
+    }
 }
 
 /// A feed-forward acoustic network: input features → hidden ReLU layers →
@@ -148,6 +232,161 @@ impl Mlp {
             }
         }
         log_softmax(x);
+    }
+
+    /// The widest activation any layer produces or consumes — the row
+    /// stride of the block scratch layout.
+    pub fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.in_dim.max(l.out_dim))
+            .max()
+            .unwrap()
+    }
+
+    /// Exact scratch length (in `f32`s) [`Mlp::log_posteriors_block_into`]
+    /// and [`Mlp::score_block_into`] require for a block of `rows`
+    /// frames: two ping-pong activation planes of `rows` × the widest
+    /// layer.
+    pub fn block_scratch_len(&self, rows: usize) -> usize {
+        2 * rows * self.max_width()
+    }
+
+    /// Forward pass over a *block* of `rows` feature vectors — the
+    /// matrix–matrix form of [`Mlp::log_posteriors_into`] that batched
+    /// scoring runs once per gather window instead of once per session.
+    ///
+    /// `features` holds the block packed row-major (`rows` ×
+    /// [`Mlp::input_dim`], no padding). `scratch` is a caller-owned
+    /// slice of **exactly** [`Mlp::block_scratch_len`]`(rows)` — a
+    /// fixed-size borrow, unlike the `&mut Vec<f32>` buffers of the
+    /// single-row path, so the batch hot loop cannot silently grow or
+    /// allocate. On return the log-posteriors of row `r` sit at
+    /// `scratch[r * stride ..][.. output_dim]` where `stride` is the
+    /// returned row stride ([`Mlp::max_width`]).
+    ///
+    /// Every row's result is **bit-identical** to
+    /// [`Mlp::log_posteriors_into`] on that row alone: each element is
+    /// computed with the same dot-product fold order, the same ReLU, and
+    /// the same log-softmax, and no value ever crosses between rows —
+    /// batch composition is numerically invisible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != rows * input_dim` or the scratch
+    /// slice is not exactly the documented length (the allocation-free
+    /// contract is also pinned by a debug assert at every layer step).
+    pub fn log_posteriors_block_into(
+        &self,
+        features: &[f32],
+        rows: usize,
+        scratch: &mut [f32],
+    ) -> usize {
+        let w = self.max_width();
+        assert_eq!(
+            features.len(),
+            rows * self.input_dim(),
+            "feature block dimension mismatch"
+        );
+        assert_eq!(
+            scratch.len(),
+            self.block_scratch_len(rows),
+            "block scratch must be exactly sized: caller-owned slices \
+             cannot grow mid-batch"
+        );
+        if rows == 0 {
+            return w;
+        }
+        let (a, b) = scratch.split_at_mut(rows * w);
+        // Ping-pong between the two planes; pick the starting plane by
+        // layer-count parity so the final activations always land in `a`
+        // (the plane the caller reads) without a fix-up copy.
+        let (mut cur, mut next): (&mut [f32], &mut [f32]) = if self.layers.len().is_multiple_of(2) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let in_dim = self.input_dim();
+        for r in 0..rows {
+            cur[r * w..r * w + in_dim].copy_from_slice(&features[r * in_dim..(r + 1) * in_dim]);
+        }
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            debug_assert_eq!(
+                cur.len() + next.len(),
+                self.block_scratch_len(rows),
+                "block scratch planes grew mid-batch"
+            );
+            layer.forward_block_into(cur, w, rows, next, w);
+            std::mem::swap(&mut cur, &mut next);
+            if i != last {
+                for r in 0..rows {
+                    for v in cur[r * w..r * w + layer.out_dim].iter_mut() {
+                        *v = v.max(0.0); // ReLU
+                    }
+                }
+            }
+        }
+        let out_dim = self.output_dim();
+        for r in 0..rows {
+            log_softmax(&mut cur[r * w..r * w + out_dim]);
+        }
+        w
+    }
+
+    /// Scores one frame's features into an acoustic *cost row*
+    /// (`row[0]` the epsilon column at `0.0`, `row[1 + p]` the negative
+    /// log-posterior of phone class `p`) over caller-owned activation
+    /// buffers — the single-row path the batched service's lone-session
+    /// fallback takes, byte-identical to one row of
+    /// [`Mlp::score_block_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != output_dim + 1` or the feature dimension
+    /// mismatches.
+    pub fn score_row_into(
+        &self,
+        features: &[f32],
+        row: &mut [f32],
+        x: &mut Vec<f32>,
+        y: &mut Vec<f32>,
+    ) {
+        assert_eq!(row.len(), self.output_dim() + 1, "row length mismatch");
+        self.log_posteriors_into(features, x, y);
+        row[0] = 0.0;
+        for (slot, lp) in row[1..].iter_mut().zip(x.iter()) {
+            *slot = -lp;
+        }
+    }
+
+    /// Scores a block of `rows` feature vectors into packed acoustic
+    /// cost rows — one [`Mlp::log_posteriors_block_into`] pass plus the
+    /// cost mapping of [`Mlp::score_row_into`] per row. `out` is packed
+    /// row-major (`rows` × `output_dim + 1`); `scratch` must be exactly
+    /// [`Mlp::block_scratch_len`]`(rows)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch (see
+    /// [`Mlp::log_posteriors_block_into`]).
+    pub fn score_block_into(
+        &self,
+        features: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        scratch: &mut [f32],
+    ) {
+        let row_len = self.output_dim() + 1;
+        assert_eq!(out.len(), rows * row_len, "output block dimension mismatch");
+        let stride = self.log_posteriors_block_into(features, rows, scratch);
+        for r in 0..rows {
+            let row = &mut out[r * row_len..(r + 1) * row_len];
+            row[0] = 0.0;
+            for (slot, lp) in row[1..].iter_mut().zip(&scratch[r * stride..]) {
+                *slot = -lp;
+            }
+        }
     }
 
     /// Scores a whole utterance into an [`AcousticTable`] of costs
@@ -248,5 +487,101 @@ mod tests {
         let mlp = Mlp::kaldi_like(39, 2000, 0);
         assert_eq!(mlp.input_dim(), 39);
         assert_eq!(mlp.output_dim(), 2000);
+    }
+
+    /// A deterministic block of pseudo-random feature rows.
+    fn feature_block(mlp: &Mlp, rows: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..rows * mlp.input_dim())
+            .map(|_| rng.gen_range(-2.0..2.0))
+            .collect()
+    }
+
+    #[test]
+    fn block_log_posteriors_match_single_rows_bit_for_bit() {
+        // Odd and even layer counts exercise both ping-pong parities.
+        for dims in [&[7usize, 16, 5][..], &[7, 16, 12, 5][..]] {
+            let mlp = Mlp::new(dims, 11);
+            for rows in [1usize, 2, 3, 8] {
+                let feats = feature_block(&mlp, rows, rows as u64);
+                let mut scratch = vec![0.0; mlp.block_scratch_len(rows)];
+                let stride = mlp.log_posteriors_block_into(&feats, rows, &mut scratch);
+                for r in 0..rows {
+                    let single = mlp.log_posteriors(&feats[r * 7..(r + 1) * 7]);
+                    let block = &scratch[r * stride..r * stride + mlp.output_dim()];
+                    for (b, s) in block.iter().zip(&single) {
+                        assert_eq!(
+                            b.to_bits(),
+                            s.to_bits(),
+                            "row {r} of a {rows}-row block diverged ({dims:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_cost_rows_match_score_row_into_bit_for_bit() {
+        let mlp = Mlp::new(&[6, 24, 9], 23);
+        let rows = 5;
+        let feats = feature_block(&mlp, rows, 99);
+        let row_len = mlp.output_dim() + 1;
+        let mut out = vec![0.0; rows * row_len];
+        let mut scratch = vec![0.0; mlp.block_scratch_len(rows)];
+        mlp.score_block_into(&feats, rows, &mut out, &mut scratch);
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        let mut single = vec![0.0; row_len];
+        for r in 0..rows {
+            mlp.score_row_into(&feats[r * 6..(r + 1) * 6], &mut single, &mut x, &mut y);
+            let block_row = &out[r * row_len..(r + 1) * row_len];
+            assert_eq!(block_row[0], 0.0, "epsilon column");
+            for (b, s) in block_row.iter().zip(&single) {
+                assert_eq!(b.to_bits(), s.to_bits(), "cost row {r} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rows_are_independent_of_batch_composition() {
+        // The same feature row must score to the same bytes whether its
+        // batch mates are zeros, itself, or noise.
+        let mlp = Mlp::new(&[5, 20, 7], 31);
+        let probe: Vec<f32> = feature_block(&mlp, 1, 7);
+        let stride = mlp.max_width();
+        let score_at = |block: &[f32], rows: usize, at: usize| -> Vec<u32> {
+            let mut scratch = vec![0.0; mlp.block_scratch_len(rows)];
+            mlp.log_posteriors_block_into(block, rows, &mut scratch);
+            scratch[at * stride..at * stride + mlp.output_dim()]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        let alone = score_at(&probe, 1, 0);
+        let mut with_zeros = vec![0.0; 5];
+        with_zeros.extend_from_slice(&probe);
+        assert_eq!(score_at(&with_zeros, 2, 1), alone);
+        let mut with_noise = feature_block(&mlp, 3, 5);
+        with_noise.extend_from_slice(&probe);
+        assert_eq!(score_at(&with_noise, 4, 3), alone);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly sized")]
+    fn block_scratch_must_be_exactly_sized() {
+        let mlp = Mlp::new(&[4, 8, 3], 0);
+        let feats = vec![0.0; 8];
+        let mut oversized = vec![0.0; mlp.block_scratch_len(2) + 1];
+        mlp.log_posteriors_block_into(&feats, 2, &mut oversized);
+    }
+
+    #[test]
+    fn empty_block_is_a_no_op() {
+        let mlp = Mlp::new(&[4, 8, 3], 0);
+        let mut scratch: Vec<f32> = Vec::new();
+        assert_eq!(
+            mlp.log_posteriors_block_into(&[], 0, &mut scratch),
+            mlp.max_width()
+        );
     }
 }

@@ -447,13 +447,8 @@ impl FrameScorer for MlpScorer<'_> {
     }
 
     fn score_into(&mut self, features: &[f32], row: &mut [f32]) {
-        assert_eq!(row.len(), self.row_len(), "row length mismatch");
         self.mlp
-            .log_posteriors_into(features, &mut self.x, &mut self.y);
-        row[0] = 0.0;
-        for (slot, lp) in row[1..].iter_mut().zip(&self.x) {
-            *slot = -lp;
-        }
+            .score_row_into(features, row, &mut self.x, &mut self.y);
     }
 }
 

@@ -90,6 +90,37 @@ impl TemplateScorer {
         self.scale * d2
     }
 
+    /// Scores a block of `rows` feature vectors (packed row-major at the
+    /// pipeline's feature dimension) into packed acoustic cost rows of
+    /// `num_phones + 1` entries each — the template model's leg of the
+    /// cross-session batched scoring service. Each output row is computed
+    /// with exactly the per-frame [`TemplateScorer::frame_cost`] loop, so
+    /// it is bit-identical to scoring the row alone; unlike the MLP the
+    /// template model needs no scratch at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` or `out` do not hold exactly `rows` packed
+    /// vectors of the expected widths.
+    pub fn score_block_into(&self, features: &[f32], rows: usize, out: &mut [f32]) {
+        let row_len = self.templates.len();
+        let dim = self.templates.last().map_or(0, Vec::len);
+        assert_eq!(
+            features.len(),
+            rows * dim,
+            "feature block dimension mismatch"
+        );
+        assert_eq!(out.len(), rows * row_len, "output block dimension mismatch");
+        for r in 0..rows {
+            let feat = &features[r * dim..(r + 1) * dim];
+            let row = &mut out[r * row_len..(r + 1) * row_len];
+            row[0] = 0.0;
+            for (p, slot) in row.iter_mut().enumerate().skip(1) {
+                *slot = self.frame_cost(feat, PhoneId(p as u32));
+            }
+        }
+    }
+
     /// Scores a full waveform into an [`AcousticTable`].
     pub fn score_waveform(&self, samples: &[f32]) -> AcousticTable {
         let feats = self.pipeline.process(samples);
@@ -170,5 +201,31 @@ mod tests {
     fn epsilon_frame_cost_panics() {
         let scorer = TemplateScorer::with_default_signal(2);
         scorer.frame_cost(&[0.0; 39], PhoneId::EPSILON);
+    }
+
+    #[test]
+    fn block_scoring_matches_per_frame_bit_for_bit() {
+        let scorer = TemplateScorer::with_default_signal(5);
+        let cfg = SignalConfig::default();
+        let wave = render_phones(&[PhoneId(1), PhoneId(3)], 4, &cfg);
+        let feats = MfccPipeline::new(MfccConfig::default()).process(&wave);
+        let rows = feats.len();
+        let dim = feats[0].len();
+        let packed: Vec<f32> = feats.iter().flatten().copied().collect();
+        let row_len = scorer.num_phones() as usize + 1;
+        let mut out = vec![0.0; rows * row_len];
+        scorer.score_block_into(&packed, rows, &mut out);
+        for (r, feat) in feats.iter().enumerate() {
+            assert_eq!(feat.len(), dim);
+            let row = &out[r * row_len..(r + 1) * row_len];
+            assert_eq!(row[0], 0.0);
+            for (p, cost) in row.iter().enumerate().skip(1) {
+                assert_eq!(
+                    cost.to_bits(),
+                    scorer.frame_cost(feat, PhoneId(p as u32)).to_bits(),
+                    "frame {r} phone {p}"
+                );
+            }
+        }
     }
 }

@@ -165,8 +165,9 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
     // Rewriting the file must not drop the other binaries' spliced
-    // sections (bench_serving, bench_frontend, bench_accel, bench_load).
-    let carried: Vec<(&str, Option<String>)> = ["serving", "frontend", "accel", "load"]
+    // sections (bench_serving, bench_frontend, bench_accel, bench_batch,
+    // bench_load).
+    let carried: Vec<(&str, Option<String>)> = ["serving", "frontend", "accel", "batch", "load"]
         .into_iter()
         .map(|key| (key, asr_bench::extract_json_section(&path, key)))
         .collect();

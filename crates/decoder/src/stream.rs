@@ -259,6 +259,78 @@ impl<G: Deref<Target = Wfst>> StreamingDecode<G> {
     }
 }
 
+/// The double-buffered score-row pair of the paper's Acoustic Likelihood
+/// Buffer, as a reusable handoff: a **front** row the search consumes
+/// next and a **staging** row where the scorer lands fresh output.
+///
+/// Holding one row back is what lets a stream apply the batch decoder's
+/// last-frame semantics without knowing in advance which frame is last
+/// (see the module docs): the producer [`AlbHandoff::stage`]s each new
+/// row, the consumer steps the search over [`AlbHandoff::front`], and
+/// [`AlbHandoff::commit`] swaps the fresh row in as the next front. Both
+/// [`AudioStreamingDecode`] and the runtime's sessions (single-session
+/// and cross-session-batched scoring alike) drive their searches through
+/// this one struct, so the hold-back-one-row invariant lives in exactly
+/// one place.
+///
+/// The two buffers only ever swap — after they reach the row length
+/// the handoff is allocation-free.
+#[derive(Debug, Default)]
+pub struct AlbHandoff {
+    front: Vec<f32>,
+    staging: Vec<f32>,
+    have_front: bool,
+}
+
+impl AlbHandoff {
+    /// An empty handoff; the buffers grow to the row length on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handoff with both buffers pre-sized to `row_len` (no growth on
+    /// the first frames).
+    pub fn with_row_len(row_len: usize) -> Self {
+        Self {
+            front: vec![0.0; row_len],
+            staging: vec![0.0; row_len],
+            have_front: false,
+        }
+    }
+
+    /// Copies a freshly scored row into the staging buffer
+    /// (allocation-free once the buffer has the row's capacity).
+    pub fn stage(&mut self, row: &[f32]) {
+        self.staging.clear();
+        self.staging.extend_from_slice(row);
+    }
+
+    /// The staging buffer itself, for producers that write rows in place
+    /// (the batched scatter path pops scored rows straight into it).
+    pub fn staging_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.staging
+    }
+
+    /// The held-back row the search should consume next, or `None`
+    /// before the first commit.
+    pub fn front(&self) -> Option<&[f32]> {
+        self.have_front.then_some(self.front.as_slice())
+    }
+
+    /// Whether a front row is held back (i.e. at least one row has been
+    /// committed).
+    pub fn has_front(&self) -> bool {
+        self.have_front
+    }
+
+    /// Completes the handoff: the staged row becomes the next front row.
+    /// Call after the search has stepped over the previous front.
+    pub fn commit(&mut self) {
+        std::mem::swap(&mut self.front, &mut self.staging);
+        self.have_front = true;
+    }
+}
+
 /// An incremental decode fed *raw audio* instead of score rows: the
 /// microphone-style end of the streaming stack at the decoder layer.
 ///
@@ -273,9 +345,7 @@ impl<G: Deref<Target = Wfst>> StreamingDecode<G> {
 pub struct AudioStreamingDecode<G: Deref<Target = Wfst>, S> {
     decode: StreamingDecode<G>,
     scorer: OnlineScorer<S>,
-    front: Vec<f32>,
-    staging: Vec<f32>,
-    have_front: bool,
+    alb: AlbHandoff,
 }
 
 impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
@@ -290,9 +360,7 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
         Self {
             decode: StreamingDecode::new(wfst, opts, scratch),
             scorer,
-            front: vec![0.0; row_len],
-            staging: vec![0.0; row_len],
-            have_front: false,
+            alb: AlbHandoff::with_row_len(row_len),
         }
     }
 
@@ -320,18 +388,17 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
     pub fn finish(mut self) -> (DecodeResult, DecodeScratch, OnlineScorer<S>) {
         self.scorer.finish();
         self.drain_rows();
-        let last = self.have_front.then_some(self.front.as_slice());
+        let last = self.alb.front();
         let (result, scratch) = self.decode.finish(last);
         (result, scratch, self.scorer)
     }
 
     fn drain_rows(&mut self) {
-        while self.scorer.pop_row_into(&mut self.staging) {
-            if self.have_front {
-                self.decode.step(&self.front);
+        while self.scorer.pop_row_into(self.alb.staging_mut()) {
+            if let Some(front) = self.alb.front() {
+                self.decode.step(front);
             }
-            std::mem::swap(&mut self.front, &mut self.staging);
-            self.have_front = true;
+            self.alb.commit();
         }
     }
 }
@@ -560,6 +627,24 @@ mod tests {
         assert_eq!(a.words, b.words);
         assert_eq!(a.best_state, b.best_state);
         assert_eq!(a.lattice.len(), b.lattice.len());
+    }
+
+    #[test]
+    fn alb_handoff_holds_back_exactly_one_row() {
+        let mut alb = AlbHandoff::with_row_len(3);
+        assert!(!alb.has_front());
+        assert_eq!(alb.front(), None);
+        alb.stage(&[1.0, 2.0, 3.0]);
+        assert!(!alb.has_front(), "staging does not publish a front row");
+        alb.commit();
+        assert_eq!(alb.front(), Some(&[1.0, 2.0, 3.0][..]));
+        // The staging buffer is independent: writing it never disturbs
+        // the committed front until the next commit.
+        alb.staging_mut().clear();
+        alb.staging_mut().extend_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(alb.front(), Some(&[1.0, 2.0, 3.0][..]));
+        alb.commit();
+        assert_eq!(alb.front(), Some(&[4.0, 5.0, 6.0][..]));
     }
 
     #[test]

@@ -40,6 +40,14 @@ bench-runtime:
 bench-load:
     cargo run --release -p asr-bench --bin bench_load -- --arrivals 150 --loads 1,2
 
+# Cross-session batched scoring benchmark: N concurrent sessions through
+# the gather window (one block forward pass per window) vs per-session
+# forward passes, byte-identity checked on every transcript; splices a
+# "batch" section into BENCH_decode.json (bar: batched beats per-session
+# frames/sec at 8+ concurrent sessions).
+bench-batch:
+    cargo run --release -p asr-bench --bin bench_batch
+
 # Front-end benchmark: streaming MFCC/scorer vs the batch path; splices a
 # "frontend" section into BENCH_decode.json (bar: online <= 1.25x batch).
 bench-frontend:

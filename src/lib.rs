@@ -57,6 +57,6 @@ pub mod runtime;
 
 pub use pipeline::{AsrPipeline, StreamingSession};
 pub use runtime::{
-    AsrRuntime, Hypothesis, PipelineError, QosPolicy, QosTier, RuntimeConfig, RuntimeError,
-    RuntimeStats, Session, SessionOptions, Transcript,
+    AsrRuntime, BatchScoringConfig, BatchScoringStats, Hypothesis, PipelineError, QosPolicy,
+    QosTier, RuntimeConfig, RuntimeError, RuntimeStats, Session, SessionOptions, Transcript,
 };

@@ -63,9 +63,32 @@
 //! [`AsrRuntime::stats`] exposes the whole signal chain
 //! ([`RuntimeStats`]): active/peak/shed sessions, EWMA RTF, pressure,
 //! current and peak tier, plus the scratch-pool and executor counters.
+//!
+//! # Cross-session batched scoring
+//!
+//! Per-session scoring runs one forward pass per session per frame;
+//! production inference servers amortize the matrix work by batching
+//! across requests. Installing a [`BatchScoringConfig`]
+//! ([`RuntimeConfig::batch_scoring`]) adds a batched scoring service to
+//! the runtime: audio-fed sessions enqueue each completed feature frame
+//! into a shared **gather window**, one matrix–matrix forward pass (the
+//! row-block entry points in `asr-acoustic`) scores the whole block,
+//! and the rows **scatter** back to each session's ALB slot — the
+//! CPU-lane image of the paper's Acoustic Likelihood Buffer decoupling
+//! scoring throughput from search. The window is bounded by a
+//! configurable row cap and per-session wait budget, a lone session
+//! falls back to synchronous single-row scoring (it never stalls on a
+//! batch that will not fill), and the PR 6 pressure signal *widens* the
+//! batch toward the row cap before any QoS tier narrows a beam.
+//! Transcripts are **byte-identical** per session regardless of batch
+//! composition: every row of a block is computed with the single-row
+//! fold order, and each session's search still consumes its own rows in
+//! push order (see `tests/runtime_batch_equivalence.rs`).
 
 use asr_accel::config::AcceleratorConfig;
 use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
+use asr_acoustic::dnn::Mlp;
+use asr_acoustic::mfcc::{MfccConfig, MfccPipeline};
 use asr_acoustic::online::{FrameScorer, OnlineMfcc};
 use asr_acoustic::scores::AcousticTable;
 use asr_acoustic::signal::{SignalConfig, Utterance};
@@ -73,12 +96,13 @@ use asr_acoustic::template::TemplateScorer;
 use asr_decoder::parallel::ParallelDecoder;
 use asr_decoder::pool::{ScratchPool, ScratchPoolStats, WorkerPool, WorkerPoolStats};
 use asr_decoder::search::DecodeOptions;
-use asr_decoder::stream::StreamingDecode;
+use asr_decoder::stream::{AlbHandoff, StreamingDecode};
 use asr_decoder::wer;
 use asr_wfst::compose::build_decoding_graph;
 use asr_wfst::grammar::Grammar;
 use asr_wfst::lexicon::{demo_lexicon, Lexicon};
 use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -398,6 +422,296 @@ pub struct RuntimeStats {
     /// Tasks queued in the executor right now (0 when `executor` is
     /// `None`).
     pub executor_queue_depth: usize,
+    /// Batched-scoring counters, when the runtime has a
+    /// [`BatchScoringConfig`] installed.
+    pub batch: Option<BatchScoringStats>,
+}
+
+/// Counters of the cross-session batched scoring service, from
+/// [`RuntimeStats::batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchScoringStats {
+    /// Gather windows flushed through the block forward pass.
+    pub batches: u64,
+    /// Score rows produced by block flushes (across all sessions).
+    pub batched_rows: u64,
+    /// Rows scored synchronously because the session was alone on the
+    /// service (the lone-session fallback).
+    pub single_row_fallbacks: u64,
+    /// The widest block any flush has scored.
+    pub widest_batch: usize,
+    /// Flushes whose gather target had been widened past the live
+    /// session count by the pressure signal.
+    pub widened_flushes: u64,
+    /// Sessions currently registered with the service (audio-fed
+    /// sessions that have pushed at least one sample).
+    pub open_slots: usize,
+}
+
+/// Configuration of the cross-session batched scoring service, as a
+/// builder for [`RuntimeConfig::batch_scoring`].
+///
+/// The gather window is bounded two ways: `max_rows` caps how many
+/// frames one block forward pass may score, and `max_wait_frames` caps
+/// how many of its *own* frames any session lets ride unscored before
+/// it forces a flush — so a session's search never lags its audio by
+/// more than the wait budget, however idle its batch mates are. The
+/// flush target between those bounds is the number of live sessions,
+/// widened toward `max_rows` by the runtime's pressure signal (see
+/// [`RuntimeConfig::qos`]): under pressure the service trades a little
+/// latency for deeper batches *before* any QoS tier narrows a beam.
+///
+/// ```
+/// use asr_repro::runtime::BatchScoringConfig;
+///
+/// let cfg = BatchScoringConfig::new(32).max_wait_frames(3);
+/// assert_eq!(cfg.max_rows(), 32);
+/// assert_eq!(cfg.max_wait_frames_limit(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchScoringConfig {
+    max_rows: usize,
+    max_wait_frames: usize,
+}
+
+impl BatchScoringConfig {
+    /// A service whose gather window holds at most `max_rows` frames,
+    /// with the default wait budget of two frames per session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rows == 0`.
+    pub fn new(max_rows: usize) -> Self {
+        assert!(max_rows > 0, "the gather window needs at least one row");
+        Self {
+            max_rows,
+            max_wait_frames: 2,
+        }
+    }
+
+    /// Sets the per-session wait budget: once a session has more than
+    /// `frames` of its own rows in the gather window, its next submit
+    /// flushes the window regardless of the gather target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames == 0`.
+    pub fn max_wait_frames(mut self, frames: usize) -> Self {
+        assert!(frames > 0, "sessions must be allowed one in-flight row");
+        self.max_wait_frames = frames;
+        self
+    }
+
+    /// The gather window's row cap.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// The per-session wait budget, in frames.
+    pub fn max_wait_frames_limit(&self) -> usize {
+        self.max_wait_frames
+    }
+}
+
+/// The runtime's acoustic model: the template prototype scorer (the
+/// functional default) or a seeded MLP (the realistic DNN compute
+/// shape). Both expose the same three entry points — whole waveform,
+/// single frame, row block — with the block path bit-identical per row
+/// to the single-frame path (the foundation the batched service's
+/// determinism rests on).
+#[derive(Debug)]
+enum AcousticModel {
+    Template(TemplateScorer),
+    Mlp { mlp: Mlp, pipeline: MfccPipeline },
+}
+
+impl AcousticModel {
+    /// The MFCC configuration session front-ends must extract with.
+    fn mfcc_config(&self) -> &MfccConfig {
+        match self {
+            AcousticModel::Template(t) => t.mfcc_config(),
+            AcousticModel::Mlp { pipeline, .. } => pipeline.config(),
+        }
+    }
+
+    /// Feature vector width of one frame.
+    fn feat_dim(&self) -> usize {
+        match self {
+            AcousticModel::Template(t) => MfccPipeline::new(*t.mfcc_config()).dim(),
+            AcousticModel::Mlp { mlp, .. } => mlp.input_dim(),
+        }
+    }
+
+    /// Width of one acoustic cost row (phones + the epsilon column).
+    fn row_len(&self) -> usize {
+        match self {
+            AcousticModel::Template(t) => t.num_phones() as usize + 1,
+            AcousticModel::Mlp { mlp, .. } => mlp.output_dim() + 1,
+        }
+    }
+
+    /// Batch-scores a whole waveform (the one-shot [`AsrRuntime::score`]
+    /// path).
+    fn score_waveform(&self, samples: &[f32]) -> AcousticTable {
+        match self {
+            AcousticModel::Template(t) => t.score_waveform(samples),
+            AcousticModel::Mlp { mlp, pipeline } => mlp.score_utterance(&pipeline.process(samples)),
+        }
+    }
+
+    /// Scores one frame into a cost row; `x`/`y` are the MLP's pooled
+    /// activation buffers (untouched by the template model).
+    fn score_frame_into(&self, feat: &[f32], row: &mut [f32], x: &mut Vec<f32>, y: &mut Vec<f32>) {
+        match self {
+            AcousticModel::Template(t) => {
+                let mut shared = t;
+                shared.score_into(feat, row);
+            }
+            AcousticModel::Mlp { mlp, .. } => mlp.score_row_into(feat, row, x, y),
+        }
+    }
+
+    /// Exact scratch length the block path needs for `rows` frames.
+    fn block_scratch_len(&self, rows: usize) -> usize {
+        match self {
+            AcousticModel::Template(_) => 0,
+            AcousticModel::Mlp { mlp, .. } => mlp.block_scratch_len(rows),
+        }
+    }
+
+    /// Scores a packed block of `rows` feature vectors into packed cost
+    /// rows, each row bit-identical to [`AcousticModel::score_frame_into`]
+    /// on that row alone.
+    fn score_block_into(&self, feats: &[f32], rows: usize, out: &mut [f32], scratch: &mut [f32]) {
+        match self {
+            AcousticModel::Template(t) => {
+                debug_assert!(
+                    scratch.is_empty(),
+                    "template block scoring takes no scratch"
+                );
+                t.score_block_into(feats, rows, out);
+            }
+            AcousticModel::Mlp { mlp, .. } => mlp.score_block_into(feats, rows, out, scratch),
+        }
+    }
+}
+
+/// A session's registration with the batched scoring service: the slot
+/// index plus a generation counter, so a slot recycled after a
+/// mid-batch `Session::Drop` can never receive (or steal) a stale row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchSlot {
+    index: usize,
+    gen: u64,
+}
+
+/// Per-session state inside the batched scoring service.
+#[derive(Debug, Default)]
+struct SlotState {
+    gen: u64,
+    live: bool,
+    /// Rows this session has in the gather window, not yet flushed.
+    in_flight: usize,
+    /// Scored rows awaiting this session's next drain, FIFO, flattened
+    /// at the service row length — the session's slice of the ALB.
+    ready: VecDeque<f32>,
+}
+
+/// The mutable heart of the batched scoring service: the gather window
+/// plus per-session slots, all preallocated at construction so the
+/// steady-state submit → flush → scatter cycle never allocates.
+///
+/// One mutex guards the whole state, **held across the flush**: the
+/// block forward pass runs under the lock. That serializes flushes and
+/// makes per-session row order trivially FIFO (a session's rows cannot
+/// leapfrog each other through overlapping flushes); submitting
+/// sessions briefly queue on the mutex instead — they would otherwise
+/// be queueing on the same matrix compute anyway.
+#[derive(Debug)]
+struct BatchState {
+    slots: Vec<SlotState>,
+    free: Vec<usize>,
+    /// Registered (live) slots.
+    live: usize,
+    /// The gather window: `pending` packed feature rows.
+    feats: Vec<f32>,
+    /// Which slot each pending row belongs to.
+    owners: Vec<BatchSlot>,
+    pending: usize,
+    /// The scatter buffer one flush scores into.
+    out: Vec<f32>,
+    /// Block activation scratch (empty for the template model).
+    scratch: Vec<f32>,
+}
+
+/// The cross-session batched scoring service (see the module docs).
+#[derive(Debug)]
+struct BatchService {
+    cfg: BatchScoringConfig,
+    feat_dim: usize,
+    row_len: usize,
+    state: Mutex<BatchState>,
+    batches: AtomicU64,
+    batched_rows: AtomicU64,
+    single_row_fallbacks: AtomicU64,
+    widest_batch: AtomicUsize,
+    widened_flushes: AtomicU64,
+}
+
+impl BatchService {
+    fn new(cfg: BatchScoringConfig, model: &AcousticModel) -> Self {
+        let feat_dim = model.feat_dim();
+        let row_len = model.row_len();
+        let max = cfg.max_rows;
+        Self {
+            cfg,
+            feat_dim,
+            row_len,
+            state: Mutex::new(BatchState {
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                feats: vec![0.0; max * feat_dim],
+                owners: vec![BatchSlot { index: 0, gen: 0 }; max],
+                pending: 0,
+                out: vec![0.0; max * row_len],
+                scratch: vec![0.0; model.block_scratch_len(max)],
+            }),
+            batches: AtomicU64::new(0),
+            batched_rows: AtomicU64::new(0),
+            single_row_fallbacks: AtomicU64::new(0),
+            widest_batch: AtomicUsize::new(0),
+            widened_flushes: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BatchState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn stats(&self) -> BatchScoringStats {
+        BatchScoringStats {
+            batches: self.batches.load(Ordering::Acquire),
+            batched_rows: self.batched_rows.load(Ordering::Acquire),
+            single_row_fallbacks: self.single_row_fallbacks.load(Ordering::Acquire),
+            widest_batch: self.widest_batch.load(Ordering::Acquire),
+            widened_flushes: self.widened_flushes.load(Ordering::Acquire),
+            open_slots: self.lock().live,
+        }
+    }
+}
+
+/// What [`RuntimeInner::batch_submit`] asks the session to do with the
+/// frame it just completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubmitOutcome {
+    /// The frame joined the gather window (and any due flush already
+    /// ran); drain the ready queue.
+    Queued,
+    /// The session is alone on the service: score the row synchronously
+    /// (bit-identical to the block path) — the lone-session fallback
+    /// that keeps a single caller from ever waiting out a batch window.
+    ScoreInline,
 }
 
 /// Construction-time configuration for an [`AsrRuntime`], as a builder.
@@ -415,6 +729,15 @@ pub struct RuntimeConfig {
     options: DecodeOptions,
     frames_per_phone: usize,
     qos: Option<QosPolicy>,
+    acoustic: AcousticSpec,
+    batch: Option<BatchScoringConfig>,
+}
+
+/// Which acoustic backend [`RuntimeConfig`] builds the runtime with.
+#[derive(Debug, Clone)]
+enum AcousticSpec {
+    Template,
+    Mlp { hidden: Vec<usize>, seed: u64 },
 }
 
 impl Default for RuntimeConfig {
@@ -426,6 +749,8 @@ impl Default for RuntimeConfig {
             options: DecodeOptions::with_beam(40.0),
             frames_per_phone: 6,
             qos: None,
+            acoustic: AcousticSpec::Template,
+            batch: None,
         }
     }
 }
@@ -481,6 +806,32 @@ impl RuntimeConfig {
         self.qos = Some(policy);
         self
     }
+
+    /// Replaces the template prototype scorer with a seeded
+    /// random-weight MLP over the default MFCC front-end — the
+    /// realistic DNN compute shape for batching experiments (the
+    /// template model's per-frame cost is too cheap for a block forward
+    /// pass to amortize anything). `hidden` lists the hidden layer
+    /// widths; the input width is the MFCC dimension and the output
+    /// width the lexicon's phone count. Deterministic in `seed`.
+    pub fn mlp_acoustic(mut self, hidden: &[usize], seed: u64) -> Self {
+        self.acoustic = AcousticSpec::Mlp {
+            hidden: hidden.to_vec(),
+            seed,
+        };
+        self
+    }
+
+    /// Installs the cross-session batched scoring service: raw-audio
+    /// sessions gather completed feature frames into a shared window
+    /// and score them with one block forward pass (see the module
+    /// docs). Transcripts are byte-identical with or without the
+    /// service, for any window bound — pinned by the differential test
+    /// layer.
+    pub fn batch_scoring(mut self, cfg: BatchScoringConfig) -> Self {
+        self.batch = Some(cfg);
+        self
+    }
 }
 
 /// Per-session options for [`AsrRuntime::open_session_with`], as a
@@ -496,6 +847,9 @@ pub struct SessionOptions {
     /// Pin the session to one policy tier instead of following the
     /// pressure signal.
     pinned_tier: Option<usize>,
+    /// `None` = automatic: join the runtime's batched scoring service
+    /// whenever one is installed.
+    batched: Option<bool>,
 }
 
 impl SessionOptions {
@@ -539,6 +893,19 @@ impl SessionOptions {
         self.pinned_tier = Some(tier);
         self
     }
+
+    /// Opts this raw-audio session out of (or explicitly into) the
+    /// runtime's batched scoring service. With `false` the session
+    /// scores every frame synchronously on its own — byte-identical to
+    /// the batched path (that is the service's core contract), which
+    /// makes `batched_scoring(false)` the differential baseline the
+    /// test layer diffs the service against. Ignored on runtimes
+    /// without [`RuntimeConfig::batch_scoring`] and for row-fed
+    /// sessions (pre-scored rows never re-score).
+    pub fn batched_scoring(mut self, batched: bool) -> Self {
+        self.batched = Some(batched);
+        self
+    }
 }
 
 /// The per-session streaming front-end: an [`OnlineMfcc`] plus the
@@ -549,6 +916,11 @@ struct SessionFrontend {
     mfcc: OnlineMfcc,
     feat: Vec<f32>,
     row: Vec<f32>,
+    /// MLP activation ping-pong buffers for the single-row scoring
+    /// paths (unused by the template model; empty until first use,
+    /// then warm).
+    x: Vec<f32>,
+    y: Vec<f32>,
 }
 
 /// Engine state shared by every clone of a runtime handle and every
@@ -557,7 +929,10 @@ struct SessionFrontend {
 struct RuntimeInner {
     lexicon: Lexicon,
     graph: Arc<Wfst>,
-    scorer: TemplateScorer,
+    model: AcousticModel,
+    /// The cross-session batched scoring service, when one is
+    /// configured.
+    batch: Option<BatchService>,
     signal: SignalConfig,
     options: DecodeOptions,
     lanes: usize,
@@ -591,12 +966,14 @@ impl RuntimeInner {
                 fe
             }
             None => {
-                let mfcc = OnlineMfcc::new(*self.scorer.mfcc_config());
+                let mfcc = OnlineMfcc::new(*self.model.mfcc_config());
                 let dim = mfcc.dim();
                 SessionFrontend {
                     mfcc,
                     feat: vec![0.0; dim],
-                    row: vec![0.0; FrameScorer::row_len(&&self.scorer)],
+                    row: vec![0.0; self.model.row_len()],
+                    x: Vec::new(),
+                    y: Vec::new(),
                 }
             }
         }
@@ -701,7 +1078,252 @@ impl RuntimeInner {
         self.monitor.tier.store(tier, Ordering::Release);
         self.monitor.peak_tier.fetch_max(tier, Ordering::AcqRel);
     }
+
+    /// Registers a session with the batched scoring service, handing it
+    /// a generation-stamped slot; `None` when no service is configured.
+    fn batch_register(&self) -> Option<BatchSlot> {
+        let svc = self.batch.as_ref()?;
+        let mut st = svc.lock();
+        let index = match st.free.pop() {
+            Some(index) => index,
+            None => {
+                st.slots.push(SlotState::default());
+                st.slots.len() - 1
+            }
+        };
+        let live = st.live + 1;
+        st.live = live;
+        let slot = &mut st.slots[index];
+        slot.live = true;
+        slot.in_flight = 0;
+        slot.ready.clear();
+        Some(BatchSlot {
+            index,
+            gen: slot.gen,
+        })
+    }
+
+    /// Unregisters a session's slot: bumps the generation (so any stale
+    /// handle is dead), drops its ready rows, and compacts its pending
+    /// rows out of the gather window — a mid-batch `Session::Drop`
+    /// leaves the service healthy for everyone else.
+    fn batch_unregister(&self, handle: BatchSlot) {
+        let Some(svc) = self.batch.as_ref() else {
+            return;
+        };
+        let mut st = svc.lock();
+        let st = &mut *st;
+        let slot = &mut st.slots[handle.index];
+        if !slot.live || slot.gen != handle.gen {
+            return;
+        }
+        slot.live = false;
+        slot.gen += 1;
+        slot.in_flight = 0;
+        slot.ready.clear();
+        let fd = svc.feat_dim;
+        let mut kept = 0;
+        for r in 0..st.pending {
+            let owner = st.owners[r];
+            if owner == handle {
+                continue;
+            }
+            if kept != r {
+                st.owners[kept] = owner;
+                st.feats.copy_within(r * fd..(r + 1) * fd, kept * fd);
+            }
+            kept += 1;
+        }
+        st.pending = kept;
+        st.live -= 1;
+        st.free.push(handle.index);
+    }
+
+    /// Submits one completed feature frame to the gather window,
+    /// flushing it inline (under the service lock, on the submitting
+    /// thread) when the window reaches its target or this session's
+    /// wait budget is spent. Returns [`SubmitOutcome::ScoreInline`]
+    /// instead when the session is alone on the service — the lone
+    /// caller scores synchronously and never waits out a window.
+    fn batch_submit(&self, handle: BatchSlot, feat: &[f32]) -> SubmitOutcome {
+        let svc = self.batch.as_ref().expect("batch_submit without a service");
+        let mut st = svc.lock();
+        let state = &mut *st;
+        let slot = &state.slots[handle.index];
+        debug_assert!(slot.live && slot.gen == handle.gen, "stale batch slot");
+        if state.live == 1 && slot.in_flight == 0 && slot.ready.is_empty() && state.pending == 0 {
+            svc.single_row_fallbacks.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::ScoreInline;
+        }
+        let fd = svc.feat_dim;
+        debug_assert_eq!(feat.len(), fd, "feature width mismatch");
+        let r = state.pending;
+        state.feats[r * fd..(r + 1) * fd].copy_from_slice(feat);
+        state.owners[r] = handle;
+        state.pending += 1;
+        state.slots[handle.index].in_flight += 1;
+        let base = state.live.clamp(1, svc.cfg.max_rows);
+        let target = self.batch_target(svc, base);
+        if state.pending >= target {
+            if target > base {
+                svc.widened_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            self.flush_batch_locked(svc, state);
+        } else if state.slots[handle.index].in_flight > svc.cfg.max_wait_frames {
+            self.flush_batch_locked(svc, state);
+        }
+        SubmitOutcome::Queued
+    }
+
+    /// The gather target for the next flush: the number of live
+    /// sessions (one row each per round-robin cycle), widened toward
+    /// the window cap by the pressure signal. The widening saturates
+    /// exactly where the first QoS tier engages, so under load the
+    /// service deepens batches *before* any beam narrows — the PR 6
+    /// pressure coupling.
+    fn batch_target(&self, svc: &BatchService, base: usize) -> usize {
+        let Some(policy) = &self.qos else {
+            return base;
+        };
+        let Some(first) = policy.tiers().first().map(QosTier::min_pressure) else {
+            return base;
+        };
+        if first <= 0.0 {
+            return base;
+        }
+        let pressure = f64::from_bits(self.monitor.pressure_bits.load(Ordering::Acquire));
+        let frac = (pressure / first).clamp(0.0, 1.0);
+        let max = svc.cfg.max_rows;
+        let widened = base as f64 + frac * max.saturating_sub(base) as f64;
+        (widened as usize).clamp(base, max)
+    }
+
+    /// Scores the whole gather window with one block forward pass and
+    /// scatters each row to its owner's ready queue. Runs with the
+    /// service lock held (see [`BatchState`]); on a multi-lane runtime
+    /// the block is sharded across pool lanes, which cannot change a
+    /// single byte because every output row depends only on its own
+    /// feature vector.
+    fn flush_batch_locked(&self, svc: &BatchService, st: &mut BatchState) {
+        let rows = st.pending;
+        if rows == 0 {
+            return;
+        }
+        let fd = svc.feat_dim;
+        let rl = svc.row_len;
+        {
+            let feats = &st.feats[..rows * fd];
+            let out = &mut st.out[..rows * rl];
+            let scratch = &mut st.scratch[..self.model.block_scratch_len(rows)];
+            let chunks = self.executor.get().map_or(1, |p| p.lanes().min(rows));
+            if chunks > 1 {
+                let pool = self.executor.get().expect("chunks > 1 implies a pool");
+                let per = rows.div_ceil(chunks);
+                let srl = self.model.block_scratch_len(1);
+                let shards = BlockShards {
+                    out: out.as_mut_ptr(),
+                    scratch: scratch.as_mut_ptr(),
+                };
+                let model = &self.model;
+                pool.fork_join(chunks, &|chunk| {
+                    // Capture the shard struct whole (not its raw-pointer
+                    // fields) so its `Sync` impl applies.
+                    let shards = &shards;
+                    let lo = chunk * per;
+                    let hi = rows.min(lo + per);
+                    if lo >= hi {
+                        return;
+                    }
+                    let n = hi - lo;
+                    // SAFETY: chunk ranges [lo, hi) are disjoint, so
+                    // each lane writes a private row range of `out` and
+                    // a private region of `scratch`; both base pointers
+                    // outlive the fork_join (the buffers live in the
+                    // locked BatchState).
+                    let out =
+                        unsafe { std::slice::from_raw_parts_mut(shards.out.add(lo * rl), n * rl) };
+                    let scratch = unsafe {
+                        std::slice::from_raw_parts_mut(shards.scratch.add(lo * srl), n * srl)
+                    };
+                    model.score_block_into(&feats[lo * fd..hi * fd], n, out, scratch);
+                });
+            } else {
+                self.model.score_block_into(feats, rows, out, scratch);
+            }
+        }
+        // Scatter in window order: submits are serialized by the
+        // service lock, so this preserves strict per-session FIFO.
+        let BatchState {
+            slots,
+            owners,
+            out,
+            pending,
+            ..
+        } = st;
+        for r in 0..rows {
+            let owner = owners[r];
+            let slot = &mut slots[owner.index];
+            debug_assert!(
+                slot.live && slot.gen == owner.gen,
+                "scattering a row to a dead slot"
+            );
+            debug_assert!(slot.in_flight > 0, "scatter/in-flight bookkeeping drifted");
+            slot.in_flight -= 1;
+            slot.ready.extend(out[r * rl..(r + 1) * rl].iter().copied());
+        }
+        *pending = 0;
+        svc.batches.fetch_add(1, Ordering::Relaxed);
+        svc.batched_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        svc.widest_batch.fetch_max(rows, Ordering::Relaxed);
+    }
+
+    /// Pops the session's oldest scored row into `buf` (cleared and
+    /// refilled; allocation-free once warm). `false` when no row is
+    /// ready.
+    fn batch_pop_into(&self, handle: BatchSlot, buf: &mut Vec<f32>) -> bool {
+        let Some(svc) = self.batch.as_ref() else {
+            return false;
+        };
+        let mut st = svc.lock();
+        let slot = &mut st.slots[handle.index];
+        debug_assert!(slot.live && slot.gen == handle.gen, "stale batch slot");
+        if slot.ready.is_empty() {
+            return false;
+        }
+        debug_assert!(slot.ready.len() >= svc.row_len, "partial row in the ALB");
+        buf.clear();
+        buf.extend(slot.ready.drain(..svc.row_len));
+        true
+    }
+
+    /// Flushes the gather window if this session still has rows in it —
+    /// the sync point behind [`Session::flush_scoring`] and finalize.
+    fn batch_flush_for(&self, handle: BatchSlot) {
+        let Some(svc) = self.batch.as_ref() else {
+            return;
+        };
+        let mut st = svc.lock();
+        let state = &mut *st;
+        let slot = &state.slots[handle.index];
+        debug_assert!(slot.live && slot.gen == handle.gen, "stale batch slot");
+        if slot.in_flight > 0 {
+            self.flush_batch_locked(svc, state);
+        }
+    }
 }
+
+/// Raw-pointer shards of one flush's output and scratch buffers,
+/// letting pool lanes score disjoint row ranges of the block in place.
+#[derive(Clone, Copy)]
+struct BlockShards {
+    out: *mut f32,
+    scratch: *mut f32,
+}
+
+// SAFETY: lanes only ever dereference these through disjoint row ranges
+// (see `flush_batch_locked`), so sharing the base pointers is sound.
+unsafe impl Send for BlockShards {}
+unsafe impl Sync for BlockShards {}
 
 /// The shared serving runtime: engine state plus one global
 /// work-stealing executor, handing out owned [`Session`]s.
@@ -765,13 +1387,32 @@ impl AsrRuntime {
     /// Unknown word IDs on decoded paths render as `"<?>"`.
     pub fn with_graph(graph: Wfst, lexicon: Lexicon, config: RuntimeConfig) -> Self {
         let graph = Arc::new(graph);
-        let scorer = TemplateScorer::with_default_signal(lexicon.num_phones() as u32);
+        let model = match &config.acoustic {
+            AcousticSpec::Template => AcousticModel::Template(TemplateScorer::with_default_signal(
+                lexicon.num_phones() as u32,
+            )),
+            AcousticSpec::Mlp { hidden, seed } => {
+                let pipeline = MfccPipeline::new(MfccConfig::default());
+                let mut dims = vec![pipeline.dim()];
+                dims.extend_from_slice(hidden);
+                dims.push(lexicon.num_phones());
+                AcousticModel::Mlp {
+                    mlp: Mlp::new(&dims, *seed),
+                    pipeline,
+                }
+            }
+        };
+        let batch = config
+            .batch
+            .as_ref()
+            .map(|cfg| BatchService::new(cfg.clone(), &model));
         let scratch_pool = ScratchPool::new(graph.num_states());
         Self {
             inner: Arc::new(RuntimeInner {
                 lexicon,
                 graph,
-                scorer,
+                model,
+                batch,
                 signal: SignalConfig::default(),
                 options: config.options,
                 lanes: config.lanes,
@@ -859,6 +1500,7 @@ impl AsrRuntime {
             scratch: self.inner.scratch_pool.stats(),
             executor: executor.map(|p| p.stats()),
             executor_queue_depth: executor.map_or(0, |p| p.queue_depth()),
+            batch: self.inner.batch.as_ref().map(BatchService::stats),
         }
     }
 
@@ -926,7 +1568,7 @@ impl AsrRuntime {
     /// search consumes — the scoring stage of the paper's pipeline,
     /// exposed so callers can split scoring from search.
     pub fn score(&self, utterance: &Utterance) -> AcousticTable {
-        self.inner.scorer.score_waveform(&utterance.samples)
+        self.inner.model.score_waveform(&utterance.samples)
     }
 
     /// Recognizes a waveform: a one-shot [`Session`] fed the raw
@@ -1076,12 +1718,12 @@ impl AsrRuntime {
             )),
             frontend: None,
             executor,
-            front: Vec::new(),
-            staging: Vec::new(),
-            have_front: false,
+            alb: AlbHandoff::new(),
             frames_pushed: 0,
             qos_enabled,
             pinned_tier: options.pinned_tier,
+            batch_enabled: options.batched.unwrap_or(true) && self.inner.batch.is_some(),
+            batch_slot: None,
         }
     }
 
@@ -1136,7 +1778,7 @@ impl AsrRuntime {
         cfg: AcceleratorConfig,
         prepared: &PreparedWfst,
     ) -> Result<(Transcript, SimResult), PipelineError> {
-        let scores = self.inner.scorer.score_waveform(&utterance.samples);
+        let scores = self.inner.model.score_waveform(&utterance.samples);
         let mut cfg = cfg;
         cfg.beam = self.inner.options.beam;
         let result = Simulator::new(cfg).decode(prepared, &scores)?;
@@ -1188,18 +1830,22 @@ pub struct Session {
     /// The shared executor, when this session overlaps scoring with the
     /// search; `None` scores inline.
     executor: Option<Arc<WorkerPool>>,
-    /// Front half of the score double buffer: the row the search will
-    /// consume next (held back one row for last-frame semantics).
-    front: Vec<f32>,
-    /// Staging half: where an incoming row lands before the swap.
-    staging: Vec<f32>,
-    have_front: bool,
+    /// The double-buffered score handoff: incoming rows stage behind
+    /// the search, which consumes the held-back front row (last-frame
+    /// semantics live in [`AlbHandoff`]).
+    alb: AlbHandoff,
     frames_pushed: usize,
     /// Whether this session follows the runtime's QoS policy (always
     /// `false` without a policy).
     qos_enabled: bool,
     /// A fixed tier overriding the pressure signal, when pinned.
     pinned_tier: Option<usize>,
+    /// Whether this session joins the batched scoring service (always
+    /// `false` without one).
+    batch_enabled: bool,
+    /// The session's registration with the service, made lazily by the
+    /// first [`Session::push_samples`].
+    batch_slot: Option<BatchSlot>,
 }
 
 impl Session {
@@ -1221,6 +1867,9 @@ impl Session {
     /// rows: rows pushed while the front-end still holds lookahead
     /// frames would be searched ahead of them, reordering the utterance.
     pub fn push_samples(&mut self, samples: &[f32]) {
+        if self.batch_enabled && self.batch_slot.is_none() {
+            self.batch_slot = self.runtime.batch_register();
+        }
         let mut frontend = self
             .frontend
             .take()
@@ -1230,11 +1879,71 @@ impl Session {
         self.frontend = Some(frontend);
     }
 
-    /// Scores every completed front-end frame and stages its cost row,
-    /// overlapping scoring with the search when an executor is attached.
+    /// Scores every completed front-end frame and stages its cost row —
+    /// through the batched service when the session is registered,
+    /// otherwise overlapping scoring with the search when an executor
+    /// is attached.
     fn drain_frontend(&mut self, frontend: &mut SessionFrontend) {
         while frontend.mfcc.pop_frame_into(&mut frontend.feat) {
-            self.score_and_stage(frontend);
+            if self.batch_slot.is_some() {
+                self.score_batched(frontend);
+            } else {
+                self.score_and_stage(frontend);
+            }
+        }
+    }
+
+    /// One frame of the batched front-end: submit the completed feature
+    /// vector to the gather window (which may flush it, scoring every
+    /// pending row of every session in one block forward pass), then
+    /// step the search over whatever rows of *this* session have come
+    /// back. A lone session short-circuits to synchronous scoring —
+    /// bit-identical, since every path computes a row with the same
+    /// per-row arithmetic.
+    fn score_batched(&mut self, frontend: &mut SessionFrontend) {
+        let slot = self.batch_slot.expect("registered before scoring");
+        let timer = self.frame_timer();
+        match self.runtime.batch_submit(slot, &frontend.feat) {
+            SubmitOutcome::Queued => self.drain_batched_rows(),
+            SubmitOutcome::ScoreInline => {
+                self.apply_qos();
+                self.runtime.model.score_frame_into(
+                    &frontend.feat,
+                    &mut frontend.row,
+                    &mut frontend.x,
+                    &mut frontend.y,
+                );
+                self.step_front();
+                self.alb.stage(&frontend.row);
+                self.commit_row();
+            }
+        }
+        self.observe_frame(timer);
+    }
+
+    /// Steps the search over every scored row the service has ready for
+    /// this session, in submission order.
+    fn drain_batched_rows(&mut self) {
+        let slot = self.batch_slot.expect("registered before draining");
+        while self.runtime.batch_pop_into(slot, self.alb.staging_mut()) {
+            self.apply_qos();
+            self.step_front();
+            self.commit_row();
+        }
+    }
+
+    /// Forces the session's scoring pipeline to a sync point: any of its
+    /// frames still sitting in the gather window are flushed (batching
+    /// the other sessions' pending rows along with them) and their rows
+    /// consumed by the search. Afterwards the session has searched
+    /// exactly the frames its front-end has completed — the same state
+    /// an unbatched session is in after every push — so partials
+    /// compared here are byte-identical across batching modes. A no-op
+    /// for unbatched sessions.
+    pub fn flush_scoring(&mut self) {
+        if let Some(slot) = self.batch_slot {
+            self.runtime.batch_flush_for(slot);
+            self.drain_batched_rows();
         }
     }
 
@@ -1251,34 +1960,37 @@ impl Session {
     fn score_and_stage(&mut self, frontend: &mut SessionFrontend) {
         self.apply_qos();
         let timer = self.frame_timer();
-        let scorer = &self.runtime.scorer;
-        let overlap = self.have_front && self.decode.is_some();
+        let model = &self.runtime.model;
+        let overlap = self.alb.has_front() && self.decode.is_some();
         match (&self.executor, overlap) {
             (Some(pool), true) => {
                 let decode_slot = Mutex::new(self.decode.as_mut().expect("overlap checked"));
-                let row_slot = Mutex::new(&mut frontend.row);
-                let front: &[f32] = &self.front;
+                let row_slot = Mutex::new((&mut frontend.row, &mut frontend.x, &mut frontend.y));
+                let front: &[f32] = self.alb.front().expect("overlap checked");
                 let feat: &[f32] = &frontend.feat;
                 pool.fork_join(2, &|chunk| {
                     if chunk == 0 {
                         let mut decode = decode_slot.lock().unwrap_or_else(PoisonError::into_inner);
                         decode.step(front);
                     } else {
-                        let mut shared_scorer = scorer;
-                        let mut row = row_slot.lock().unwrap_or_else(PoisonError::into_inner);
-                        shared_scorer.score_into(feat, row.as_mut_slice());
+                        let mut slot = row_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        let (row, x, y) = &mut *slot;
+                        model.score_frame_into(feat, row, x, y);
                     }
                 });
             }
             _ => {
-                let mut shared_scorer = scorer;
-                shared_scorer.score_into(&frontend.feat, &mut frontend.row);
+                model.score_frame_into(
+                    &frontend.feat,
+                    &mut frontend.row,
+                    &mut frontend.x,
+                    &mut frontend.y,
+                );
                 self.step_front();
             }
         }
-        self.staging.clear();
-        self.staging.extend_from_slice(&frontend.row);
-        self.commit_staged_row();
+        self.alb.stage(&frontend.row);
+        self.commit_row();
         self.observe_frame(timer);
     }
 
@@ -1286,20 +1998,17 @@ impl Session {
     /// one — the search half of the ALB handoff, shared by the row-fed
     /// and audio-fed paths.
     fn step_front(&mut self) {
-        if self.have_front {
+        if let Some(front) = self.alb.front() {
             if let Some(decode) = self.decode.as_mut() {
-                decode.step(&self.front);
+                decode.step(front);
             }
         }
     }
 
-    /// Completes the ALB handoff: `self.staging` holds the freshly
-    /// produced row (the search half has already run), so swap it in as
-    /// the next held-back front row. The hold-back-one-row semantics
-    /// live here, in one place, for every push path.
-    fn commit_staged_row(&mut self) {
-        std::mem::swap(&mut self.front, &mut self.staging);
-        self.have_front = true;
+    /// Completes the ALB handoff — the staged row becomes the next
+    /// held-back front row — and counts the frame.
+    fn commit_row(&mut self) {
+        self.alb.commit();
         self.frames_pushed += 1;
     }
 
@@ -1323,19 +2032,18 @@ impl Session {
             "push_row after push_samples: the online front-end still holds \
              lookahead frames, so this row would be searched out of order"
         );
-        self.staging.clear();
-        self.staging.extend_from_slice(row);
+        self.alb.stage(row);
         self.apply_qos();
         // Only time rows that actually drive a search step: the first
         // row is merely staged, and a zero-cost sample would drag the
         // RTF EWMA toward zero for free.
-        let timer = if self.have_front {
+        let timer = if self.alb.has_front() {
             self.frame_timer()
         } else {
             None
         };
         self.step_front();
-        self.commit_staged_row();
+        self.commit_row();
         self.observe_frame(timer);
     }
 
@@ -1450,14 +2158,10 @@ impl Session {
             self.drain_frontend(&mut frontend);
             self.runtime.restore_frontend(frontend);
         }
+        self.flush_scoring();
         self.apply_qos();
         let decode = self.decode.take().expect("session not yet finalized");
-        let last = if self.have_front {
-            Some(self.front.as_slice())
-        } else {
-            None
-        };
-        let (result, scratch) = decode.finish(last);
+        let (result, scratch) = decode.finish(self.alb.front());
         self.runtime.scratch_pool.restore(scratch);
         Transcript {
             words: self.runtime.lexicon.transcript(&result.words),
@@ -1469,6 +2173,12 @@ impl Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        if let Some(slot) = self.batch_slot.take() {
+            // Mid-batch drops are fine: unregistering compacts this
+            // session's pending rows out of the gather window and kills
+            // the slot's generation, so nothing is misrouted.
+            self.runtime.batch_unregister(slot);
+        }
         if let Some(frontend) = self.frontend.take() {
             self.runtime.restore_frontend(frontend);
         }
@@ -1680,5 +2390,143 @@ mod tests {
         let audio = runtime.render_words(&["go"]).unwrap();
         let t = runtime.recognize(&audio);
         assert_eq!(t.words, vec!["go"]);
+    }
+
+    #[test]
+    fn lone_batched_session_scores_synchronously() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .batch_scoring(BatchScoringConfig::new(8)),
+        )
+        .unwrap();
+        let audio = runtime.render_words(&["play", "music"]).unwrap();
+        let t = runtime.recognize(&audio);
+        assert_eq!(t.words, vec!["play", "music"]);
+        let stats = runtime.stats().batch.expect("service configured");
+        assert_eq!(stats.batches, 0, "a lone session never waits out a window");
+        assert!(stats.single_row_fallbacks > 0);
+        assert_eq!(stats.open_slots, 0, "finalize released the slot");
+    }
+
+    #[test]
+    fn interleaved_batched_sessions_match_unbatched_byte_for_byte() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .batch_scoring(BatchScoringConfig::new(4)),
+        )
+        .unwrap();
+        let a = runtime.render_words(&["call", "mom"]).unwrap();
+        let b = runtime.render_words(&["lights", "off"]).unwrap();
+        let run = |batched: bool| {
+            let opts = SessionOptions::new().batched_scoring(batched);
+            let mut sa = runtime.open_session_with(opts.clone());
+            let mut sb = runtime.open_session_with(opts);
+            let mut ia = a.samples.chunks(160);
+            let mut ib = b.samples.chunks(160);
+            loop {
+                let pa = ia.next();
+                let pb = ib.next();
+                if pa.is_none() && pb.is_none() {
+                    break;
+                }
+                if let Some(p) = pa {
+                    sa.push_samples(p);
+                }
+                if let Some(p) = pb {
+                    sb.push_samples(p);
+                }
+            }
+            (sa.finalize(), sb.finalize())
+        };
+        let (ba, bb) = run(true);
+        let (ua, ub) = run(false);
+        assert_eq!(ba.words, ua.words);
+        assert_eq!(ba.cost.to_bits(), ua.cost.to_bits());
+        assert_eq!(bb.words, ub.words);
+        assert_eq!(bb.cost.to_bits(), ub.cost.to_bits());
+        assert_eq!(ba.words, vec!["call", "mom"]);
+        assert_eq!(bb.words, vec!["lights", "off"]);
+        let stats = runtime.stats().batch.expect("service configured");
+        assert!(stats.batches > 0, "two interleaved sessions must batch");
+        assert!(stats.widest_batch >= 2);
+        assert_eq!(stats.open_slots, 0);
+    }
+
+    #[test]
+    fn mlp_acoustic_runtime_batches_identically() {
+        let config = || {
+            RuntimeConfig::new()
+                .lanes(1)
+                .beam(1.0e9)
+                .mlp_acoustic(&[32], 7)
+        };
+        let batched_rt =
+            AsrRuntime::demo_with(config().batch_scoring(BatchScoringConfig::new(8))).unwrap();
+        let plain_rt = AsrRuntime::demo_with(config()).unwrap();
+        let a = batched_rt.render_words(&["go"]).unwrap();
+        let b = batched_rt.render_words(&["stop"]).unwrap();
+        let drive = |rt: &AsrRuntime| {
+            let mut sa = rt.open_session();
+            let mut sb = rt.open_session();
+            for (pa, pb) in a.samples.chunks(160).zip(b.samples.chunks(160)) {
+                sa.push_samples(pa);
+                sb.push_samples(pb);
+            }
+            let ta = sa.finalize();
+            let tb = sb.finalize();
+            (ta, tb)
+        };
+        let (ba, bb) = drive(&batched_rt);
+        let (ua, ub) = drive(&plain_rt);
+        assert_eq!(ba.cost.to_bits(), ua.cost.to_bits());
+        assert_eq!(bb.cost.to_bits(), ub.cost.to_bits());
+        assert_eq!(ba.words, ua.words);
+        assert_eq!(bb.words, ub.words);
+        assert!(batched_rt.stats().batch.unwrap().batches > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_row_batch_window_is_rejected() {
+        let _ = BatchScoringConfig::new(0);
+    }
+
+    #[test]
+    fn dropping_a_batched_session_mid_window_leaves_the_service_healthy() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .batch_scoring(BatchScoringConfig::new(16).max_wait_frames(4)),
+        )
+        .unwrap();
+        let keep_audio = runtime.render_words(&["call", "mom"]).unwrap();
+        let drop_audio = runtime.render_words(&["stop"]).unwrap();
+        let mut keep = runtime.open_session();
+        let mut doomed = runtime.open_session();
+        // Interleave a few packets so both sessions have rows pending in
+        // the shared window, then drop one mid-batch.
+        for (pk, pd) in keep_audio
+            .samples
+            .chunks(160)
+            .zip(drop_audio.samples.chunks(160))
+            .take(20)
+        {
+            keep.push_samples(pk);
+            doomed.push_samples(pd);
+        }
+        drop(doomed);
+        for pk in keep_audio.samples.chunks(160).skip(20) {
+            keep.push_samples(pk);
+        }
+        let survivor = keep.finalize();
+        assert_eq!(survivor.words, vec!["call", "mom"]);
+        // The reference: the same audio on an unbatched session.
+        let mut unbatched = runtime.open_session_with(SessionOptions::new().batched_scoring(false));
+        unbatched.push_samples(&keep_audio.samples);
+        let reference = unbatched.finalize();
+        assert_eq!(survivor.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(runtime.stats().batch.unwrap().open_slots, 0);
     }
 }

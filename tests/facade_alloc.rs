@@ -19,7 +19,7 @@
 
 use asr_repro::acoustic::scores::AcousticTable;
 use asr_repro::pipeline::AsrPipeline;
-use asr_repro::runtime::{AsrRuntime, RuntimeConfig, SessionOptions};
+use asr_repro::runtime::{AsrRuntime, BatchScoringConfig, RuntimeConfig, SessionOptions};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -218,6 +218,71 @@ fn runtime_session_pushes_are_allocation_free_after_warmup() {
          the shared-executor session path is allocating per frame"
     );
     drop(session);
+}
+
+#[test]
+fn batched_session_pushes_are_allocation_free_after_warmup() {
+    let _guard = serialized();
+    // Two sessions sharing the gather window: the counted region is the
+    // full batched frame path — submit into the window, the inline
+    // block flush (scoring both sessions' rows), scatter into the
+    // per-slot ready queues, and the drain back through each session's
+    // ALB handoff. The window, its scatter buffers, the ready queues,
+    // and the pooled front-ends are all preallocated or warmed, so the
+    // steady state must not allocate per frame.
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(1)
+            .batch_scoring(BatchScoringConfig::new(4)),
+    )
+    .unwrap();
+    let words = [
+        "play", "music", "play", "music", "play", "music", "play", "music", "play", "music",
+    ];
+    let audio = runtime.render_words(&words).unwrap();
+    let chunks: Vec<&[f32]> = audio.samples.chunks(160).collect();
+    // Warm everything once: slots, ready-queue capacities, front-ends,
+    // decode scratches, and both sessions' row buffers.
+    {
+        let mut a = runtime.open_session();
+        let mut b = runtime.open_session();
+        for piece in &chunks {
+            a.push_samples(piece);
+            b.push_samples(piece);
+        }
+        a.finalize();
+        b.finalize();
+    }
+
+    let mut a = runtime.open_session();
+    let mut b = runtime.open_session();
+    let tail_start = chunks.len() * 2 / 3;
+    for piece in &chunks[..tail_start] {
+        a.push_samples(piece);
+        b.push_samples(piece);
+    }
+    let steady = count_allocs(|| {
+        for piece in &chunks[tail_start..] {
+            a.push_samples(piece);
+            b.push_samples(piece);
+        }
+    });
+    let frames = 2 * (chunks.len() - tail_start) as u64;
+    assert!(
+        frames >= 80,
+        "workload too small to separate per-frame allocation from noise"
+    );
+    assert!(
+        steady <= 16,
+        "{frames} steady-state batched pushes performed {steady} allocations: \
+         the gather/scatter path is allocating per frame"
+    );
+    assert!(
+        runtime.stats().batch.expect("service configured").batches > 0,
+        "the counted region must actually ride the batched path"
+    );
+    drop(a);
+    drop(b);
 }
 
 #[test]

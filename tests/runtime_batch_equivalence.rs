@@ -1,0 +1,540 @@
+//! The differential test layer pinning cross-session batched scoring.
+//!
+//! The claim under test: a [`Session`] whose acoustic scoring runs
+//! through the runtime's shared gather window produces transcripts,
+//! cost bits, and partial hypotheses **byte-identical** to
+//!
+//! 1. the same session with batching disabled
+//!    ([`SessionOptions::batched_scoring`]`(false)` — the synchronous
+//!    per-session scorer), and
+//! 2. a fresh sequential [`ViterbiDecoder`] over the batch-scored
+//!    table,
+//!
+//! regardless of gather-window size, how many sessions share the
+//! window, how their lifetimes stagger, and which batches their frames
+//! happen to land in. Batch composition must be *numerically
+//! invisible*: every cost row is a pure function of its own feature
+//! vector, computed with one fold order on every path.
+//!
+//! A proptest sweep additionally drives random interleavings of
+//! open/push/flush/finish/drop against the service and checks that no
+//! scored row is ever dropped, duplicated, or routed to the wrong
+//! session — any such slip corrupts a transcript the properties compare
+//! against its unbatched reference.
+//!
+//! [`Session`]: asr_repro::runtime::Session
+//! [`SessionOptions::batched_scoring`]: asr_repro::runtime::SessionOptions::batched_scoring
+//! [`ViterbiDecoder`]: asr_repro::decoder::search::ViterbiDecoder
+
+use asr_repro::acoustic::signal::Utterance;
+use asr_repro::decoder::search::ViterbiDecoder;
+use asr_repro::runtime::{
+    AsrRuntime, BatchScoringConfig, QosPolicy, RuntimeConfig, Session, SessionOptions, Transcript,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Microphone-style packet size used throughout: 10 ms at 16 kHz.
+const PACKET: usize = 160;
+
+/// Utterances of deliberately different lengths, so staggered sessions
+/// also *finish* at different times (sessions leave the window while
+/// others are mid-utterance).
+const SCRIPTS: [&[&str]; 6] = [
+    &["go"],
+    &["stop"],
+    &["lights", "on"],
+    &["lights", "off", "stop"],
+    &["play", "music"],
+    &["call", "mom", "go"],
+];
+
+/// The per-utterance ground truth: a fresh sequential decoder over the
+/// batch-scored table (no pools, no window, no service).
+fn sequential_reference(runtime: &AsrRuntime, audio: &Utterance) -> (Vec<String>, u32) {
+    let scores = runtime.score(audio);
+    let result = ViterbiDecoder::new(runtime.options().clone()).decode(runtime.graph(), &scores);
+    (
+        runtime.lexicon().transcript(&result.words),
+        result.cost.to_bits(),
+    )
+}
+
+/// Drives one session per utterance round-robin on a single thread,
+/// session `i` joining `i * stagger` rounds late, each finishing as its
+/// own audio runs out. This is the deterministic worst case for the
+/// gather window: membership changes constantly, both by arrival and by
+/// departure.
+fn drive_staggered(
+    runtime: &AsrRuntime,
+    audios: &[Utterance],
+    options: &SessionOptions,
+    stagger: usize,
+) -> Vec<Transcript> {
+    let mut sessions: Vec<Option<Session>> = (0..audios.len()).map(|_| None).collect();
+    let mut cursors = vec![0usize; audios.len()];
+    let mut done: Vec<Option<Transcript>> = (0..audios.len()).map(|_| None).collect();
+    let mut remaining = audios.len();
+    let mut round = 0usize;
+    while remaining > 0 {
+        for i in 0..audios.len() {
+            if done[i].is_some() || round < i * stagger {
+                continue;
+            }
+            let session =
+                sessions[i].get_or_insert_with(|| runtime.open_session_with(options.clone()));
+            let samples = &audios[i].samples;
+            let lo = cursors[i];
+            if lo >= samples.len() {
+                let finished = sessions[i].take().expect("session opened above");
+                done[i] = Some(finished.finalize());
+                remaining -= 1;
+            } else {
+                let hi = samples.len().min(lo + PACKET);
+                session.push_samples(&samples[lo..hi]);
+                cursors[i] = hi;
+            }
+        }
+        round += 1;
+    }
+    done.into_iter().map(Option::unwrap).collect()
+}
+
+fn assert_all_match(got: &[Transcript], expected: &[(Vec<String>, u32)], label: &str) {
+    for (i, (t, e)) in got.iter().zip(expected).enumerate() {
+        assert_eq!(t.words, e.0, "{label}: utterance {i} words");
+        assert_eq!(t.cost.to_bits(), e.1, "{label}: utterance {i} cost bits");
+    }
+}
+
+#[test]
+fn staggered_sessions_are_byte_identical_across_window_sizes() {
+    // {1, 2, 8, max}: window 1 degenerates to per-frame flushes, 64 is
+    // far past what six sessions ever fill (the self-sizing target
+    // flushes at the live-session count, so frames never stall).
+    for window in [1usize, 2, 8, 64] {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .batch_scoring(BatchScoringConfig::new(window)),
+        )
+        .unwrap();
+        let audios: Vec<Utterance> = SCRIPTS
+            .iter()
+            .map(|w| runtime.render_words(w).unwrap())
+            .collect();
+        let expected: Vec<(Vec<String>, u32)> = audios
+            .iter()
+            .map(|a| sequential_reference(&runtime, a))
+            .collect();
+
+        let batched = drive_staggered(
+            &runtime,
+            &audios,
+            &SessionOptions::new().batched_scoring(true),
+            5,
+        );
+        let unbatched = drive_staggered(
+            &runtime,
+            &audios,
+            &SessionOptions::new().batched_scoring(false),
+            5,
+        );
+        assert_all_match(&batched, &expected, &format!("window {window} batched"));
+        assert_all_match(&unbatched, &expected, &format!("window {window} unbatched"));
+
+        let stats = runtime.stats().batch.expect("service configured");
+        assert_eq!(stats.open_slots, 0, "window {window}: slots all released");
+        assert!(
+            stats.batches > 0,
+            "window {window}: staggered sessions never batched"
+        );
+        assert!(
+            stats.widest_batch <= window,
+            "window {window}: batch of {} overflowed the cap",
+            stats.widest_batch
+        );
+    }
+}
+
+#[test]
+fn sixteen_sessions_share_one_window_byte_identically() {
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(1)
+            .batch_scoring(BatchScoringConfig::new(8).max_wait_frames(3)),
+    )
+    .unwrap();
+    // Sixteen sessions over the six scripts: several sessions speak the
+    // *same* words, so a row routed to the wrong same-script session is
+    // only caught by the cost bits — which the references pin.
+    let audios: Vec<Utterance> = (0..16)
+        .map(|i| runtime.render_words(SCRIPTS[i % SCRIPTS.len()]).unwrap())
+        .collect();
+    let expected: Vec<(Vec<String>, u32)> = audios
+        .iter()
+        .map(|a| sequential_reference(&runtime, a))
+        .collect();
+    let batched = drive_staggered(
+        &runtime,
+        &audios,
+        &SessionOptions::new().batched_scoring(true),
+        2,
+    );
+    assert_all_match(&batched, &expected, "16 sessions");
+    let stats = runtime.stats().batch.expect("service configured");
+    assert!(stats.widest_batch >= 4, "16 live sessions must batch wide");
+    assert_eq!(stats.open_slots, 0);
+}
+
+#[test]
+fn mlp_runtime_batches_byte_identically_across_windows() {
+    // The realistic DNN compute shape: same differential, real matrix
+    // math, where any cross-row reassociation in the block forward pass
+    // would flip low-order bits immediately.
+    for window in [2usize, 8] {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .beam(1.0e9)
+                .mlp_acoustic(&[48], 11)
+                .batch_scoring(BatchScoringConfig::new(window)),
+        )
+        .unwrap();
+        let audios: Vec<Utterance> = SCRIPTS[..4]
+            .iter()
+            .map(|w| runtime.render_words(w).unwrap())
+            .collect();
+        let expected: Vec<(Vec<String>, u32)> = audios
+            .iter()
+            .map(|a| sequential_reference(&runtime, a))
+            .collect();
+        let batched = drive_staggered(
+            &runtime,
+            &audios,
+            &SessionOptions::new().batched_scoring(true),
+            3,
+        );
+        let unbatched = drive_staggered(
+            &runtime,
+            &audios,
+            &SessionOptions::new().batched_scoring(false),
+            3,
+        );
+        assert_all_match(&batched, &expected, &format!("mlp window {window}"));
+        assert_all_match(&unbatched, &expected, &format!("mlp unbatched {window}"));
+        assert!(runtime.stats().batch.unwrap().batches > 0);
+    }
+}
+
+#[test]
+fn concurrent_batched_sessions_from_threads_are_byte_identical() {
+    // Multi-lane runtime, one OS thread per session: batch composition
+    // is now racy and different every run — the transcripts must not be.
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(2)
+            .batch_scoring(BatchScoringConfig::new(8)),
+    )
+    .unwrap();
+    let audios: Vec<Utterance> = SCRIPTS
+        .iter()
+        .map(|w| runtime.render_words(w).unwrap())
+        .collect();
+    let expected: Vec<(Vec<String>, u32)> = audios
+        .iter()
+        .map(|a| sequential_reference(&runtime, a))
+        .collect();
+    for _ in 0..3 {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, audio) in audios.iter().enumerate() {
+                let runtime = &runtime;
+                let expected = &expected[i];
+                handles.push(scope.spawn(move || {
+                    let mut session = runtime.open_session();
+                    for packet in audio.samples.chunks(PACKET) {
+                        session.push_samples(packet);
+                    }
+                    let t = session.finalize();
+                    assert_eq!(t.words, expected.0, "threaded utterance {i}");
+                    assert_eq!(t.cost.to_bits(), expected.1, "threaded utterance {i}");
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("batched session thread");
+            }
+        });
+    }
+    assert_eq!(runtime.stats().batch.unwrap().open_slots, 0);
+}
+
+#[test]
+fn partials_agree_with_unbatched_at_flush_sync_points() {
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(1)
+            .batch_scoring(BatchScoringConfig::new(8).max_wait_frames(4)),
+    )
+    .unwrap();
+    let a = runtime.render_words(&["play", "music"]).unwrap();
+    let b = runtime.render_words(&["call", "mom"]).unwrap();
+
+    // Two batched sessions sharing the window vs. two unbatched twins,
+    // compared packet by packet. `flush_scoring` is the sync point: it
+    // forces the batched pair to consume exactly the frames their
+    // front-ends have completed — the state the unbatched pair is in
+    // after every push — so the partials must agree bit for bit.
+    let mut ba = runtime.open_session_with(SessionOptions::new().batched_scoring(true));
+    let mut bb = runtime.open_session_with(SessionOptions::new().batched_scoring(true));
+    let mut ua = runtime.open_session_with(SessionOptions::new().batched_scoring(false));
+    let mut ub = runtime.open_session_with(SessionOptions::new().batched_scoring(false));
+    let mut ia = a.samples.chunks(PACKET);
+    let mut ib = b.samples.chunks(PACKET);
+    let mut compared = 0usize;
+    loop {
+        let pa = ia.next();
+        let pb = ib.next();
+        if pa.is_none() && pb.is_none() {
+            break;
+        }
+        if let Some(p) = pa {
+            ba.push_samples(p);
+            ua.push_samples(p);
+        }
+        if let Some(p) = pb {
+            bb.push_samples(p);
+            ub.push_samples(p);
+        }
+        ba.flush_scoring();
+        bb.flush_scoring();
+        for (batched, unbatched) in [(&ba, &ua), (&bb, &ub)] {
+            match (batched.partial(), unbatched.partial()) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.words, y.words, "partial words at a sync point");
+                    assert_eq!(x.cost.to_bits(), y.cost.to_bits(), "partial cost bits");
+                    assert_eq!(x.frames_decoded, y.frames_decoded, "frames decoded");
+                    compared += 1;
+                }
+                (x, y) => assert_eq!(x.is_none(), y.is_none(), "liveness diverged"),
+            }
+        }
+    }
+    assert!(compared > 20, "sync points barely exercised: {compared}");
+    let ta = ba.finalize();
+    let tb = bb.finalize();
+    assert_eq!(ta.cost.to_bits(), ua.finalize().cost.to_bits());
+    assert_eq!(tb.cost.to_bits(), ub.finalize().cost.to_bits());
+    assert_eq!(ta.words, vec!["play", "music"]);
+    assert_eq!(tb.words, vec!["call", "mom"]);
+}
+
+#[test]
+fn scripted_tier_trace_is_byte_identical_with_batching_on_and_off() {
+    // QoS interaction: tier changes land only at frame boundaries, and
+    // `flush_scoring` pins both modes to the same consumption state
+    // before each change, so one scripted trace must decode to the same
+    // bytes whether scoring is batched or not.
+    let policy = QosPolicy::new()
+        .tier(0.5, 20.0, Some(512))
+        .tier(0.9, 6.0, Some(64))
+        .floors(8.0, 32);
+    let runtime = AsrRuntime::demo_with(
+        RuntimeConfig::new()
+            .lanes(1)
+            .qos(policy)
+            .batch_scoring(BatchScoringConfig::new(8).max_wait_frames(4)),
+    )
+    .unwrap();
+    let a = runtime.render_words(&["lights", "on", "go"]).unwrap();
+    let b = runtime.render_words(&["stop", "call", "mom"]).unwrap();
+    let tier_for_epoch = |epoch: usize| match epoch % 4 {
+        0 => 0,
+        1 => 2,
+        2 => 1,
+        _ => 0,
+    };
+    let run = |batched: bool| {
+        let opts = SessionOptions::new().batched_scoring(batched).pin_tier(0);
+        let mut sa = runtime.open_session_with(opts.clone());
+        let mut sb = runtime.open_session_with(opts);
+        let mut ia = a.samples.chunks(PACKET);
+        let mut ib = b.samples.chunks(PACKET);
+        let mut epoch = 0usize;
+        loop {
+            let mut pushed = false;
+            // One epoch = four packets per session at one pinned tier.
+            sa.pin_tier(tier_for_epoch(epoch));
+            sb.pin_tier(tier_for_epoch(epoch));
+            for _ in 0..4 {
+                if let Some(p) = ia.next() {
+                    sa.push_samples(p);
+                    pushed = true;
+                }
+                if let Some(p) = ib.next() {
+                    sb.push_samples(p);
+                    pushed = true;
+                }
+            }
+            // Sync point: both modes have now searched exactly the same
+            // rows, so the *next* epoch's tier lands on the same frame.
+            sa.flush_scoring();
+            sb.flush_scoring();
+            if !pushed {
+                break;
+            }
+            epoch += 1;
+        }
+        (sa.finalize(), sb.finalize())
+    };
+    let (ba, bb) = run(true);
+    let (ua, ub) = run(false);
+    assert_eq!(ba.words, ua.words);
+    assert_eq!(ba.cost.to_bits(), ua.cost.to_bits());
+    assert_eq!(bb.words, ub.words);
+    assert_eq!(bb.cost.to_bits(), ub.cost.to_bits());
+    assert!(
+        runtime.stats().batch.unwrap().batches > 0,
+        "the QoS trace must actually exercise the batched path"
+    );
+}
+
+/// Shared fixture for the property sweep: one runtime (window 4, so the
+/// interleavings constantly fill and flush it) plus per-lane audio and
+/// unbatched references. Lane audios are all *distinct* word sequences:
+/// a row misrouted between lanes always lands in a different utterance
+/// and corrupts its transcript or cost bits.
+struct PropFixture {
+    runtime: AsrRuntime,
+    audios: Vec<Utterance>,
+    expected: Vec<(Vec<String>, u32)>,
+}
+
+fn prop_fixture() -> &'static PropFixture {
+    static FIXTURE: OnceLock<PropFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(1)
+                .batch_scoring(BatchScoringConfig::new(4).max_wait_frames(2)),
+        )
+        .unwrap();
+        let scripts: [&[&str]; 4] = [
+            &["go", "stop"],
+            &["lights", "on"],
+            &["play", "music"],
+            &["call", "mom"],
+        ];
+        let audios: Vec<Utterance> = scripts
+            .iter()
+            .map(|w| runtime.render_words(w).unwrap())
+            .collect();
+        let expected = audios
+            .iter()
+            .map(|a| sequential_reference(&runtime, a))
+            .collect();
+        PropFixture {
+            runtime,
+            audios,
+            expected,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Random interleavings of open/push/flush/finish/drop across four
+    // lanes never drop, duplicate, or misroute a scored row, and a
+    // mid-batch drop leaves the service healthy for everyone else.
+    #[test]
+    fn random_interleavings_never_misroute_rows(
+        ops in prop::collection::vec((0usize..4, 0u8..10), 1..70),
+    ) {
+        let fx = prop_fixture();
+        let mut sessions: Vec<Option<Session>> = (0..4).map(|_| None).collect();
+        let mut cursors = vec![0usize; 4];
+        let mut drops = 0u32;
+        let mut finishes = 0u32;
+
+        let finish = |lane: usize,
+                      sessions: &mut Vec<Option<Session>>,
+                      cursors: &mut Vec<usize>|
+         -> Transcript {
+            let mut session = sessions[lane].take().expect("caller checked");
+            let samples = &fx.audios[lane].samples;
+            if cursors[lane] < samples.len() {
+                session.push_samples(&samples[cursors[lane]..]);
+            }
+            cursors[lane] = 0;
+            session.finalize()
+        };
+
+        for (lane, op) in ops {
+            match op {
+                // Weighted toward pushes: the window only misbehaves
+                // while rows are moving through it.
+                0..=6 => {
+                    let samples = &fx.audios[lane].samples;
+                    if sessions[lane].is_none() {
+                        cursors[lane] = 0;
+                    }
+                    let session = sessions[lane]
+                        .get_or_insert_with(|| fx.runtime.open_session());
+                    let lo = cursors[lane];
+                    if lo >= samples.len() {
+                        // Out of audio: finish instead.
+                        let t = finish(lane, &mut sessions, &mut cursors);
+                        prop_assert_eq!(&t.words, &fx.expected[lane].0);
+                        prop_assert_eq!(t.cost.to_bits(), fx.expected[lane].1);
+                        finishes += 1;
+                        continue;
+                    }
+                    let hi = samples.len().min(lo + PACKET);
+                    session.push_samples(&samples[lo..hi]);
+                    cursors[lane] = hi;
+                }
+                7 => {
+                    if let Some(session) = sessions[lane].as_mut() {
+                        session.flush_scoring();
+                    }
+                }
+                8 => {
+                    if sessions[lane].is_some() {
+                        let t = finish(lane, &mut sessions, &mut cursors);
+                        prop_assert_eq!(&t.words, &fx.expected[lane].0);
+                        prop_assert_eq!(t.cost.to_bits(), fx.expected[lane].1);
+                        finishes += 1;
+                    }
+                }
+                _ => {
+                    // Drop mid-utterance — possibly with rows of this
+                    // session still pending in the gather window.
+                    if sessions[lane].take().is_some() {
+                        drops += 1;
+                        cursors[lane] = 0;
+                    }
+                }
+            }
+        }
+        // Land every survivor: each must still decode its own words.
+        for lane in 0..4 {
+            if sessions[lane].is_some() {
+                let t = finish(lane, &mut sessions, &mut cursors);
+                prop_assert_eq!(&t.words, &fx.expected[lane].0);
+                prop_assert_eq!(t.cost.to_bits(), fx.expected[lane].1);
+                finishes += 1;
+            }
+        }
+        let _ = (drops, finishes);
+        // The service is healthy after the storm: every slot freed, and
+        // a fresh session scores correctly through the same window.
+        let stats = fx.runtime.stats().batch.expect("service configured");
+        prop_assert_eq!(stats.open_slots, 0);
+        let mut probe = fx.runtime.open_session();
+        probe.push_samples(&fx.audios[0].samples);
+        let t = probe.finalize();
+        prop_assert_eq!(&t.words, &fx.expected[0].0);
+        prop_assert_eq!(t.cost.to_bits(), fx.expected[0].1);
+    }
+}
