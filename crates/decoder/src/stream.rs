@@ -329,6 +329,103 @@ impl AlbHandoff {
         std::mem::swap(&mut self.front, &mut self.staging);
         self.have_front = true;
     }
+
+    /// Moves the held-back front row out into `out`, emptying the
+    /// handoff — the migration path when a session widens from the
+    /// single-row handoff to the multi-row [`AlbQueue`] mid-utterance.
+    /// Returns `false` (leaving `out` untouched) when no front is held.
+    pub fn take_front_into(&mut self, out: &mut Vec<f32>) -> bool {
+        if !self.have_front {
+            return false;
+        }
+        out.clear();
+        out.extend_from_slice(&self.front);
+        self.have_front = false;
+        true
+    }
+}
+
+/// The multi-row generalization of [`AlbHandoff`]: a FIFO of scored
+/// rows the search has not yet consumed, with a free list that recycles
+/// row buffers so the steady state allocates nothing.
+///
+/// The paper's Acoustic Likelihood Buffer holds *multi-frame* score
+/// batches precisely to amortize the score/search handoff; this queue is
+/// that shape in software. Producers [`AlbQueue::checkout`] a buffer,
+/// fill it, and [`AlbQueue::push_ready`] it; the search walks
+/// [`AlbQueue::ready_rows`] in FIFO order (safe to do while more rows
+/// are being scored, because a batch is only launched when at least one
+/// *new* row exists — so no currently-ready row can be the utterance's
+/// final row) and then [`AlbQueue::retire`]s what it consumed. The
+/// last-frame semantics of [`AlbHandoff`] are preserved by never
+/// retiring the final row: it is handed to `finish` instead.
+#[derive(Debug, Default)]
+pub struct AlbQueue {
+    ready: std::collections::VecDeque<Vec<f32>>,
+    free: Vec<Vec<f32>>,
+}
+
+impl AlbQueue {
+    /// An empty queue; buffers are created (then recycled) on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scored rows awaiting the search.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// A row buffer resized to `row_len` — recycled from the free list
+    /// when one is available, freshly allocated otherwise.
+    pub fn checkout(&mut self, row_len: usize) -> Vec<f32> {
+        let mut row = self.free.pop().unwrap_or_default();
+        row.resize(row_len, 0.0);
+        row
+    }
+
+    /// Appends a scored row to the ready FIFO.
+    pub fn push_ready(&mut self, row: Vec<f32>) {
+        self.ready.push_back(row);
+    }
+
+    /// The ready rows in FIFO (frame) order, for the search to relax
+    /// back-to-back inside one fork-join batch.
+    pub fn ready_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.ready.iter().map(Vec::as_slice)
+    }
+
+    /// Recycles the first `count` ready rows after the search has
+    /// consumed them.
+    pub fn retire(&mut self, count: usize) {
+        for _ in 0..count {
+            let row = self.ready.pop_front().expect("retire within ready_len");
+            self.free.push(row);
+        }
+    }
+
+    /// Pops the oldest ready row (for the finalize tail, where the rows
+    /// are consumed one at a time and the last one must survive for the
+    /// end-of-utterance treatment). Recycle it with [`AlbQueue::recycle`].
+    pub fn pop_ready(&mut self) -> Option<Vec<f32>> {
+        self.ready.pop_front()
+    }
+
+    /// Returns a buffer to the free list.
+    pub fn recycle(&mut self, row: Vec<f32>) {
+        self.free.push(row);
+    }
+}
+
+/// Multi-row overlap state for a pool-attached [`AudioStreamingDecode`]:
+/// the executor handle, the batch depth, the ready-row FIFO, and the
+/// stage buffers the scoring chunk fills during a join.
+#[derive(Debug)]
+struct OverlapState {
+    pool: std::sync::Arc<crate::pool::WorkerPool>,
+    depth: usize,
+    queue: AlbQueue,
+    stage: Vec<Vec<f32>>,
 }
 
 /// An incremental decode fed *raw audio* instead of score rows: the
@@ -341,14 +438,22 @@ impl AlbHandoff {
 /// receive the batch decoder's end-of-utterance treatment. Pushing any
 /// chunking of a waveform and finishing is therefore byte-identical to
 /// batch-scoring the waveform and batch-decoding the table.
+///
+/// [`AudioStreamingDecode::with_overlap`] widens the handoff to
+/// multi-row ALB batches on a shared [`WorkerPool`](crate::pool::WorkerPool):
+/// one fork-join relaxes every already-scored row through the search
+/// while the scorer produces up to `depth` further rows — still
+/// byte-identical, because row order and per-row arithmetic never
+/// change.
 #[derive(Debug)]
 pub struct AudioStreamingDecode<G: Deref<Target = Wfst>, S> {
     decode: StreamingDecode<G>,
     scorer: OnlineScorer<S>,
     alb: AlbHandoff,
+    overlap: Option<OverlapState>,
 }
 
-impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
+impl<G: Deref<Target = Wfst> + Send, S: FrameScorer + Send> AudioStreamingDecode<G, S> {
     /// Starts an audio-fed decode over a (pooled) scratch.
     pub fn new(
         wfst: G,
@@ -361,7 +466,36 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
             decode: StreamingDecode::new(wfst, opts, scratch),
             scorer,
             alb: AlbHandoff::with_row_len(row_len),
+            overlap: None,
         }
+    }
+
+    /// Starts an audio-fed decode whose score/search handoff runs as
+    /// multi-row ALB batches on `pool`: each drain relaxes every
+    /// already-scored row while the scorer produces up to `depth` new
+    /// rows in an overlapped fork-join chunk. Byte-identical to
+    /// [`AudioStreamingDecode::new`] for every depth and chunking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn with_overlap(
+        wfst: G,
+        opts: DecodeOptions,
+        scratch: DecodeScratch,
+        scorer: OnlineScorer<S>,
+        pool: std::sync::Arc<crate::pool::WorkerPool>,
+        depth: usize,
+    ) -> Self {
+        assert!(depth > 0, "overlap depth must be at least one row");
+        let mut this = Self::new(wfst, opts, scratch, scorer);
+        this.overlap = Some(OverlapState {
+            pool,
+            depth,
+            queue: AlbQueue::new(),
+            stage: Vec::new(),
+        });
+        this
     }
 
     /// Feeds raw 16 kHz samples, in any chunking; completed frames are
@@ -369,7 +503,11 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
     /// semantics). Allocation-free per frame once warm.
     pub fn push_samples(&mut self, samples: &[f32]) {
         self.scorer.push_samples(samples);
-        self.drain_rows();
+        if self.overlap.is_some() {
+            self.drain_rows_overlapped();
+        } else {
+            self.drain_rows();
+        }
     }
 
     /// Frames the search has consumed so far.
@@ -387,6 +525,20 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
     /// result plus the recovered scratch and front-end (for pooling).
     pub fn finish(mut self) -> (DecodeResult, DecodeScratch, OnlineScorer<S>) {
         self.scorer.finish();
+        if self.overlap.is_some() {
+            self.drain_rows_overlapped();
+            let overlap = self.overlap.as_mut().expect("overlap mode");
+            // Relax every ready row but the last, which takes the batch
+            // decoder's end-of-utterance treatment below.
+            while overlap.queue.ready_len() > 1 {
+                let row = overlap.queue.pop_ready().expect("len checked");
+                self.decode.step(&row);
+                overlap.queue.recycle(row);
+            }
+            let last = overlap.queue.pop_ready();
+            let (result, scratch) = self.decode.finish(last.as_deref());
+            return (result, scratch, self.scorer);
+        }
         self.drain_rows();
         let last = self.alb.front();
         let (result, scratch) = self.decode.finish(last);
@@ -399,6 +551,74 @@ impl<G: Deref<Target = Wfst>, S: FrameScorer> AudioStreamingDecode<G, S> {
                 self.decode.step(front);
             }
             self.alb.commit();
+        }
+    }
+
+    /// One multi-row ALB batch per iteration: pop one scored row inline
+    /// (its existence proves no currently-ready row is the utterance's
+    /// final row), then fork-join — chunk 0 relaxes every ready row
+    /// through the search in FIFO order while chunk 1 pulls up to
+    /// `depth - 1` further rows out of the scorer. Rows enter the ready
+    /// queue in frame order, so the search consumes the exact sequence
+    /// the inline path would.
+    fn drain_rows_overlapped(&mut self) {
+        let row_len = self.scorer.row_len();
+        loop {
+            let overlap = self.overlap.as_mut().expect("overlap mode");
+            let mut first = overlap.queue.checkout(row_len);
+            if !self.scorer.pop_row_into(&mut first) {
+                overlap.queue.recycle(first);
+                return;
+            }
+            let extra = overlap.depth - 1;
+            if overlap.queue.ready_len() == 0 && extra == 0 {
+                // Nothing to overlap: the scored row just becomes ready.
+                overlap.queue.push_ready(first);
+                continue;
+            }
+            while overlap.stage.len() < extra {
+                overlap.stage.push(Vec::new());
+            }
+            for buf in overlap.stage.iter_mut().take(extra) {
+                buf.resize(row_len, 0.0);
+            }
+            let queue = &overlap.queue;
+            let decode_slot = std::sync::Mutex::new(&mut self.decode);
+            let score_slot =
+                std::sync::Mutex::new((&mut self.scorer, &mut overlap.stage[..extra], 0usize));
+            overlap.pool.fork_join(2, &|chunk| {
+                if chunk == 0 {
+                    let mut decode = decode_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for row in queue.ready_rows() {
+                        decode.step(row);
+                    }
+                } else {
+                    let mut slot = score_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let (scorer, stage, produced) = &mut *slot;
+                    for buf in stage.iter_mut() {
+                        if !scorer.pop_row_into(buf) {
+                            break;
+                        }
+                        *produced += 1;
+                    }
+                }
+            });
+            let (_, _, produced) = score_slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let overlap = self.overlap.as_mut().expect("overlap mode");
+            let stepped = overlap.queue.ready_len();
+            overlap.queue.retire(stepped);
+            overlap.queue.push_ready(first);
+            for i in 0..produced {
+                let refill = overlap.queue.checkout(0);
+                let row = std::mem::replace(&mut overlap.stage[i], refill);
+                overlap.queue.push_ready(row);
+            }
         }
     }
 }
@@ -660,5 +880,75 @@ mod tests {
         assert_eq!(streamed.cost.to_bits(), batch.cost.to_bits());
         assert_eq!(streamed.words, batch.words);
         assert_eq!(streamed.stats.frames.len(), batch.stats.frames.len());
+    }
+
+    #[test]
+    fn alb_queue_recycles_buffers_and_keeps_fifo_order() {
+        let mut q = AlbQueue::new();
+        assert_eq!(q.ready_len(), 0);
+        for v in 1..=3 {
+            let mut row = q.checkout(2);
+            row.fill(v as f32);
+            q.push_ready(row);
+        }
+        let rows: Vec<f32> = q.ready_rows().map(|r| r[0]).collect();
+        assert_eq!(rows, vec![1.0, 2.0, 3.0], "FIFO frame order");
+        q.retire(2);
+        assert_eq!(q.ready_len(), 1);
+        // Retired buffers come back out of the free list.
+        let recycled = q.checkout(2);
+        assert_eq!(recycled.len(), 2);
+        q.recycle(recycled);
+        let last = q.pop_ready().expect("one row left");
+        assert_eq!(last[0], 3.0);
+        assert!(q.pop_ready().is_none());
+    }
+
+    #[test]
+    fn overlapped_multi_row_audio_decode_matches_inline_for_every_depth() {
+        use crate::pool::WorkerPool;
+        use asr_acoustic::signal::{render_phones, SignalConfig};
+        use asr_acoustic::template::TemplateScorer;
+        use asr_wfst::PhoneId;
+        use std::sync::Arc;
+
+        let w = SynthWfst::generate(&SynthConfig::with_states(800)).unwrap();
+        let scorer = TemplateScorer::with_default_signal(w.num_phones() - 1);
+        let audio = render_phones(
+            &[PhoneId(1), PhoneId(3), PhoneId(2), PhoneId(4)],
+            5,
+            &SignalConfig::default(),
+        );
+        let opts = DecodeOptions::with_beam(8.0);
+        let batch_scores = scorer.score_waveform(&audio);
+        let batch = ViterbiDecoder::new(opts.clone()).decode(&w, &batch_scores);
+
+        let pool = Arc::new(WorkerPool::new(2));
+        for depth in [1usize, 2, 4, 7] {
+            for chunk in [160usize, 517] {
+                let online = OnlineScorer::new(*scorer.mfcc_config(), &scorer);
+                let mut d = AudioStreamingDecode::with_overlap(
+                    &w,
+                    opts.clone(),
+                    DecodeScratch::new(w.num_states()),
+                    online,
+                    Arc::clone(&pool),
+                    depth,
+                );
+                for piece in audio.chunks(chunk) {
+                    d.push_samples(piece);
+                }
+                let (result, _, _) = d.finish();
+                assert_eq!(
+                    result.cost.to_bits(),
+                    batch.cost.to_bits(),
+                    "depth {depth} chunk {chunk}"
+                );
+                assert_eq!(result.words, batch.words, "depth {depth} chunk {chunk}");
+                assert_eq!(result.best_state, batch.best_state);
+                assert_eq!(result.reached_final, batch.reached_final);
+                assert_eq!(result.lattice.len(), batch.lattice.len());
+            }
+        }
     }
 }

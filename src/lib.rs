@@ -58,5 +58,6 @@ pub mod runtime;
 pub use pipeline::{AsrPipeline, StreamingSession};
 pub use runtime::{
     AsrRuntime, BatchScoringConfig, BatchScoringStats, Hypothesis, PipelineError, QosPolicy,
-    QosTier, RuntimeConfig, RuntimeError, RuntimeStats, Session, SessionOptions, Transcript,
+    QosTier, RuntimeConfig, RuntimeError, RuntimeStats, ScoresRoute, Session, SessionOptions,
+    Transcript,
 };

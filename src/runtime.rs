@@ -96,7 +96,7 @@ use asr_acoustic::template::TemplateScorer;
 use asr_decoder::parallel::ParallelDecoder;
 use asr_decoder::pool::{ScratchPool, ScratchPoolStats, WorkerPool, WorkerPoolStats};
 use asr_decoder::search::DecodeOptions;
-use asr_decoder::stream::{AlbHandoff, StreamingDecode};
+use asr_decoder::stream::{AlbHandoff, AlbQueue, StreamingDecode};
 use asr_decoder::wer;
 use asr_wfst::compose::build_decoding_graph;
 use asr_wfst::grammar::Grammar;
@@ -443,9 +443,16 @@ pub struct BatchScoringStats {
     /// Flushes whose gather target had been widened past the live
     /// session count by the pressure signal.
     pub widened_flushes: u64,
+    /// Flushes performed by an idle executor lane draining a partially
+    /// filled gather window (rows that would otherwise have waited for
+    /// the next submitter).
+    pub idle_flushes: u64,
     /// Sessions currently registered with the service (audio-fed
     /// sessions that have pushed at least one sample).
     pub open_slots: usize,
+    /// Rows sitting in the gather window right now, awaiting the next
+    /// flush (by a submitter or an idle lane).
+    pub pending_rows: usize,
 }
 
 /// Configuration of the cross-session batched scoring service, as a
@@ -656,6 +663,7 @@ struct BatchService {
     single_row_fallbacks: AtomicU64,
     widest_batch: AtomicUsize,
     widened_flushes: AtomicU64,
+    idle_flushes: AtomicU64,
 }
 
 impl BatchService {
@@ -682,6 +690,7 @@ impl BatchService {
             single_row_fallbacks: AtomicU64::new(0),
             widest_batch: AtomicUsize::new(0),
             widened_flushes: AtomicU64::new(0),
+            idle_flushes: AtomicU64::new(0),
         }
     }
 
@@ -690,13 +699,19 @@ impl BatchService {
     }
 
     fn stats(&self) -> BatchScoringStats {
+        let (live, pending) = {
+            let st = self.lock();
+            (st.live, st.pending)
+        };
         BatchScoringStats {
             batches: self.batches.load(Ordering::Acquire),
             batched_rows: self.batched_rows.load(Ordering::Acquire),
             single_row_fallbacks: self.single_row_fallbacks.load(Ordering::Acquire),
             widest_batch: self.widest_batch.load(Ordering::Acquire),
             widened_flushes: self.widened_flushes.load(Ordering::Acquire),
-            open_slots: self.lock().live,
+            idle_flushes: self.idle_flushes.load(Ordering::Acquire),
+            open_slots: live,
+            pending_rows: pending,
         }
     }
 }
@@ -731,6 +746,28 @@ pub struct RuntimeConfig {
     qos: Option<QosPolicy>,
     acoustic: AcousticSpec,
     batch: Option<BatchScoringConfig>,
+    scores_route: ScoresRoute,
+    scores_threshold: usize,
+}
+
+/// Which decode path [`AsrRuntime::recognize_scores`] takes, from
+/// [`RuntimeConfig::scores_route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoresRoute {
+    /// Decide by graph size: lease the shared-pool parallel batch
+    /// decoder when the graph has more than
+    /// [`RuntimeConfig::parallel_scores_threshold`] states (where its
+    /// per-frame shard fan-out amortizes), the session path otherwise.
+    /// Runtimes with a [`QosPolicy`] always take the session path —
+    /// adaptive tiers only exist there.
+    #[default]
+    Auto,
+    /// Always the session path.
+    Session,
+    /// Always the leased parallel decoder (inline on a one-lane
+    /// runtime). Decodes at the runtime's base [`DecodeOptions`],
+    /// bypassing any QoS tiers.
+    Parallel,
 }
 
 /// Which acoustic backend [`RuntimeConfig`] builds the runtime with.
@@ -751,9 +788,17 @@ impl Default for RuntimeConfig {
             qos: None,
             acoustic: AcousticSpec::Template,
             batch: None,
+            scores_route: ScoresRoute::Auto,
+            scores_threshold: DEFAULT_SCORES_THRESHOLD,
         }
     }
 }
+
+/// The default [`ScoresRoute::Auto`] graph-size threshold, in states.
+/// Tuned by `bench_serving`'s large-graph sweep: below ~20k states the
+/// per-frame shard fan-out costs more than it wins; at 50k states the
+/// leased decoder runs ~1.1–1.2× faster than the session path.
+const DEFAULT_SCORES_THRESHOLD: usize = 20_000;
 
 impl RuntimeConfig {
     /// The default configuration (see [`RuntimeConfig::default`]).
@@ -832,6 +877,25 @@ impl RuntimeConfig {
         self.batch = Some(cfg);
         self
     }
+
+    /// Overrides which path [`AsrRuntime::recognize_scores`] decodes on:
+    /// [`ScoresRoute::Auto`] (the default) leases the shared-pool
+    /// parallel decoder above the graph-size threshold,
+    /// [`ScoresRoute::Session`]/[`ScoresRoute::Parallel`] force one path
+    /// unconditionally. Every route is byte-identical — the parallel
+    /// decoder's per-frame shard phases reduce in one fold order.
+    pub fn scores_route(mut self, route: ScoresRoute) -> Self {
+        self.scores_route = route;
+        self
+    }
+
+    /// Sets the [`ScoresRoute::Auto`] graph-size threshold: pre-scored
+    /// batch decodes lease the parallel decoder when the graph has more
+    /// than `states` states.
+    pub fn parallel_scores_threshold(mut self, states: usize) -> Self {
+        self.scores_threshold = states;
+        self
+    }
 }
 
 /// Per-session options for [`AsrRuntime::open_session_with`], as a
@@ -841,6 +905,8 @@ pub struct SessionOptions {
     /// `None` = automatic: overlap scoring with the search whenever the
     /// runtime's executor has more than one lane.
     overlap: Option<bool>,
+    /// `None` = depth 1: the classic single-row Section VI overlap.
+    overlap_depth: Option<usize>,
     /// `None` = automatic: follow the runtime's [`QosPolicy`] tier
     /// whenever one is installed.
     qos: Option<bool>,
@@ -866,6 +932,27 @@ impl SessionOptions {
     /// execution on a one-lane runtime).
     pub fn overlap_scoring(mut self, overlap: bool) -> Self {
         self.overlap = Some(overlap);
+        self
+    }
+
+    /// Widens the scoring/search overlap to multi-row ALB batches: each
+    /// push runs fork-joins that score up to `depth` future rows as
+    /// independent executor tasks *while* the search relaxes every
+    /// already-scored row — the paper's Acoustic Likelihood Buffer as a
+    /// multi-frame batch buffer. `1` (the default) is the classic
+    /// single-row overlap. Transcripts are byte-identical for any depth:
+    /// row order and per-row arithmetic never change, only when rows are
+    /// scored. [`Session::partial`] may lag the pushes by up to `depth`
+    /// rows instead of one. Ignored when the session scores inline (a
+    /// one-lane runtime or [`SessionOptions::overlap_scoring`]`(false)`)
+    /// or joins the batched scoring service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn overlap_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "overlap_depth must be at least 1");
+        self.overlap_depth = Some(depth);
         self
     }
 
@@ -921,6 +1008,12 @@ struct SessionFrontend {
     /// then warm).
     x: Vec<f32>,
     y: Vec<f32>,
+    /// Gathered feature frames for one multi-row overlap batch (empty
+    /// until a session uses `overlap_depth > 1`, then warm in the pool).
+    batch_feats: Vec<Vec<f32>>,
+    /// Per-task MLP activation scratch for the multi-row batch — one
+    /// `(x, y)` pair per concurrently scored row.
+    batch_scratch: Vec<(Vec<f32>, Vec<f32>)>,
 }
 
 /// Engine state shared by every clone of a runtime handle and every
@@ -947,6 +1040,14 @@ struct RuntimeInner {
     frames_per_phone: usize,
     /// The load-adaptive degradation policy, when one is installed.
     qos: Option<QosPolicy>,
+    /// How [`AsrRuntime::recognize_scores`] picks its decode path.
+    scores_route: ScoresRoute,
+    /// The [`ScoresRoute::Auto`] graph-size threshold, in states.
+    scores_threshold: usize,
+    /// The leased parallel batch decoder behind the `recognize_scores`
+    /// auto-route, built on first use and reused (its idle working sets
+    /// pool like decode scratches).
+    parallel: OnceLock<ParallelDecoder>,
     /// Pressure bookkeeping: session counts always, frame timing and
     /// tier selection only when `qos` is present.
     monitor: PressureMonitor,
@@ -974,6 +1075,8 @@ impl RuntimeInner {
                     row: vec![0.0; self.model.row_len()],
                     x: Vec::new(),
                     y: Vec::new(),
+                    batch_feats: Vec::new(),
+                    batch_scratch: Vec::new(),
                 }
             }
         }
@@ -1168,9 +1271,9 @@ impl RuntimeInner {
             if target > base {
                 svc.widened_flushes.fetch_add(1, Ordering::Relaxed);
             }
-            self.flush_batch_locked(svc, state);
+            self.flush_batch_locked(svc, state, true);
         } else if state.slots[handle.index].in_flight > svc.cfg.max_wait_frames {
-            self.flush_batch_locked(svc, state);
+            self.flush_batch_locked(svc, state, true);
         }
         SubmitOutcome::Queued
     }
@@ -1203,8 +1306,10 @@ impl RuntimeInner {
     /// service lock held (see [`BatchState`]); on a multi-lane runtime
     /// the block is sharded across pool lanes, which cannot change a
     /// single byte because every output row depends only on its own
-    /// feature vector.
-    fn flush_batch_locked(&self, svc: &BatchService, st: &mut BatchState) {
+    /// feature vector. `sharded: false` forces the inline block path —
+    /// the idle-flush hook runs *on* a pool lane, so it must not
+    /// fork-join back into the same pool.
+    fn flush_batch_locked(&self, svc: &BatchService, st: &mut BatchState, sharded: bool) {
         let rows = st.pending;
         if rows == 0 {
             return;
@@ -1215,7 +1320,11 @@ impl RuntimeInner {
             let feats = &st.feats[..rows * fd];
             let out = &mut st.out[..rows * rl];
             let scratch = &mut st.scratch[..self.model.block_scratch_len(rows)];
-            let chunks = self.executor.get().map_or(1, |p| p.lanes().min(rows));
+            let chunks = if sharded {
+                self.executor.get().map_or(1, |p| p.lanes().min(rows))
+            } else {
+                1
+            };
             if chunks > 1 {
                 let pool = self.executor.get().expect("chunks > 1 implies a pool");
                 let per = rows.div_ceil(chunks);
@@ -1307,8 +1416,32 @@ impl RuntimeInner {
         let slot = &state.slots[handle.index];
         debug_assert!(slot.live && slot.gen == handle.gen, "stale batch slot");
         if slot.in_flight > 0 {
-            self.flush_batch_locked(svc, state);
+            self.flush_batch_locked(svc, state, true);
         }
+    }
+
+    /// The executor's idle hook: a lane about to park drains a partially
+    /// filled gather window instead of leaving those rows to wait on the
+    /// next submitter (PR 7's "remaining headroom"). `try_lock` only — a
+    /// parking lane must never contend with the submit hot path — and
+    /// the block scores inline on the idle lane itself, because the hook
+    /// runs *on* a pool lane and must not fork-join back into the same
+    /// pool. Returns whether it flushed anything (the hook contract:
+    /// `true` re-scans for work instead of parking).
+    fn try_idle_flush(&self) -> bool {
+        let Some(svc) = self.batch.as_ref() else {
+            return false;
+        };
+        let Ok(mut st) = svc.state.try_lock() else {
+            return false;
+        };
+        let state = &mut *st;
+        if state.pending == 0 {
+            return false;
+        }
+        self.flush_batch_locked(svc, state, false);
+        svc.idle_flushes.fetch_add(1, Ordering::Relaxed);
+        true
     }
 }
 
@@ -1324,6 +1457,22 @@ struct BlockShards {
 // (see `flush_batch_locked`), so sharing the base pointers is sound.
 unsafe impl Send for BlockShards {}
 unsafe impl Sync for BlockShards {}
+
+/// Raw-pointer shards of one multi-row overlap batch: scoring chunk
+/// `i + 1` works its own `(feats[i], rows[i], scratch[i])` triple while
+/// chunk 0 steps the search, so no two tasks touch the same element.
+#[derive(Clone, Copy)]
+struct RowShards {
+    feats: *const Vec<f32>,
+    rows: *mut Vec<f32>,
+    scratch: *mut (Vec<f32>, Vec<f32>),
+}
+
+// SAFETY: each fork-join chunk dereferences exactly one index of each
+// base pointer and the indices are disjoint across chunks (see
+// `Session::drain_frontend_multi`), so sharing the pointers is sound.
+unsafe impl Send for RowShards {}
+unsafe impl Sync for RowShards {}
 
 /// The shared serving runtime: engine state plus one global
 /// work-stealing executor, handing out owned [`Session`]s.
@@ -1421,6 +1570,9 @@ impl AsrRuntime {
                 executor: OnceLock::new(),
                 frames_per_phone: config.frames_per_phone,
                 qos: config.qos,
+                scores_route: config.scores_route,
+                scores_threshold: config.scores_threshold,
+                parallel: OnceLock::new(),
                 monitor: PressureMonitor::default(),
             }),
         }
@@ -1511,11 +1663,18 @@ impl AsrRuntime {
         if self.inner.lanes <= 1 {
             return None;
         }
-        Some(
-            self.inner
-                .executor
-                .get_or_init(|| Arc::new(WorkerPool::new(self.inner.lanes))),
-        )
+        Some(self.inner.executor.get_or_init(|| {
+            let pool = Arc::new(WorkerPool::new(self.inner.lanes));
+            if self.inner.batch.is_some() {
+                // Weak, so the hook (owned by the pool, owned by the
+                // runtime) never keeps the runtime alive.
+                let inner = Arc::downgrade(&self.inner);
+                pool.set_idle_hook(Box::new(move || {
+                    inner.upgrade().is_some_and(|rt| rt.try_idle_flush())
+                }));
+            }
+            pool
+        }))
     }
 
     /// Leases a parallel batch decoder on the runtime's shared executor
@@ -1582,13 +1741,56 @@ impl AsrRuntime {
     }
 
     /// Recognizes a pre-scored utterance (the accelerator-style
-    /// deployment, where the acoustic model runs elsewhere): a one-shot
+    /// deployment, where the acoustic model runs elsewhere). On small
+    /// graphs (or with [`ScoresRoute::Session`]) this is a one-shot
     /// [`Session`] fed the score rows, riding a warmed scratch from the
-    /// shared pool.
+    /// shared pool; above the [`ScoresRoute::Auto`] graph-size threshold
+    /// it leases the parallel batch decoder instead, sharding every
+    /// frame across the executor's lanes. Both paths are byte-identical
+    /// (the parallel decoder reduces its shard phases in one fold
+    /// order), so the route is purely a throughput decision.
     pub fn recognize_scores(&self, scores: &AcousticTable) -> Transcript {
+        if self.route_scores_parallel() {
+            return self.recognize_scores_leased(scores);
+        }
         let mut session = self.open_session();
         session.push_frames(scores);
         session.finalize()
+    }
+
+    /// Whether [`AsrRuntime::recognize_scores`] should lease the
+    /// parallel decoder for this runtime's graph.
+    fn route_scores_parallel(&self) -> bool {
+        match self.inner.scores_route {
+            ScoresRoute::Session => false,
+            ScoresRoute::Parallel => true,
+            ScoresRoute::Auto => {
+                // QoS tiers and admission only exist on the session
+                // path, so a policy pins the auto-route there.
+                self.inner.qos.is_none()
+                    && self.inner.lanes > 1
+                    && self.inner.graph.num_states() > self.inner.scores_threshold
+            }
+        }
+    }
+
+    /// The leased-decoder half of [`AsrRuntime::recognize_scores`]:
+    /// decodes on the runtime's cached [`ParallelDecoder`], counting the
+    /// decode as a session so pressure accounting stays truthful.
+    fn recognize_scores_leased(&self, scores: &AcousticTable) -> Transcript {
+        self.inner.session_opened();
+        let decoder = self
+            .inner
+            .parallel
+            .get_or_init(|| self.lease_decoder())
+            .decode(&self.inner.graph, scores);
+        let transcript = Transcript {
+            words: self.inner.lexicon.transcript(&decoder.words),
+            cost: decoder.cost,
+            reached_final: decoder.reached_final,
+        };
+        self.inner.session_closed();
+        transcript
     }
 
     /// Opens an owned streaming session with default [`SessionOptions`].
@@ -1719,6 +1921,9 @@ impl AsrRuntime {
             frontend: None,
             executor,
             alb: AlbHandoff::new(),
+            overlap_depth: options.overlap_depth.unwrap_or(1),
+            alb_queue: AlbQueue::new(),
+            batch_rows: Vec::new(),
             frames_pushed: 0,
             qos_enabled,
             pinned_tier: options.pinned_tier,
@@ -1834,6 +2039,14 @@ pub struct Session {
     /// the search, which consumes the held-back front row (last-frame
     /// semantics live in [`AlbHandoff`]).
     alb: AlbHandoff,
+    /// How many future rows one overlap fork-join may score (1 = the
+    /// classic single-row overlap through `alb`).
+    overlap_depth: usize,
+    /// The multi-row ready FIFO; empty (and untouched) at depth 1.
+    alb_queue: AlbQueue,
+    /// Landing buffers the scoring tasks of one multi-row batch write
+    /// into, recycled through `alb_queue`'s free list.
+    batch_rows: Vec<Vec<f32>>,
     frames_pushed: usize,
     /// Whether this session follows the runtime's QoS policy (always
     /// `false` without a policy).
@@ -1884,12 +2097,124 @@ impl Session {
     /// otherwise overlapping scoring with the search when an executor
     /// is attached.
     fn drain_frontend(&mut self, frontend: &mut SessionFrontend) {
+        if self.overlap_depth > 1 && self.batch_slot.is_none() && self.executor.is_some() {
+            self.drain_frontend_multi(frontend);
+            return;
+        }
         while frontend.mfcc.pop_frame_into(&mut frontend.feat) {
             if self.batch_slot.is_some() {
                 self.score_batched(frontend);
             } else {
                 self.score_and_stage(frontend);
             }
+        }
+    }
+
+    /// The multi-row drain: gather up to [`SessionOptions::overlap_depth`]
+    /// completed feature frames, then run ONE fork-join in which chunk 0
+    /// relaxes every already-scored ready row through the search while
+    /// chunks `1..=n` score the gathered features into fresh rows — the
+    /// paper's ALB as a multi-frame batch buffer, feeding the lock-free
+    /// executor `n` independent tasks per frame batch instead of one.
+    ///
+    /// Stepping *all* ready rows is safe: a batch only launches when at
+    /// least one new feature frame was gathered, so every currently
+    /// ready row is strictly older than a row still to come — none can
+    /// be the utterance's final row, which [`Session::finalize`] must
+    /// hand to `finish` instead.
+    ///
+    /// Determinism: the search relaxes rows in FIFO frame order, and each
+    /// row's scores come from the same per-row arithmetic as the inline
+    /// path — the fork-join changes *when* rows are scored, never their
+    /// order or values, for any lane count or steal schedule. QoS
+    /// retunes land once per batch, still at a frame boundary.
+    fn drain_frontend_multi(&mut self, frontend: &mut SessionFrontend) {
+        // A row held back by the single-row handoff (e.g. a push_row
+        // before the first push_samples) migrates into the queue so the
+        // search still consumes every row in push order.
+        let mut migrated = self.alb_queue.checkout(0);
+        if self.alb.take_front_into(&mut migrated) {
+            self.alb_queue.push_ready(migrated);
+        } else {
+            self.alb_queue.recycle(migrated);
+        }
+        let dim = frontend.mfcc.dim();
+        let row_len = self.runtime.model.row_len();
+        loop {
+            // Gather up to `depth` completed frames into warm buffers.
+            let mut gathered = 0;
+            while gathered < self.overlap_depth {
+                if frontend.batch_feats.len() == gathered {
+                    frontend.batch_feats.push(vec![0.0; dim]);
+                }
+                frontend.batch_feats[gathered].resize(dim, 0.0);
+                if !frontend
+                    .mfcc
+                    .pop_frame_into(&mut frontend.batch_feats[gathered])
+                {
+                    break;
+                }
+                gathered += 1;
+            }
+            if gathered == 0 {
+                return;
+            }
+            while frontend.batch_scratch.len() < gathered {
+                frontend.batch_scratch.push((Vec::new(), Vec::new()));
+            }
+            while self.batch_rows.len() < gathered {
+                let row = self.alb_queue.checkout(row_len);
+                self.batch_rows.push(row);
+            }
+            for row in &mut self.batch_rows[..gathered] {
+                row.resize(row_len, 0.0);
+            }
+
+            self.apply_qos();
+            let timer = self.frame_timer();
+            let stepped = self.alb_queue.ready_len();
+            {
+                let model = &self.runtime.model;
+                let pool = self
+                    .executor
+                    .as_ref()
+                    .expect("multi-row drain has an executor");
+                let decode_slot = Mutex::new(self.decode.as_mut().expect("session not finalized"));
+                let queue = &self.alb_queue;
+                let shards = RowShards {
+                    feats: frontend.batch_feats.as_ptr(),
+                    rows: self.batch_rows.as_mut_ptr(),
+                    scratch: frontend.batch_scratch.as_mut_ptr(),
+                };
+                pool.fork_join(1 + gathered, &|chunk| {
+                    if chunk == 0 {
+                        let mut decode = decode_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        for row in queue.ready_rows() {
+                            decode.step(row);
+                        }
+                    } else {
+                        // Capture the shard struct whole, not its raw
+                        // pointer fields, so the closure stays `Sync`.
+                        let shards = &shards;
+                        let i = chunk - 1;
+                        // SAFETY: chunk `i + 1` is the only task touching
+                        // index `i`, and `gathered` never exceeds the
+                        // buffers' lengths (sized above).
+                        let feat = unsafe { &*shards.feats.add(i) };
+                        let row = unsafe { &mut *shards.rows.add(i) };
+                        let (x, y) = unsafe { &mut *shards.scratch.add(i) };
+                        model.score_frame_into(feat, row, x, y);
+                    }
+                });
+            }
+            self.alb_queue.retire(stepped);
+            for i in 0..gathered {
+                let replacement = self.alb_queue.checkout(0);
+                let scored = std::mem::replace(&mut self.batch_rows[i], replacement);
+                self.alb_queue.push_ready(scored);
+            }
+            self.frames_pushed += gathered;
+            self.observe_frame_batch(timer, gathered);
         }
     }
 
@@ -2128,6 +2453,18 @@ impl Session {
         }
     }
 
+    /// Feeds one multi-row batch's wall time to the pressure monitor as
+    /// `rows` equal per-frame samples, keeping the RTF EWMA comparable
+    /// to the single-row path.
+    fn observe_frame_batch(&self, timer: Option<Instant>, rows: usize) {
+        if let Some(started) = timer {
+            let per_frame = started.elapsed() / rows as u32;
+            for _ in 0..rows {
+                self.runtime.observe_frame(per_frame);
+            }
+        }
+    }
+
     /// The current best hypothesis (empty words before any audio: the
     /// start state's closure), or `None` after the beam pruned every
     /// path or the session was finalized. The search runs one row behind
@@ -2159,6 +2496,27 @@ impl Session {
             self.runtime.restore_frontend(frontend);
         }
         self.flush_scoring();
+        // Multi-row sessions: the ready FIFO still holds rows the search
+        // has not consumed. Step all but the newest; the newest becomes
+        // the handoff front so the end-of-utterance treatment below
+        // applies to it unchanged.
+        while self.alb_queue.ready_len() > 1 {
+            let row = self.alb_queue.pop_ready().expect("length checked");
+            self.apply_qos();
+            if let Some(decode) = self.decode.as_mut() {
+                decode.step(&row);
+            }
+            self.alb_queue.recycle(row);
+        }
+        if let Some(last) = self.alb_queue.pop_ready() {
+            debug_assert!(
+                !self.alb.has_front(),
+                "multi-row sessions route every row through the queue"
+            );
+            self.alb.stage(&last);
+            self.alb.commit();
+            self.alb_queue.recycle(last);
+        }
         self.apply_qos();
         let decode = self.decode.take().expect("session not yet finalized");
         let (result, scratch) = decode.finish(self.alb.front());
@@ -2255,6 +2613,181 @@ mod tests {
         let batch = runtime.recognize_scores(&runtime.score(&audio));
         assert_eq!(overlapped.words, batch.words);
         assert_eq!(overlapped.cost.to_bits(), batch.cost.to_bits());
+    }
+
+    #[test]
+    fn multi_row_overlap_is_byte_identical_to_inline_for_every_depth() {
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+        let audio = runtime.render_words(&["play", "music"]).unwrap();
+        let inline = {
+            let mut session =
+                runtime.open_session_with(SessionOptions::new().overlap_scoring(false));
+            for packet in audio.samples.chunks(160) {
+                session.push_samples(packet);
+            }
+            session.finalize()
+        };
+        for depth in [2usize, 3, 5] {
+            for chunk in [160usize, 517] {
+                let mut session =
+                    runtime.open_session_with(SessionOptions::new().overlap_depth(depth));
+                for packet in audio.samples.chunks(chunk) {
+                    session.push_samples(packet);
+                }
+                let deep = session.finalize();
+                assert_eq!(deep.words, inline.words, "depth {depth} chunk {chunk}");
+                assert_eq!(
+                    deep.cost.to_bits(),
+                    inline.cost.to_bits(),
+                    "depth {depth} chunk {chunk}"
+                );
+                assert_eq!(deep.reached_final, inline.reached_final);
+            }
+        }
+    }
+
+    #[test]
+    fn idle_lane_flushes_a_partial_gather_window() {
+        let runtime = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(2)
+                .batch_scoring(BatchScoringConfig::new(16).max_wait_frames(8)),
+        )
+        .unwrap();
+        let audio = runtime.render_words(&["go"]).unwrap();
+        // Three registered sessions set the gather target to 3 rows, so
+        // single frames can sit in the window without tripping a submit
+        // flush. Registration happens on the first push; 100 samples
+        // complete no frame, so nothing pends yet.
+        let mut a = runtime.open_session();
+        let mut b = runtime.open_session();
+        let mut c = runtime.open_session();
+        a.push_samples(&audio.samples[..100]);
+        b.push_samples(&audio.samples[..100]);
+        c.push_samples(&audio.samples[..100]);
+        // Feed `a` in sub-frame chunks until the window holds a partial
+        // batch (pending > 0 and below the 3-row target).
+        let mut fed = 100;
+        while runtime
+            .stats()
+            .batch
+            .expect("service installed")
+            .pending_rows
+            == 0
+        {
+            assert!(
+                fed < audio.samples.len(),
+                "audio exhausted before a row pended"
+            );
+            let next = (fed + 170).min(audio.samples.len());
+            a.push_samples(&audio.samples[fed..next]);
+            fed = next;
+        }
+        // No submitter will touch the window now; waking the lanes runs
+        // the idle hook on their way back to parking, which must drain
+        // the partial window inline.
+        let pool = Arc::clone(runtime.executor().expect("two lanes"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let batch = runtime.stats().batch.expect("service installed");
+            if batch.idle_flushes > 0 && batch.pending_rows == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "idle lanes never flushed the gather window"
+            );
+            pool.fork_join(2, &|_| {});
+            std::thread::yield_now();
+        }
+        // The drained rows are real scores: the sessions still finalize
+        // to the exact batch-path transcripts.
+        a.push_samples(&audio.samples[fed..]);
+        assert_eq!(a.finalize().words, vec!["go"]);
+        drop((b, c));
+    }
+
+    #[test]
+    fn multi_row_session_migrates_a_pushed_row_into_the_queue() {
+        // A row pushed through the single-row handoff before the first
+        // audio push must still be searched first, in order, when the
+        // session then widens to multi-row batches.
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+        let audio = runtime.render_words(&["go"]).unwrap();
+        let scores = runtime.score(&audio);
+        let run = |options: SessionOptions| {
+            let mut session = runtime.open_session_with(options);
+            session.push_row(scores.frame_row(0));
+            for packet in audio.samples.chunks(160) {
+                session.push_samples(packet);
+            }
+            session.finalize()
+        };
+        let inline = run(SessionOptions::new().overlap_scoring(false));
+        let deep = run(SessionOptions::new().overlap_depth(3));
+        assert_eq!(deep.words, inline.words);
+        assert_eq!(deep.cost.to_bits(), inline.cost.to_bits());
+        assert_eq!(deep.reached_final, inline.reached_final);
+    }
+
+    #[test]
+    fn scores_route_override_forces_each_path_and_stays_identical() {
+        let demo = |route| {
+            AsrRuntime::demo_with(RuntimeConfig::new().lanes(2).scores_route(route)).unwrap()
+        };
+        let sessioned = demo(ScoresRoute::Session);
+        let audio = sessioned.render_words(&["call", "mom"]).unwrap();
+        let scores = sessioned.score(&audio);
+        let base = sessioned.recognize_scores(&scores);
+        assert_eq!(base.words, vec!["call", "mom"]);
+
+        let leased = demo(ScoresRoute::Parallel);
+        let routed = leased.recognize_scores(&scores);
+        assert_eq!(routed.words, base.words);
+        assert_eq!(routed.cost.to_bits(), base.cost.to_bits());
+        assert_eq!(routed.reached_final, base.reached_final);
+        let stats = leased.stats();
+        let executor = stats.executor.expect("the leased decode forks on the pool");
+        assert!(executor.jobs_submitted > 0, "frames sharded across lanes");
+        assert_eq!(stats.active_sessions, 0);
+        assert_eq!(
+            stats.peak_sessions, 1,
+            "the leased decode counted as a session"
+        );
+    }
+
+    #[test]
+    fn auto_route_engages_above_the_graph_threshold() {
+        // The demo graph is far below the default threshold: auto takes
+        // the session path even with lanes to lease.
+        let auto = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+        assert!(!auto.route_scores_parallel());
+        // Dropping the threshold below the graph size flips the route...
+        let routed =
+            AsrRuntime::demo_with(RuntimeConfig::new().lanes(2).parallel_scores_threshold(0))
+                .unwrap();
+        assert!(routed.route_scores_parallel());
+        // ...without changing a byte.
+        let audio = auto.render_words(&["lights", "on"]).unwrap();
+        let scores = auto.score(&audio);
+        let a = auto.recognize_scores(&scores);
+        let b = routed.recognize_scores(&scores);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        // A QoS policy pins the auto-route to the session path, where
+        // the tiers live.
+        let qos = AsrRuntime::demo_with(
+            RuntimeConfig::new()
+                .lanes(2)
+                .parallel_scores_threshold(0)
+                .qos(QosPolicy::new()),
+        )
+        .unwrap();
+        assert!(!qos.route_scores_parallel());
+        // One-lane runtimes have nothing to lease.
+        let one = AsrRuntime::demo_with(RuntimeConfig::new().lanes(1).parallel_scores_threshold(0))
+            .unwrap();
+        assert!(!one.route_scores_parallel());
     }
 
     #[test]

@@ -221,6 +221,52 @@ fn runtime_session_pushes_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn multi_row_session_pushes_are_allocation_free_after_warmup() {
+    let _guard = serialized();
+    // Depth-3 ALB batches on two lanes: the counted region covers the
+    // frame gather, the (1 + n)-chunk fork-join, the ready-FIFO
+    // retire/recycle cycle, and the executor handoff. The queue's free
+    // list recycles every row buffer, so the steady state must not
+    // allocate per frame — or per batch.
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+    let words = [
+        "play", "music", "play", "music", "play", "music", "play", "music", "play", "music",
+    ];
+    let audio = runtime.render_words(&words).unwrap();
+    // Warm the shared pools (front-end, scratch, executor) once.
+    {
+        let mut session = runtime.open_session_with(SessionOptions::new().overlap_depth(3));
+        session.push_samples(&audio.samples);
+        session.finalize();
+    }
+
+    let mut session = runtime.open_session_with(SessionOptions::new().overlap_depth(3));
+    let chunks: Vec<&[f32]> = audio.samples.chunks(160).collect();
+    // The session-local row queue and batch buffers warm during the
+    // first two thirds; the tail must ride them.
+    let tail_start = chunks.len() * 2 / 3;
+    for piece in &chunks[..tail_start] {
+        session.push_samples(piece);
+    }
+    let steady = count_allocs(|| {
+        for piece in &chunks[tail_start..] {
+            session.push_samples(piece);
+        }
+    });
+    let frames = (chunks.len() - tail_start) as u64;
+    assert!(
+        frames >= 40,
+        "workload too small to separate per-frame allocation from noise"
+    );
+    assert!(
+        steady <= 8,
+        "{frames} steady-state multi-row pushes performed {steady} allocations: \
+         the ALB batch path is allocating per frame"
+    );
+    drop(session);
+}
+
+#[test]
 fn batched_session_pushes_are_allocation_free_after_warmup() {
     let _guard = serialized();
     // Two sessions sharing the gather window: the counted region is the

@@ -6,11 +6,12 @@
 //! 1. [`Session`] is owned, `Send + 'static` — it can be spawned into
 //!    plain (non-scoped) threads and migrate between threads
 //!    mid-utterance.
-//! 2. Eight (and more) concurrent sessions on **one** runtime — one
-//!    scratch pool, one work-stealing executor — produce transcripts
-//!    byte-identical to a fresh sequential [`ViterbiDecoder`] on the
-//!    same inputs, across raw-audio, pre-scored, and overlapped
-//!    sessions.
+//! 2. Eight — and sixteen, and thirty-two — concurrent sessions on
+//!    **one** runtime — one scratch pool, one lock-free work-stealing
+//!    executor — produce transcripts byte-identical to a fresh
+//!    sequential [`ViterbiDecoder`] on the same inputs, across
+//!    raw-audio, pre-scored, single-row overlapped, and multi-row
+//!    overlapped sessions, for any lane count and steal schedule.
 //! 3. The shared pools stay bounded: the scratch pool's high-water mark
 //!    tracks peak concurrency, and once warm the cold-checkout counter
 //!    stops moving.
@@ -109,6 +110,117 @@ fn eight_concurrent_sessions_on_one_pool_are_byte_identical() {
         stats.cold_checkouts
     );
     assert_eq!(stats.checkouts(), 8 * 6);
+}
+
+#[test]
+fn sixteen_and_thirty_two_concurrent_sessions_are_byte_identical() {
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(3)).unwrap();
+    let utterances: Vec<Vec<&str>> = vec![
+        vec!["go"],
+        vec!["stop"],
+        vec!["lights", "on"],
+        vec!["call", "mom"],
+    ];
+    let expected: Vec<(Vec<String>, u32)> = utterances
+        .iter()
+        .map(|w| sequential_reference(&runtime, w))
+        .collect();
+    let audio: Vec<_> = utterances
+        .iter()
+        .map(|w| runtime.render_words(w).unwrap())
+        .collect();
+    let scored: Vec<_> = audio.iter().map(|a| runtime.score(a)).collect();
+
+    let mut total = 0;
+    for sessions in [16usize, 32] {
+        total += sessions;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..sessions {
+                let runtime = &runtime;
+                let audio = &audio;
+                let scored = &scored;
+                let expected = &expected;
+                handles.push(scope.spawn(move || {
+                    let i = worker % audio.len();
+                    let transcript = match worker % 3 {
+                        0 => {
+                            // Multi-row ALB batches, varied depth and
+                            // packet size per worker.
+                            let depth = 2 + worker % 3;
+                            let mut session = runtime
+                                .open_session_with(SessionOptions::new().overlap_depth(depth));
+                            for packet in audio[i].samples.chunks(160 + 37 * (worker % 5)) {
+                                session.push_samples(packet);
+                            }
+                            session.finalize()
+                        }
+                        1 => {
+                            // Classic single-row overlap.
+                            let mut session = runtime.open_session();
+                            session.push_samples(&audio[i].samples);
+                            session.finalize()
+                        }
+                        _ => {
+                            // Pre-scored rows through the same pool.
+                            let mut session = runtime.open_session();
+                            session.push_frames(&scored[i]);
+                            session.finalize()
+                        }
+                    };
+                    assert_eq!(transcript.words, expected[i].0, "worker {worker}");
+                    assert_eq!(transcript.cost.to_bits(), expected[i].1, "worker {worker}");
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("session worker");
+            }
+        });
+    }
+    let stats = runtime.scratch_pool().stats();
+    assert_eq!(
+        stats.checkouts(),
+        stats.restores,
+        "every scratch came home across {total} sessions"
+    );
+}
+
+#[test]
+fn seeded_lane_depth_matrix_pins_determinism_of_the_lock_free_deques() {
+    // A seeded LCG drives a (lanes × overlap_depth × chunking) matrix —
+    // proptest-style coverage of arbitrary steal schedules without a new
+    // dependency. Any failure reproduces exactly from the fixed seed.
+    let mut state = 0x0005_DEEC_E66D_u64;
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as usize) % bound
+    };
+    for lanes in [2usize, 3] {
+        let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(lanes)).unwrap();
+        let words = ["play", "music"];
+        let expected = sequential_reference(&runtime, &words);
+        let audio = runtime.render_words(&words).unwrap();
+        for _ in 0..4 {
+            let depth = 1 + next(6);
+            let chunk = 120 + next(600);
+            let mut session = runtime.open_session_with(SessionOptions::new().overlap_depth(depth));
+            for packet in audio.samples.chunks(chunk) {
+                session.push_samples(packet);
+            }
+            let t = session.finalize();
+            assert_eq!(
+                t.words, expected.0,
+                "lanes {lanes} depth {depth} chunk {chunk}"
+            );
+            assert_eq!(
+                t.cost.to_bits(),
+                expected.1,
+                "lanes {lanes} depth {depth} chunk {chunk}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -251,7 +251,7 @@ fn stats_surface_scratch_and_executor_counters() {
         "overlapped frames went through the scheduler"
     );
     assert_eq!(
-        executor.tasks_taken_by_lanes + executor.tasks_stolen_back,
+        executor.tasks_taken_by_lanes + executor.tasks_stolen_back + executor.tasks_helped,
         executor.tasks_queued,
         "every queued task was owned exactly once"
     );
