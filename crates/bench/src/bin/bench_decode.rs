@@ -166,11 +166,12 @@ fn main() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_decode.json");
     // Rewriting the file must not drop the other binaries' spliced
     // sections (bench_serving, bench_frontend, bench_accel, bench_batch,
-    // bench_load).
-    let carried: Vec<(&str, Option<String>)> = ["serving", "frontend", "accel", "batch", "load"]
-        .into_iter()
-        .map(|key| (key, asr_bench::extract_json_section(&path, key)))
-        .collect();
+    // bench_load, bench_store).
+    let carried: Vec<(&str, Option<String>)> =
+        ["serving", "frontend", "accel", "batch", "load", "store"]
+            .into_iter()
+            .map(|key| (key, asr_bench::extract_json_section(&path, key)))
+            .collect();
     std::fs::write(&path, json).expect("write BENCH_decode.json");
     for (key, section) in carried {
         if let Some(section) = section {

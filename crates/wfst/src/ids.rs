@@ -13,6 +13,7 @@ macro_rules! id_type {
         #[derive(
             Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
         )]
+        #[repr(transparent)]
         pub struct $name(pub u32);
 
         impl $name {

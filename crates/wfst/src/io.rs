@@ -1,14 +1,26 @@
 //! Serialization of transducers to files and byte buffers.
 //!
-//! Two formats are provided:
+//! Three formats are provided:
 //!
-//! * the **packed image** (see [`crate::layout`]) prefixed with a small
-//!   header — exactly what the accelerator sees in DRAM, plus the metadata
-//!   needed to reconstruct a [`Wfst`] (start state, final states);
+//! * the **v1 packed container** (this module): the DRAM image of
+//!   [`crate::layout`] prefixed with a small header. It carries the
+//!   [`Wfst`] only — **not** the degree-sorted layout's
+//!   [`crate::sorted::DirectIndexUnit`] registers or renumbering maps, so
+//!   a round-tripped sorted graph must *recompute* them (see
+//!   [`sorted_from_bytes`]); deserialization also rebuilds every record
+//!   into fresh `Vec`s;
+//! * the **v2 zero-copy image** ([`crate::store`]): the full
+//!   [`crate::sorted::SortedWfst`] — records, unit registers, maps — in
+//!   aligned sections viewed in place after a single validation pass;
 //! * **JSON** via serde for small graphs and golden-file tests (behind the
 //!   caller's serializer of choice; `Wfst` derives `Serialize`).
+//!
+//! [`load_sorted`] / [`sorted_from_bytes`] accept either container
+//! version and are what serving code should call.
 
 use crate::layout;
+use crate::sorted::SortedWfst;
+use crate::store;
 use crate::{Result, StateId, Wfst, WfstError};
 use bytes::{Buf, BufMut};
 use std::fs::File;
@@ -102,6 +114,44 @@ pub fn load(path: &Path) -> Result<Wfst> {
     from_bytes(&bytes)
 }
 
+/// Deserializes a degree-sorted transducer from either container version.
+///
+/// * **v2** bytes validate into a [`crate::store::GraphImage`] and the
+///   returned [`SortedWfst`] views the (re-aligned copy of the) buffer in
+///   place, unit registers and renumbering maps included.
+/// * **v1** bytes carry no layout registers: the stored [`Wfst`] is
+///   rebuilt arc-by-arc and the sorted layout is **recomputed** with
+///   [`SortedWfst::new`] (the default threshold `N = 16`). For a graph
+///   that was already in sorted order the recomputation reproduces the
+///   identical layout and unit, but the original old↔new renumbering maps
+///   are lost — the maps come back as the identity permutation.
+///
+/// # Errors
+///
+/// Returns a typed [`WfstError`] for corrupt input of either version.
+pub fn sorted_from_bytes(bytes: &[u8]) -> Result<SortedWfst> {
+    if store::image_version(bytes) == Some(store::STORE_VERSION) {
+        return Ok(store::GraphImage::from_bytes(bytes)?.to_sorted());
+    }
+    SortedWfst::new(&from_bytes(bytes)?)
+}
+
+/// Reads a degree-sorted transducer from `path`, accepting either
+/// container version (see [`sorted_from_bytes`] for the v1 recompute
+/// semantics). A v2 file is read directly into an aligned buffer and
+/// viewed zero-copy.
+///
+/// # Errors
+///
+/// Returns a typed [`WfstError`] for I/O failures or corrupt content.
+pub fn load_sorted(path: &Path) -> Result<SortedWfst> {
+    let buf = store::ImageBytes::read_file(path)?;
+    if store::image_version(buf.as_bytes()) == Some(store::STORE_VERSION) {
+        return Ok(store::GraphImage::from_image_bytes(buf)?.to_sorted());
+    }
+    SortedWfst::new(&from_bytes(buf.as_bytes())?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +216,67 @@ mod tests {
         let bytes = to_bytes(&sample());
         let err = from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
         assert!(matches!(err, WfstError::Corrupt(_)));
+    }
+
+    #[test]
+    fn v1_drops_the_unit_and_recompute_restores_it_for_sorted_graphs() {
+        // Satellite fix pin: the v1 container stores only the `Wfst`, so the
+        // `DirectIndexUnit` registers do not survive a round trip and
+        // `sorted_from_bytes` must *recompute* them. Because the serialized
+        // graph was already in sorted order, the recomputation (stable, by
+        // ascending degree) reproduces the identical layout and unit...
+        let sorted = crate::sorted::SortedWfst::new(&sample()).unwrap();
+        let v1 = to_bytes(sorted.wfst());
+        let back = sorted_from_bytes(&v1).unwrap();
+        assert_eq!(back.unit(), sorted.unit());
+        assert_eq!(back.wfst().state_entries(), sorted.wfst().state_entries());
+        assert_eq!(back.threshold(), sorted.threshold());
+        // ...but the original old<->new renumbering maps are lost: the
+        // recompute sees an already-sorted graph, so they degrade to the
+        // identity permutation.
+        for i in 0..back.wfst().num_states() {
+            let sid = StateId(i as u32);
+            assert_eq!(back.map_state(sid), sid);
+            assert_eq!(back.unmap_state(sid), sid);
+        }
+    }
+
+    #[test]
+    fn sorted_from_bytes_reads_both_container_versions() {
+        let sorted = crate::sorted::SortedWfst::new(&sample()).unwrap();
+        let from_v1 = sorted_from_bytes(&to_bytes(sorted.wfst())).unwrap();
+        let from_v2 = sorted_from_bytes(&crate::store::to_bytes(&sorted)).unwrap();
+        assert_eq!(
+            from_v1.wfst().state_entries(),
+            from_v2.wfst().state_entries()
+        );
+        assert_eq!(from_v1.unit(), from_v2.unit());
+        assert_eq!(from_v2.wfst().start(), sorted.wfst().start());
+        // Only v2 carries the true maps; v1's recompute degraded to identity
+        // (asserted above), while v2 preserves them byte-for-byte.
+        for i in 0..sorted.wfst().num_states() {
+            let sid = StateId(i as u32);
+            assert_eq!(from_v2.unmap_state(sid), sorted.unmap_state(sid));
+        }
+    }
+
+    #[test]
+    fn load_sorted_dispatches_on_version() {
+        let sorted = crate::sorted::SortedWfst::new(&sample()).unwrap();
+        let dir = std::env::temp_dir().join("asr_wfst_io_sorted_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1_path = dir.join("model_v1.wfst");
+        let v2_path = dir.join("model_v2.wfst");
+        save(sorted.wfst(), &v1_path).unwrap();
+        crate::store::save(&sorted, &v2_path).unwrap();
+        let a = load_sorted(&v1_path).unwrap();
+        let b = load_sorted(&v2_path).unwrap();
+        assert_eq!(a.wfst().state_entries(), b.wfst().state_entries());
+        assert_eq!(a.unit(), b.unit());
+        assert!(b.wfst().is_image_backed());
+        assert!(!a.wfst().is_image_backed());
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
     }
 
     #[test]

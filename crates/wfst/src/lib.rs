@@ -17,6 +17,10 @@
 //! * [`sorted`]: the bandwidth-saving layout of Section IV-B, where states
 //!   with at most `N` arcs are moved to the front of the state array and
 //!   sorted by out-degree so arc indices can be computed directly;
+//! * [`store`]: the zero-copy graph store — a byte-stable v2 image of the
+//!   full [`sorted::SortedWfst`] whose loaded buffer is viewed in place
+//!   (no per-load rebuild, no record copies), validated once into a
+//!   [`store::GraphImage`];
 //! * [`synth`]: a deterministic generator reproducing the published
 //!   statistics of Kaldi's 125k-word English WFST (degree distribution with
 //!   ~97% of visited states having <= 15 arcs, 11.5% epsilon arcs);
@@ -72,6 +76,7 @@ pub mod ops;
 pub mod rmeps;
 pub mod sorted;
 pub mod stats;
+pub mod store;
 pub mod synth;
 
 mod error;

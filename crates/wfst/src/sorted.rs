@@ -24,6 +24,7 @@
 //! the runtime hardware decision, which `asr-accel`'s State Issuer uses to
 //! skip state fetches.
 
+use crate::store::Section;
 use crate::{Arc, ArcId, Result, StateEntry, StateId, Wfst};
 use serde::{Deserialize, Serialize};
 
@@ -143,8 +144,8 @@ impl DirectIndexUnit {
 pub struct SortedWfst {
     wfst: Wfst,
     unit: DirectIndexUnit,
-    old_to_new: Vec<u32>,
-    new_to_old: Vec<u32>,
+    old_to_new: Section<u32>,
+    new_to_old: Section<u32>,
     threshold: usize,
 }
 
@@ -241,10 +242,39 @@ impl SortedWfst {
                 boundaries,
                 offsets,
             },
-            old_to_new,
-            new_to_old,
+            old_to_new: old_to_new.into(),
+            new_to_old: new_to_old.into(),
             threshold: n,
         })
+    }
+
+    /// Assembles a sorted transducer out of image-backed parts. Callers
+    /// (the zero-copy store) must have validated that `unit` agrees with
+    /// the state table and that the maps are inverse permutations.
+    pub(crate) fn from_image_parts(
+        wfst: Wfst,
+        unit: DirectIndexUnit,
+        old_to_new: Section<u32>,
+        new_to_old: Section<u32>,
+        threshold: usize,
+    ) -> Self {
+        Self {
+            wfst,
+            unit,
+            old_to_new,
+            new_to_old,
+            threshold,
+        }
+    }
+
+    /// Raw old→new state map, in original-numbering order.
+    pub(crate) fn old_to_new_raw(&self) -> &[u32] {
+        &self.old_to_new
+    }
+
+    /// Raw new→old state map, in sorted-numbering order.
+    pub(crate) fn new_to_old_raw(&self) -> &[u32] {
+        &self.new_to_old
     }
 
     /// The rewritten transducer (new state numbering).

@@ -1,0 +1,293 @@
+//! Corrupt-image robustness for the v2 graph store: arbitrary
+//! truncations, random byte flips, and deliberately crafted section-table
+//! attacks must all surface as typed [`WfstError`]s — never a panic, and
+//! never a silently-wrong graph (every image that validates has passed
+//! the full structural scan).
+
+use asr_wfst::sorted::SortedWfst;
+use asr_wfst::store::{self, GraphImage};
+use asr_wfst::synth::{SynthConfig, SynthWfst};
+use asr_wfst::{StateId, WfstError};
+use proptest::prelude::*;
+
+fn base_bytes() -> Vec<u8> {
+    let w = SynthWfst::generate(&SynthConfig::with_states(300).with_seed(11)).unwrap();
+    store::to_bytes(&SortedWfst::new(&w).unwrap())
+}
+
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+/// Byte offset of section `i`'s table entry fields.
+fn table_entry(i: usize) -> usize {
+    48 + i * 24
+}
+
+fn section_offset(b: &[u8], i: usize) -> usize {
+    le_u64(b, table_entry(i) + 8) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_truncation_is_a_typed_error(cut in 0usize..1_000_000) {
+        let bytes = base_bytes();
+        let cut = cut % bytes.len();
+        let err = GraphImage::from_bytes(&bytes[..cut]).unwrap_err();
+        // Every prefix is rejected (the section table pins the exact total
+        // size) with a typed error, not a panic.
+        prop_assert!(matches!(
+            err,
+            WfstError::Corrupt(_) | WfstError::LayoutMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn any_single_byte_flip_never_panics(pos in 0usize..1_000_000, mask in 1u8..=255) {
+        let mut bytes = base_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        match GraphImage::from_bytes(&bytes) {
+            // A flip in weight/cost payload bytes can still be a valid
+            // graph; if validation accepted it, traversal must be safe.
+            Ok(image) => {
+                let w = image.wfst();
+                for s in 0..w.num_states() {
+                    for arc in w.arcs(StateId(s as u32)) {
+                        prop_assert!(arc.dest.index() < w.num_states());
+                        prop_assert!(arc.weight.is_finite());
+                    }
+                }
+            }
+            Err(err) => {
+                prop_assert!(matches!(
+                    err,
+                    WfstError::Corrupt(_)
+                        | WfstError::LayoutMismatch { .. }
+                        | WfstError::UnknownState(_)
+                        | WfstError::UnknownArc(_)
+                        | WfstError::InvalidWeight { .. }
+                        | WfstError::NoFinalStates
+                ), "unexpected error class: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_is_rejected(seed in 0u64..10_000) {
+        // Deterministic pseudo-random buffers with a valid magic/version
+        // prefix, so parsing gets past the first gate.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut bytes = vec![0u8; 2048];
+        for b in bytes.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = state as u8;
+        }
+        bytes[..4].copy_from_slice(b"WFST");
+        bytes[4] = 2;
+        prop_assert!(GraphImage::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn bad_magic_and_versions_are_rejected() {
+    let bytes = base_bytes();
+    let mut v = bytes.clone();
+    v[0] = b'X';
+    assert!(matches!(
+        GraphImage::from_bytes(&v).unwrap_err(),
+        WfstError::Corrupt(_)
+    ));
+    for version in [0u8, 1, 3, 255] {
+        let mut v = bytes.clone();
+        v[4] = version;
+        let err = GraphImage::from_bytes(&v).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}
+
+#[test]
+fn wrong_section_count_is_rejected() {
+    let mut bytes = base_bytes();
+    bytes[40..44].copy_from_slice(&6u32.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("sections"), "{err}");
+}
+
+#[test]
+fn zero_threshold_is_rejected() {
+    let mut bytes = base_bytes();
+    bytes[28..32].copy_from_slice(&0u32.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("threshold"), "{err}");
+}
+
+#[test]
+fn misaligned_section_offset_is_rejected() {
+    let mut bytes = base_bytes();
+    let e = table_entry(1) + 8;
+    let off = le_u64(&bytes, table_entry(1) + 8) + 4;
+    bytes[e..e + 8].copy_from_slice(&off.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("aligned"), "{err}");
+}
+
+#[test]
+fn overlapping_sections_are_rejected() {
+    let mut bytes = base_bytes();
+    // Point the arc section at the state section's offset.
+    let states_off = le_u64(&bytes, table_entry(0) + 8);
+    let e = table_entry(1) + 8;
+    bytes[e..e + 8].copy_from_slice(&states_off.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("overlap"), "{err}");
+}
+
+#[test]
+fn wrong_section_length_is_rejected() {
+    let mut bytes = base_bytes();
+    let e = table_entry(2) + 16;
+    let len = le_u64(&bytes, e) + 4;
+    bytes[e..e + 8].copy_from_slice(&len.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("expected"), "{err}");
+}
+
+#[test]
+fn section_past_end_of_image_is_rejected() {
+    let mut bytes = base_bytes();
+    let e = table_entry(6) + 8;
+    let huge = (bytes.len() as u64).next_multiple_of(64);
+    bytes[e..e + 8].copy_from_slice(&huge.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("exceeds"), "{err}");
+}
+
+#[test]
+fn out_of_range_arc_target_is_unknown_state() {
+    let mut bytes = base_bytes();
+    let arc_off = section_offset(&bytes, 1);
+    // First arc record's dest field (little-endian u32 at record offset 0).
+    bytes[arc_off..arc_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WfstError::UnknownState(_) | WfstError::LayoutMismatch { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn out_of_range_start_is_unknown_state() {
+    let mut bytes = base_bytes();
+    bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        GraphImage::from_bytes(&bytes).unwrap_err(),
+        WfstError::UnknownState(_)
+    ));
+}
+
+#[test]
+fn nan_weight_is_invalid_weight() {
+    let mut bytes = base_bytes();
+    let arc_off = section_offset(&bytes, 1);
+    // Weight field lives at record offset 4.
+    bytes[arc_off + 4..arc_off + 8].copy_from_slice(&f32::NAN.to_le_bytes());
+    assert!(matches!(
+        GraphImage::from_bytes(&bytes).unwrap_err(),
+        WfstError::InvalidWeight { .. }
+    ));
+}
+
+#[test]
+fn all_infinite_finals_is_no_final_states() {
+    let mut bytes = base_bytes();
+    let finals_off = section_offset(&bytes, 2);
+    let finals_len = le_u64(&bytes, table_entry(2) + 16) as usize;
+    for i in 0..finals_len / 4 {
+        bytes[finals_off + 4 * i..finals_off + 4 * i + 4]
+            .copy_from_slice(&f32::INFINITY.to_le_bytes());
+    }
+    assert_eq!(
+        GraphImage::from_bytes(&bytes).unwrap_err(),
+        WfstError::NoFinalStates
+    );
+}
+
+#[test]
+fn non_cumulative_boundary_register_is_rejected() {
+    let mut bytes = base_bytes();
+    let b_off = section_offset(&bytes, 3);
+    // Make boundary 1 smaller than boundary 0: not a cumulative count.
+    let first = u32::from_le_bytes(bytes[b_off..b_off + 4].try_into().unwrap());
+    bytes[b_off + 4..b_off + 8].copy_from_slice(&first.wrapping_sub(1).to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            WfstError::Corrupt(_) | WfstError::LayoutMismatch { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn corrupted_offset_register_is_layout_mismatch() {
+    let mut bytes = base_bytes();
+    let o_off = section_offset(&bytes, 4);
+    let old = i64::from_le_bytes(bytes[o_off..o_off + 8].try_into().unwrap());
+    bytes[o_off..o_off + 8].copy_from_slice(&(old + 2).to_le_bytes());
+    assert!(matches!(
+        GraphImage::from_bytes(&bytes).unwrap_err(),
+        WfstError::LayoutMismatch { .. }
+    ));
+}
+
+#[test]
+fn non_inverse_state_maps_are_rejected() {
+    let mut bytes = base_bytes();
+    let o2n_off = section_offset(&bytes, 5);
+    // Duplicate the first map entry into the second: no longer injective.
+    let first = u32::from_le_bytes(bytes[o2n_off..o2n_off + 4].try_into().unwrap());
+    bytes[o2n_off + 4..o2n_off + 8].copy_from_slice(&first.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("permutation"), "{err}");
+}
+
+#[test]
+fn label_space_mismatch_is_rejected() {
+    let mut bytes = base_bytes();
+    let claimed = u32::from_le_bytes(bytes[32..36].try_into().unwrap());
+    bytes[32..36].copy_from_slice(&(claimed + 1).to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(err.to_string().contains("label spaces"), "{err}");
+}
+
+#[test]
+fn epsilon_ordering_violation_is_rejected() {
+    let mut bytes = base_bytes();
+    // Find a state with an emitting arc and zero its arc's ilabel: an
+    // epsilon arc now sits in the emitting range.
+    let image = GraphImage::from_bytes(&bytes).unwrap();
+    let w = image.wfst();
+    let (state, _) = (0..w.num_states())
+        .map(|s| (s, w.state(StateId(s as u32))))
+        .find(|(_, e)| e.num_emitting > 0)
+        .expect("synth graph has emitting arcs");
+    let first_arc = w.state(StateId(state as u32)).first_arc.index();
+    drop(image);
+    let arc_off = section_offset(&bytes, 1) + first_arc * 16;
+    // ilabel field lives at record offset 8.
+    bytes[arc_off + 8..arc_off + 12].copy_from_slice(&0u32.to_le_bytes());
+    let err = GraphImage::from_bytes(&bytes).unwrap_err();
+    assert!(
+        matches!(err, WfstError::Corrupt(_)),
+        "expected ordering violation, got {err}"
+    );
+}

@@ -49,6 +49,13 @@ bench-load:
 bench-batch:
     cargo run --release -p asr-bench --bin bench_batch
 
+# Graph-store benchmark: v2 image load vs SortedWfst rebuild across graph
+# sizes, plus a decode head-to-head over the image-backed vs owned graph;
+# splices a "store" section into BENCH_decode.json (bar: 200k-state image
+# load >= 10x faster than the builder, decode byte-identical).
+bench-store:
+    cargo run --release -p asr-bench --bin bench_store
+
 # Front-end benchmark: streaming MFCC/scorer vs the batch path; splices a
 # "frontend" section into BENCH_decode.json (bar: online <= 1.25x batch).
 bench-frontend:

@@ -57,7 +57,7 @@ pub mod runtime;
 
 pub use pipeline::{AsrPipeline, StreamingSession};
 pub use runtime::{
-    AsrRuntime, BatchScoringConfig, BatchScoringStats, Hypothesis, PipelineError, QosPolicy,
-    QosTier, RuntimeConfig, RuntimeError, RuntimeStats, ScoresRoute, Session, SessionOptions,
-    Transcript,
+    AsrRuntime, BatchScoringConfig, BatchScoringStats, Hypothesis, ModelStats, PipelineError,
+    QosPolicy, QosTier, RuntimeConfig, RuntimeError, RuntimeStats, ScoresRoute, Session,
+    SessionOptions, Transcript,
 };

@@ -84,6 +84,27 @@
 //! composition: every row of a block is computed with the single-row
 //! fold order, and each session's search still consumes its own rows in
 //! push order (see `tests/runtime_batch_equivalence.rs`).
+//!
+//! # Multi-model registry
+//!
+//! A runtime serves any number of decoding graphs at once. The
+//! construction-time graph stays the unnamed default; further models
+//! are registered by name — [`AsrRuntime::register_model`] for owned
+//! graphs, [`AsrRuntime::register_model_image`] /
+//! [`AsrRuntime::load_model`] for zero-copy
+//! [`GraphImage`]s whose records stay typed
+//! views over the store buffer — and selected per session with
+//! [`SessionOptions::model`]. A session resolves its name once, at
+//! open: [`AsrRuntime::swap_model`] and
+//! [`AsrRuntime::unregister_model`] take effect for *new* opens only,
+//! while every in-flight session finishes on the graph it resolved.
+//! Replaced graphs are refcounted out: the registry keeps a weak
+//! retired record, the sessions' own strong references keep the graph
+//! (and any backing image buffer) alive, and the storage frees the
+//! moment the last session drops. [`RuntimeStats::models`] reports
+//! per-model session counts and resident bytes;
+//! [`RuntimeStats::retired_models`] counts swapped-out graphs still
+//! draining.
 
 use asr_accel::config::AcceleratorConfig;
 use asr_accel::sim::{PreparedWfst, SimResult, Simulator};
@@ -101,11 +122,13 @@ use asr_decoder::wer;
 use asr_wfst::compose::build_decoding_graph;
 use asr_wfst::grammar::Grammar;
 use asr_wfst::lexicon::{demo_lexicon, Lexicon};
+use asr_wfst::store::GraphImage;
 use asr_wfst::{PhoneId, Wfst, WfstError, WordId};
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// Nominal wall-clock duration of one acoustic frame (the 10 ms frame
@@ -132,6 +155,25 @@ pub enum PipelineError {
         /// The policy's configured session limit.
         limit: usize,
     },
+    /// [`SessionOptions::model`] named a model the registry does not
+    /// hold (never registered, or already unregistered).
+    UnknownModel(String),
+    /// [`AsrRuntime::register_model`] was given a name the registry
+    /// already holds (use [`AsrRuntime::swap_model`] to replace a live
+    /// model).
+    DuplicateModel(String),
+    /// A registered graph's phone labels exceed the runtime's acoustic
+    /// model, so score rows could never cover its emitting arcs.
+    IncompatibleModel {
+        /// The name the graph was being registered under.
+        name: String,
+        /// One past the largest phone label the graph's arcs reference
+        /// — the graph's label space, epsilon (label 0) included.
+        graph_phones: u32,
+        /// Score columns the runtime's acoustic model produces per
+        /// frame (phones plus the epsilon column).
+        model_phones: u32,
+    },
 }
 
 /// The runtime's error type — the same enum the legacy pipeline facade
@@ -147,6 +189,21 @@ impl fmt::Display for PipelineError {
                 f,
                 "runtime overloaded: {active} active sessions at the admission limit of {limit}"
             ),
+            PipelineError::UnknownModel(name) => {
+                write!(f, "model {name:?} is not registered with the runtime")
+            }
+            PipelineError::DuplicateModel(name) => {
+                write!(f, "model {name:?} is already registered with the runtime")
+            }
+            PipelineError::IncompatibleModel {
+                name,
+                graph_phones,
+                model_phones,
+            } => write!(
+                f,
+                "model {name:?} uses {graph_phones} phones but the runtime's \
+                 acoustic model scores only {model_phones}"
+            ),
         }
     }
 }
@@ -155,7 +212,11 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Wfst(e) => Some(e),
-            PipelineError::UnknownWord(_) | PipelineError::Overloaded { .. } => None,
+            PipelineError::UnknownWord(_)
+            | PipelineError::Overloaded { .. }
+            | PipelineError::UnknownModel(_)
+            | PipelineError::DuplicateModel(_)
+            | PipelineError::IncompatibleModel { .. } => None,
         }
     }
 }
@@ -393,7 +454,7 @@ struct PressureMonitor {
 
 /// A point-in-time snapshot of the runtime's serving state, from
 /// [`AsrRuntime::stats`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeStats {
     /// Sessions currently in flight.
     pub active_sessions: usize,
@@ -425,6 +486,33 @@ pub struct RuntimeStats {
     /// Batched-scoring counters, when the runtime has a
     /// [`BatchScoringConfig`] installed.
     pub batch: Option<BatchScoringStats>,
+    /// Per-model registry counters, one entry per registered model (the
+    /// construction-time default graph is not listed — its sessions are
+    /// the `active_sessions` remainder).
+    pub models: Vec<ModelStats>,
+    /// Total graph bytes resident for the registered models: image
+    /// bytes for image-backed models, heap record bytes for owned ones.
+    pub resident_model_bytes: usize,
+    /// Swapped-out or unregistered graphs still held alive by in-flight
+    /// sessions; each is freed (and leaves this count) when its last
+    /// session drops.
+    pub retired_models: usize,
+}
+
+/// One registered model's counters, from [`RuntimeStats::models`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// The name the model was registered under.
+    pub name: String,
+    /// Sessions currently decoding over this model.
+    pub active_sessions: usize,
+    /// Sessions ever opened on this model (across swaps the counter
+    /// carries over: it counts the *name*, not the graph behind it).
+    pub opened_sessions: u64,
+    /// Bytes of graph storage this model keeps resident.
+    pub resident_bytes: usize,
+    /// Whether the graph is a zero-copy view over a v2 store image.
+    pub image_backed: bool,
 }
 
 /// Counters of the cross-session batched scoring service, from
@@ -916,6 +1004,9 @@ pub struct SessionOptions {
     /// `None` = automatic: join the runtime's batched scoring service
     /// whenever one is installed.
     batched: Option<bool>,
+    /// Decode over a registered model instead of the runtime's default
+    /// graph.
+    model: Option<String>,
 }
 
 impl SessionOptions {
@@ -993,6 +1084,21 @@ impl SessionOptions {
         self.batched = Some(batched);
         self
     }
+
+    /// Decodes this session over the registered model `name` instead of
+    /// the runtime's default graph (see [`AsrRuntime::register_model`]).
+    /// The session resolves the name once, at open: it keeps decoding
+    /// over the graph it resolved even if the model is swapped or
+    /// unregistered mid-utterance.
+    ///
+    /// [`AsrRuntime::try_open_session_with`] reports an unknown name as
+    /// a typed [`PipelineError::UnknownModel`] (before admission is
+    /// charged); the infallible [`AsrRuntime::open_session_with`]
+    /// panics on one, like every other invalid-options misuse.
+    pub fn model(mut self, name: impl Into<String>) -> Self {
+        self.model = Some(name.into());
+        self
+    }
 }
 
 /// The per-session streaming front-end: an [`OnlineMfcc`] plus the
@@ -1014,6 +1120,69 @@ struct SessionFrontend {
     /// Per-task MLP activation scratch for the multi-row batch — one
     /// `(x, y)` pair per concurrently scored row.
     batch_scratch: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+/// Per-name session counters, shared between the registry entry and
+/// every session opened on that name (so a swap does not reset them:
+/// they follow the name, not the graph).
+#[derive(Debug, Default)]
+struct ModelCounters {
+    active: AtomicUsize,
+    opened: AtomicU64,
+}
+
+/// One registered model: its decoding graph plus bookkeeping.
+#[derive(Debug)]
+struct ModelEntry {
+    graph: Arc<Wfst>,
+    resident_bytes: usize,
+    counters: Arc<ModelCounters>,
+}
+
+/// A graph swapped out or unregistered while sessions may still be
+/// decoding over it. The registry keeps only a [`Weak`]; the sessions'
+/// own strong references keep the graph (and any backing image buffer)
+/// alive until the last one drops, at which point the sweep in
+/// [`AsrRuntime::stats`] (and every registry mutation) forgets it.
+#[derive(Debug)]
+struct RetiredModel {
+    graph: Weak<Wfst>,
+}
+
+/// The multi-model registry: named graphs sessions can select with
+/// [`SessionOptions::model`], plus the retired list that tracks
+/// swapped-out graphs until their in-flight sessions finish.
+#[derive(Debug, Default)]
+struct ModelRegistry {
+    /// Registration order is preserved (it is the order
+    /// [`RuntimeStats::models`] reports) and lookups are linear: the
+    /// registry holds a handful of models, not a symbol table.
+    entries: Vec<(String, ModelEntry)>,
+    retired: Vec<RetiredModel>,
+}
+
+impl ModelRegistry {
+    fn find(&self, name: &str) -> Option<&ModelEntry> {
+        self.entries
+            .iter()
+            .find_map(|(n, e)| (n == name).then_some(e))
+    }
+
+    /// Drops retired records whose graphs no session holds anymore.
+    fn sweep_retired(&mut self) {
+        self.retired.retain(|r| r.graph.strong_count() > 0);
+    }
+
+    /// Moves a replaced graph to the retired list — unless nothing but
+    /// the registry held it, in which case it frees right here.
+    fn retire(&mut self, graph: Arc<Wfst>) {
+        let weak = Arc::downgrade(&graph);
+        drop(graph);
+        if weak.strong_count() > 0 {
+            self.retired.push(RetiredModel { graph: weak });
+        }
+        self.sweep_retired();
+    }
 }
 
 /// Engine state shared by every clone of a runtime handle and every
@@ -1051,6 +1220,9 @@ struct RuntimeInner {
     /// Pressure bookkeeping: session counts always, frame timing and
     /// tier selection only when `qos` is present.
     monitor: PressureMonitor,
+    /// The multi-model registry (empty until a model is registered; the
+    /// construction-time `graph` stays the unnamed default).
+    models: Mutex<ModelRegistry>,
 }
 
 impl RuntimeInner {
@@ -1574,6 +1746,7 @@ impl AsrRuntime {
                 scores_threshold: config.scores_threshold,
                 parallel: OnceLock::new(),
                 monitor: PressureMonitor::default(),
+                models: Mutex::new(ModelRegistry::default()),
             }),
         }
     }
@@ -1632,6 +1805,173 @@ impl AsrRuntime {
         self.inner.qos.as_ref()
     }
 
+    /// Checks a candidate graph against the runtime's acoustic model:
+    /// every phone its emitting arcs reference must have a score
+    /// column, or sessions on it could index past their rows. Both
+    /// sides count label 0 (epsilon): `num_phones` is one past the
+    /// largest input label, and a score row is phones + the epsilon
+    /// column.
+    fn check_model_compat(&self, name: &str, graph: &Wfst) -> Result<(), PipelineError> {
+        let model_phones = self.inner.model.row_len() as u32;
+        if graph.num_phones() > model_phones {
+            return Err(PipelineError::IncompatibleModel {
+                name: name.to_owned(),
+                graph_phones: graph.num_phones(),
+                model_phones,
+            });
+        }
+        Ok(())
+    }
+
+    /// Registers `graph` under `name` in the runtime's model registry,
+    /// so sessions can select it with [`SessionOptions::model`]. The
+    /// graph's heap storage is counted as its resident bytes; to share
+    /// a store image's buffer instead, use
+    /// [`AsrRuntime::register_model_image`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::DuplicateModel`] if `name` is already
+    /// registered, [`PipelineError::IncompatibleModel`] if the graph
+    /// references phones the runtime's acoustic model cannot score.
+    pub fn register_model(&self, name: &str, graph: Wfst) -> Result<(), RuntimeError> {
+        let resident = graph.storage_bytes();
+        self.register_entry(name, Arc::new(graph), resident)
+    }
+
+    /// Registers the graph of a loaded zero-copy store image under
+    /// `name`. The registry holds typed views over the image buffer —
+    /// no record is copied — and the model's resident bytes are the
+    /// image's bytes. The buffer lives exactly as long as some session
+    /// or registry entry still views it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AsrRuntime::register_model`].
+    pub fn register_model_image(&self, name: &str, image: GraphImage) -> Result<(), RuntimeError> {
+        let resident = image.resident_bytes();
+        // Cloning an image-backed graph clones section views (pointer +
+        // buffer handle), never the records.
+        self.register_entry(name, Arc::new(image.wfst().clone()), resident)
+    }
+
+    /// Loads a v2 store image from `path` and registers its graph under
+    /// `name` — the one-call deployment path for prebuilt models.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Wfst`] for unreadable or corrupt images (the
+    /// registry is untouched on failure), plus the
+    /// [`AsrRuntime::register_model`] conditions.
+    pub fn load_model(&self, name: &str, path: &Path) -> Result<(), RuntimeError> {
+        self.register_model_image(name, GraphImage::load(path)?)
+    }
+
+    fn register_entry(
+        &self,
+        name: &str,
+        graph: Arc<Wfst>,
+        resident_bytes: usize,
+    ) -> Result<(), RuntimeError> {
+        self.check_model_compat(name, &graph)?;
+        let mut reg = self.registry();
+        if reg.find(name).is_some() {
+            return Err(PipelineError::DuplicateModel(name.to_owned()));
+        }
+        reg.entries.push((
+            name.to_owned(),
+            ModelEntry {
+                graph,
+                resident_bytes,
+                counters: Arc::new(ModelCounters::default()),
+            },
+        ));
+        reg.sweep_retired();
+        Ok(())
+    }
+
+    /// Atomically replaces the graph behind a registered model:
+    /// sessions opened after the swap decode over `graph`, while every
+    /// in-flight session finishes on the graph it opened with (the old
+    /// graph is retired and freed when its last session drops — watch
+    /// [`RuntimeStats::retired_models`]). The model's session counters
+    /// carry over: they follow the name.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownModel`] if `name` is not registered,
+    /// [`PipelineError::IncompatibleModel`] as at registration.
+    pub fn swap_model(&self, name: &str, graph: Wfst) -> Result<(), RuntimeError> {
+        let resident = graph.storage_bytes();
+        self.swap_entry(name, Arc::new(graph), resident)
+    }
+
+    /// [`AsrRuntime::swap_model`] for a loaded store image: the
+    /// replacement graph views the image buffer zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AsrRuntime::swap_model`].
+    pub fn swap_model_image(&self, name: &str, image: GraphImage) -> Result<(), RuntimeError> {
+        let resident = image.resident_bytes();
+        self.swap_entry(name, Arc::new(image.wfst().clone()), resident)
+    }
+
+    fn swap_entry(
+        &self,
+        name: &str,
+        graph: Arc<Wfst>,
+        resident_bytes: usize,
+    ) -> Result<(), RuntimeError> {
+        self.check_model_compat(name, &graph)?;
+        let mut reg = self.registry();
+        let entry = reg
+            .entries
+            .iter_mut()
+            .find_map(|(n, e)| (n.as_str() == name).then_some(e))
+            .ok_or_else(|| PipelineError::UnknownModel(name.to_owned()))?;
+        let old = std::mem::replace(&mut entry.graph, graph);
+        entry.resident_bytes = resident_bytes;
+        reg.retire(old);
+        Ok(())
+    }
+
+    /// Removes a model from the registry. Sessions already decoding
+    /// over it are unaffected — the graph is retired and its storage
+    /// (image buffer included) freed when the last such session drops;
+    /// new opens naming it fail with [`PipelineError::UnknownModel`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownModel`] if `name` is not registered.
+    pub fn unregister_model(&self, name: &str) -> Result<(), RuntimeError> {
+        let mut reg = self.registry();
+        let index = reg
+            .entries
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| PipelineError::UnknownModel(name.to_owned()))?;
+        let (_, entry) = reg.entries.remove(index);
+        reg.retire(entry.graph);
+        Ok(())
+    }
+
+    /// The registered model names, in registration order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.registry()
+            .entries
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, ModelRegistry> {
+        self.inner
+            .models
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A point-in-time snapshot of the serving state: session counts,
     /// shed counts, pressure and tier, scratch-pool counters, and the
     /// executor's scheduling counters. Reading stats never spawns the
@@ -1640,7 +1980,27 @@ impl AsrRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let m = &self.inner.monitor;
         let executor = self.inner.executor.get();
+        let (models, resident_model_bytes, retired_models) = {
+            let mut reg = self.registry();
+            reg.sweep_retired();
+            let models: Vec<ModelStats> = reg
+                .entries
+                .iter()
+                .map(|(name, e)| ModelStats {
+                    name: name.clone(),
+                    active_sessions: e.counters.active.load(Ordering::Acquire),
+                    opened_sessions: e.counters.opened.load(Ordering::Acquire),
+                    resident_bytes: e.resident_bytes,
+                    image_backed: e.graph.is_image_backed(),
+                })
+                .collect();
+            let resident = models.iter().map(|m| m.resident_bytes).sum();
+            (models, resident, reg.retired.len())
+        };
         RuntimeStats {
+            models,
+            resident_model_bytes,
+            retired_models,
             active_sessions: m.active_sessions.load(Ordering::Acquire),
             peak_sessions: m.peak_sessions.load(Ordering::Acquire),
             shed_sessions: m.shed_sessions.load(Ordering::Acquire),
@@ -1828,8 +2188,11 @@ impl AsrRuntime {
     /// policy's session limit (use [`AsrRuntime::try_open_session_with`]
     /// for load-shedding admission).
     pub fn open_session_with(&self, options: SessionOptions) -> Session {
+        let resolved = self
+            .resolve_model(&options)
+            .unwrap_or_else(|e| panic!("open_session_with: {e}"));
         self.inner.session_opened();
-        self.build_session(options)
+        self.build_session(options, resolved)
     }
 
     /// Opens a session with default options under admission control:
@@ -1874,12 +2237,39 @@ impl AsrRuntime {
     ///
     /// Returns [`PipelineError::Overloaded`] at the admission limit.
     pub fn try_open_session_with(&self, options: SessionOptions) -> Result<Session, RuntimeError> {
+        // Resolve the model first: an unknown name is the caller's
+        // error, reported without charging admission or shed counters.
+        let resolved = self.resolve_model(&options)?;
         self.inner.try_admit()?;
-        Ok(self.build_session(options))
+        Ok(self.build_session(options, resolved))
+    }
+
+    /// Resolves the graph a session will decode over, and the per-model
+    /// counters it charges (`None` for the default graph). Runs before
+    /// admission, and holds the registry lock only for the lookup — the
+    /// session keeps the resolved `Arc` through swaps and unregisters.
+    fn resolve_model(
+        &self,
+        options: &SessionOptions,
+    ) -> Result<(Arc<Wfst>, Option<Arc<ModelCounters>>), PipelineError> {
+        match &options.model {
+            None => Ok((Arc::clone(&self.inner.graph), None)),
+            Some(name) => {
+                let reg = self.registry();
+                let entry = reg
+                    .find(name)
+                    .ok_or_else(|| PipelineError::UnknownModel(name.clone()))?;
+                Ok((Arc::clone(&entry.graph), Some(Arc::clone(&entry.counters))))
+            }
+        }
     }
 
     /// Constructs the session once admission has been decided.
-    fn build_session(&self, options: SessionOptions) -> Session {
+    fn build_session(
+        &self,
+        options: SessionOptions,
+        (graph, model_counters): (Arc<Wfst>, Option<Arc<ModelCounters>>),
+    ) -> Session {
         let qos_enabled = match &self.inner.qos {
             Some(policy) => {
                 let enabled = options.qos.unwrap_or(true);
@@ -1904,6 +2294,10 @@ impl AsrRuntime {
                 false
             }
         };
+        if let Some(counters) = &model_counters {
+            counters.opened.fetch_add(1, Ordering::AcqRel);
+            counters.active.fetch_add(1, Ordering::AcqRel);
+        }
         let scratch = self.inner.scratch_pool.checkout();
         let overlap = options.overlap.unwrap_or(true);
         let executor = if overlap {
@@ -1914,7 +2308,7 @@ impl AsrRuntime {
         Session {
             runtime: Arc::clone(&self.inner),
             decode: Some(StreamingDecode::new(
-                Arc::clone(&self.inner.graph),
+                graph,
                 self.inner.options.clone(),
                 scratch,
             )),
@@ -1929,6 +2323,7 @@ impl AsrRuntime {
             pinned_tier: options.pinned_tier,
             batch_enabled: options.batched.unwrap_or(true) && self.inner.batch.is_some(),
             batch_slot: None,
+            model_counters,
         }
     }
 
@@ -2059,6 +2454,9 @@ pub struct Session {
     /// The session's registration with the service, made lazily by the
     /// first [`Session::push_samples`].
     batch_slot: Option<BatchSlot>,
+    /// Counters of the registered model this session decodes over;
+    /// `None` on the runtime's default graph.
+    model_counters: Option<Arc<ModelCounters>>,
 }
 
 impl Session {
@@ -2542,6 +2940,9 @@ impl Drop for Session {
         }
         if let Some(decode) = self.decode.take() {
             self.runtime.scratch_pool.restore(decode.into_scratch());
+        }
+        if let Some(counters) = self.model_counters.take() {
+            counters.active.fetch_sub(1, Ordering::AcqRel);
         }
         // Finalized and abandoned sessions both come off the books here
         // (finalize consumes `self`, so this runs exactly once either

@@ -17,6 +17,9 @@
 //! 3. [`AsrRuntime::stats`] surfaces the whole signal chain: session
 //!    counts, shed counts, scratch-pool counters, and the executor's
 //!    scheduling counters.
+//! 4. Registering a corrupt store image is a typed refusal that leaves
+//!    the registry, the admission books, and every live session
+//!    untouched — fault injection on the model-loading path.
 //!
 //! [`AsrRuntime::try_open_session`]: asr_repro::runtime::AsrRuntime::try_open_session
 //! [`AsrRuntime::stats`]: asr_repro::runtime::AsrRuntime::stats
@@ -26,7 +29,8 @@
 use asr_repro::accel::config::{AcceleratorConfig, DesignPoint};
 use asr_repro::accel::sim::PreparedWfst;
 use asr_repro::runtime::{AsrRuntime, PipelineError, QosPolicy, RuntimeConfig, SessionOptions};
-use asr_repro::wfst::sorted::DirectIndexUnit;
+use asr_repro::wfst::sorted::{DirectIndexUnit, SortedWfst};
+use asr_repro::wfst::store::{self, GraphImage};
 use asr_repro::wfst::WfstError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -221,6 +225,91 @@ fn corrupted_layout_is_a_typed_error_under_live_sessions() {
         .recognize_on_prepared(&audio, cfg, &reprepared)
         .unwrap();
     assert_eq!(again.words, vec!["call", "mom"]);
+}
+
+#[test]
+fn corrupt_model_images_are_refused_while_live_sessions_decode() {
+    let runtime = AsrRuntime::demo_with(RuntimeConfig::new().lanes(2)).unwrap();
+    let audio = runtime.render_words(&["play", "music"]).unwrap();
+
+    // A valid image of the runtime's own graph, then a stable of
+    // corruptions of it: truncation, bad magic, an out-of-range arc
+    // target.
+    let sorted = SortedWfst::new(runtime.graph()).unwrap();
+    let good = store::to_bytes(&sorted);
+    let wild_arc = {
+        // Section table entry 1 (the arc section) holds its offset at
+        // byte 48 + 1*24 + 8; the first record's dest field leads it.
+        let off = u64::from_le_bytes(good[48 + 24 + 8..48 + 24 + 16].try_into().unwrap()) as usize;
+        let mut b = good.clone();
+        b[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        b
+    };
+    let bad_magic = {
+        let mut b = good.clone();
+        b[0] = b'!';
+        b
+    };
+    let corruptions: Vec<Vec<u8>> = vec![good[..good.len() / 2].to_vec(), bad_magic, wild_arc];
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let runtime = runtime.clone();
+            let audio = audio.clone();
+            handles.push(scope.spawn(move || {
+                for _ in 0..4 {
+                    let mut session = runtime.open_session();
+                    for packet in audio.samples.chunks(160) {
+                        session.push_samples(packet);
+                    }
+                    let t = session.finalize();
+                    assert_eq!(t.words, vec!["play", "music"], "session beside bad images");
+                }
+            }));
+        }
+
+        // Every corrupt image fails image validation with a typed
+        // error; the registry never sees a name appear.
+        for bytes in &corruptions {
+            match GraphImage::from_bytes(bytes) {
+                Err(
+                    WfstError::Corrupt(_)
+                    | WfstError::LayoutMismatch { .. }
+                    | WfstError::UnknownState(_),
+                ) => {}
+                Ok(_) => panic!("corrupt image must not validate"),
+                Err(other) => panic!("unexpected error class: {other}"),
+            }
+            assert!(runtime.model_names().is_empty());
+        }
+
+        for handle in handles {
+            handle.join().expect("live session thread");
+        }
+    });
+
+    // The good image still registers and serves afterwards — and a
+    // session on it decodes the same words as the default graph (it is
+    // the same transducer, degree-sorted).
+    let image = GraphImage::from_bytes(&good).expect("pristine image validates");
+    runtime.register_model_image("sorted", image).unwrap();
+    let mut session = runtime
+        .try_open_session_with(SessionOptions::new().model("sorted"))
+        .unwrap();
+    session.push_frames(&runtime.score(&audio));
+    assert_eq!(session.finalize().words, vec!["play", "music"]);
+
+    let stats = runtime.stats();
+    assert_eq!(stats.active_sessions, 0);
+    assert_eq!(
+        stats.scratch.checkouts(),
+        stats.scratch.restores,
+        "scratch pool balanced through the fault storm"
+    );
+    assert_eq!(stats.models.len(), 1);
+    assert!(stats.models[0].image_backed);
+    assert_eq!(stats.models[0].opened_sessions, 1);
 }
 
 #[test]
