@@ -81,11 +81,14 @@
 pub mod align;
 pub mod confidence;
 pub mod lattice;
+#[cfg(all(test, feature = "model-check"))]
+mod model_check;
 pub mod nbest;
 pub mod parallel;
 pub mod pool;
 pub mod reference;
 pub mod search;
 pub mod stream;
+pub(crate) mod sync;
 pub mod token_table;
 pub mod wer;

@@ -1,0 +1,356 @@
+//! Model-check harnesses for the lock-free executor (run with
+//! `cargo test -p asr-decoder --features model-check --lib model_check`).
+//!
+//! Each harness drives the *real* production code — the [`ChaseLev`]
+//! deque, the [`Injector`] ring, and the [`EventCount`] parking protocol
+//! from `pool.rs`, compiled against the shadow `crate::sync` facade —
+//! through `asr-verify`'s exhaustive scheduler. The checker explores
+//! every interleaving (and every admissible weak-memory read) up to the
+//! preemption bound, so a passing harness is a proof over that space,
+//! not a probabilistic stress.
+//!
+//! Two kinds of harness live here:
+//!
+//! * **regressions** — the races previous PRs fixed by hand (the SeqCst
+//!   pop-vs-steal arbitration on the last deque element, the injector's
+//!   full-ring helping accounting, the eventcount's lost-wakeup
+//!   freedom, the batch slot generation protocol) pinned forever;
+//! * **seeded bugs** — deliberately broken variants (a deque publishing
+//!   with `Relaxed` where Release is required; slot routing that
+//!   ignores the generation stamp) that the checker must *catch*, so
+//!   the tool itself cannot silently rot.
+
+use crate::pool::{ChaseLev, EventCount, Injector, JobHeader, Steal, Task};
+use crate::sync::{fence, AtomicU64, AtomicUsize, Ordering};
+use asr_verify::model::{self, Config};
+use std::sync::Arc;
+
+/// Budget shared by the harnesses: two preemptions is enough to expose
+/// every two-thread race in these protocols while keeping exhaustive
+/// exploration fast; the caps are backstops, not tuning knobs.
+fn cfg() -> Config {
+    Config {
+        preemption_bound: 2,
+        max_executions: 400_000,
+        max_steps: 4_000,
+        max_threads: 3,
+    }
+}
+
+/// A dummy job header address used purely as a tag: harness tasks are
+/// never executed, only routed.
+fn tag(chunk: u32) -> Task {
+    Task {
+        header: 0x100usize as *const JobHeader,
+        chunk,
+    }
+}
+
+/// The PR 8 regression: owner pop vs. thief steal racing for the *last*
+/// element of the deque. The `SeqCst` fences plus the CAS on `top`
+/// must hand the element to exactly one side in every interleaving —
+/// this is the race the original Chase–Lev paper gets wrong without
+/// fences and the reason `pop` re-checks `top` after its speculative
+/// decrement.
+#[test]
+fn chase_lev_last_element_goes_to_exactly_one_side() {
+    model::check(cfg(), || {
+        let deque = Arc::new(ChaseLev::with_capacity(2));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (d2, h2) = (Arc::clone(&deque), Arc::clone(&hits));
+        assert!(deque.push(tag(7)));
+        let thief = model::spawn(move || loop {
+            match d2.steal() {
+                Steal::Success(task) => {
+                    assert_eq!(task.chunk, 7, "thief saw a stale slot");
+                    h2.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                Steal::Retry => model::yield_now(),
+                Steal::Empty => return,
+            }
+        });
+        if let Some(task) = deque.pop() {
+            assert_eq!(task.chunk, 7, "owner saw a stale slot");
+            hits.fetch_add(1, Ordering::SeqCst);
+        }
+        thief.join();
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            1,
+            "last element delivered zero or two times"
+        );
+    });
+}
+
+/// Push-then-pop overlapping a thief: two elements, the owner drains
+/// from the bottom while the thief takes from the top — between them
+/// every element must surface exactly once. (Capacity 4: a deque holds
+/// `cap - 1` elements, so 2 would refuse the second push.)
+#[test]
+fn chase_lev_owner_and_thief_split_two_elements() {
+    model::check(cfg(), || {
+        let deque = Arc::new(ChaseLev::with_capacity(4));
+        let mask = Arc::new(AtomicUsize::new(0));
+        let (d2, m2) = (Arc::clone(&deque), Arc::clone(&mask));
+        let thief = model::spawn(move || loop {
+            match d2.steal() {
+                Steal::Success(task) => {
+                    let bit = 1usize << task.chunk;
+                    let prev = m2.fetch_add(bit, Ordering::SeqCst);
+                    assert_eq!(prev & bit, 0, "chunk {} delivered twice", task.chunk);
+                    return;
+                }
+                Steal::Retry => model::yield_now(),
+                Steal::Empty => return,
+            }
+        });
+        assert!(deque.push(tag(0)));
+        assert!(deque.push(tag(1)));
+        while let Some(task) = deque.pop() {
+            let bit = 1usize << task.chunk;
+            let prev = mask.fetch_add(bit, Ordering::SeqCst);
+            assert_eq!(prev & bit, 0, "chunk {} delivered twice", task.chunk);
+        }
+        thief.join();
+        // The thief may have lost every race (mask may miss its bit only
+        // if the owner got both) — but nothing may be delivered twice
+        // and nothing may be lost.
+        let seen = mask.load(Ordering::SeqCst);
+        assert_eq!(seen, 0b11, "an element was lost: mask {seen:#b}");
+    });
+}
+
+/// The seeded known-buggy deque: a Chase–Lev push that omits the
+/// Release fence before publishing `bottom`. The thief can then observe
+/// the new `bottom` but the *stale* slot payload — the checker must
+/// exhibit that execution. This is the proof the tool would have caught
+/// the bug class the fences exist for.
+struct BuggyDeque {
+    top: AtomicU64,
+    bottom: AtomicU64,
+    slot: AtomicU64,
+}
+
+impl BuggyDeque {
+    fn new() -> Self {
+        Self {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            slot: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, value: u64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        self.slot.store(value, Ordering::Relaxed);
+        // BUG (seeded): no `fence(Release)` here — the slot write is not
+        // ordered before the bottom publication.
+        self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    fn steal(&self) -> Option<u64> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if b.wrapping_sub(t) as i64 <= 0 {
+            return None;
+        }
+        let value = self.slot.load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+            .then_some(value)
+    }
+}
+
+#[test]
+fn buggy_relaxed_publish_deque_is_caught() {
+    let report = model::check_expect_failure(cfg(), || {
+        let deque = Arc::new(BuggyDeque::new());
+        let d2 = Arc::clone(&deque);
+        let thief = model::spawn(move || {
+            if let Some(value) = d2.steal() {
+                assert_eq!(value, 42, "thief stole a stale slot payload");
+            }
+        });
+        deque.push(42);
+        thief.join();
+    });
+    assert!(
+        report.contains("stale slot payload"),
+        "unexpected report: {report}"
+    );
+}
+
+/// The injector's full-ring helping invariant on a 2-slot ring: when a
+/// submitter's push is refused it executes the chunk inline (helping),
+/// and `taken + helped == queued` with every chunk surfacing exactly
+/// once — the accounting identity `fork_join` relies on to know the
+/// job header is dead.
+#[test]
+fn injector_full_ring_helping_accounts_every_task() {
+    model::check(cfg(), || {
+        let injector = Arc::new(Injector::with_capacity(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let (i2, dn2, dl2) = (
+            Arc::clone(&injector),
+            Arc::clone(&done),
+            Arc::clone(&delivered),
+        );
+        let consumer = model::spawn(move || loop {
+            if let Some(task) = i2.pop() {
+                let bit = 1usize << task.chunk;
+                let prev = dl2.fetch_add(bit, Ordering::SeqCst);
+                assert_eq!(prev & bit, 0, "chunk {} delivered twice", task.chunk);
+            } else if dn2.load(Ordering::SeqCst) == 1 {
+                return;
+            } else {
+                model::yield_now();
+            }
+        });
+        let mut helped = 0usize;
+        for chunk in 0..3u32 {
+            if !injector.push(tag(chunk)) {
+                // Ring full: help inline, exactly like `fork_join`.
+                let bit = 1usize << chunk;
+                let prev = delivered.fetch_add(bit, Ordering::SeqCst);
+                assert_eq!(prev & bit, 0, "helped chunk {chunk} delivered twice");
+                helped += 1;
+            }
+        }
+        // Steal-back: drain whatever no lane consumed.
+        while let Some(task) = injector.pop() {
+            let bit = 1usize << task.chunk;
+            let prev = delivered.fetch_add(bit, Ordering::SeqCst);
+            assert_eq!(prev & bit, 0, "chunk {} delivered twice", task.chunk);
+        }
+        done.store(1, Ordering::SeqCst);
+        consumer.join();
+        assert!(
+            helped <= 1,
+            "a 2-slot ring refuses at most one of three pushes here"
+        );
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            0b111,
+            "queued != taken + stolen_back + helped"
+        );
+    });
+}
+
+/// The eventcount never loses a wakeup: a lane that parks on "no work"
+/// is always unparked by a producer that published work, in every
+/// interleaving of register/fence/re-check against publish/fence/notify.
+/// A lost wakeup would strand the sleeper and the model reports it as a
+/// deadlock.
+#[test]
+fn eventcount_parking_never_loses_the_wakeup() {
+    model::check(cfg(), || {
+        let ec = Arc::new(EventCount::new());
+        let work = Arc::new(AtomicUsize::new(0));
+        let (e2, w2) = (Arc::clone(&ec), Arc::clone(&work));
+        let lane = model::spawn(move || {
+            e2.park_if(|| w2.load(Ordering::Acquire) == 0);
+            // Parked at most once; by the eventcount contract the wakeup
+            // (or the pre-sleep re-check) has seen the publication.
+        });
+        work.store(1, Ordering::Release);
+        ec.notify(true);
+        lane.join();
+    });
+}
+
+/// The batch scoring service's generation-stamped slot reuse protocol,
+/// distilled: session A has a row in flight (already past the
+/// unregister compaction point, as in a scatter racing a `Session::Drop`
+/// on another thread) while the slot is recycled to session B. Delivery
+/// compares the row's owner stamp against the slot's current generation,
+/// so B can never receive A's stale row.
+#[derive(Default)]
+struct SlotModel {
+    gen: u64,
+    live: bool,
+    /// Rows delivered to the slot's current owner.
+    ready: usize,
+}
+
+#[derive(Default)]
+struct BatchModel {
+    slot: SlotModel,
+    /// At most one in-flight row: `Some(gen)` is a row stamped with its
+    /// submitting handle's generation.
+    pending: Option<u64>,
+}
+
+impl BatchModel {
+    /// The scatter routing step: deliver the pending row iff its owner
+    /// stamp still matches the slot. `check_gen` is the protocol knob
+    /// the seeded-bug variant turns off.
+    fn flush(&mut self, check_gen: bool) {
+        if let Some(owner_gen) = self.pending.take() {
+            if self.slot.live && (!check_gen || self.slot.gen == owner_gen) {
+                self.slot.ready += 1;
+            }
+        }
+    }
+}
+
+fn lock(state: &crate::sync::Mutex<BatchModel>) -> crate::sync::MutexGuard<'_, BatchModel> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn batch_slot_reuse_harness(check_gen: bool) {
+    let state = Arc::new(crate::sync::Mutex::new(BatchModel::default()));
+    // Session A: registered at generation 0 before the race window.
+    lock(&state).slot.live = true;
+    let s2 = Arc::clone(&state);
+    let a = model::spawn(move || {
+        // A's row lands in the window, stamped with A's generation —
+        // concurrent with everything the main thread does below.
+        lock(&s2).pending = Some(0);
+    });
+    // Unregister A: the generation bump is the slot's poison pill for
+    // any row still in flight (the real unregister also compacts the
+    // window, but a row mid-scatter is already past compaction).
+    {
+        let mut st = lock(&state);
+        if st.slot.live && st.slot.gen == 0 {
+            st.slot.live = false;
+            st.slot.gen = 1;
+        }
+    }
+    // Session B registers into the recycled slot (generation 1).
+    {
+        let mut st = lock(&state);
+        if !st.slot.live {
+            st.slot.live = true;
+            st.slot.ready = 0;
+        }
+    }
+    // A flush routes whatever is pending.
+    lock(&state).flush(check_gen);
+    a.join();
+    let st = lock(&state);
+    if st.slot.live && st.slot.gen == 1 {
+        // B owns the recycled slot: A's stale row must never be here.
+        assert_eq!(st.slot.ready, 0, "stale row routed to a recycled slot");
+    }
+}
+
+#[test]
+fn batch_slot_generation_stamp_blocks_stale_rows() {
+    model::check(cfg(), || batch_slot_reuse_harness(true));
+}
+
+/// The same protocol with the generation compare removed is the seeded
+/// bug: some interleaving routes A's in-flight row into B's freshly
+/// recycled slot, and the checker must find it.
+#[test]
+fn batch_slot_without_generation_check_is_caught() {
+    let report = model::check_expect_failure(cfg(), || batch_slot_reuse_harness(false));
+    assert!(report.contains("stale row"), "unexpected report: {report}");
+}

@@ -116,6 +116,7 @@ impl<T> LaneCell<T> {
     /// No other reference to the contents may exist for the duration.
     #[allow(clippy::mut_from_ref)]
     unsafe fn lane_mut(&self) -> &mut T {
+        // SAFETY: uniqueness is this fn's own contract (see `# Safety`).
         unsafe { &mut *self.0.get() }
     }
 
@@ -125,6 +126,7 @@ impl<T> LaneCell<T> {
     ///
     /// No mutable reference to the contents may exist for the duration.
     unsafe fn lane_ref(&self) -> &T {
+        // SAFETY: absence of writers is this fn's own contract.
         unsafe { &*self.0.get() }
     }
 
@@ -597,6 +599,7 @@ fn run_sharded_phases(
             let shard = unsafe { shard_cells[lane].lane_mut() };
             shard.begin_frame();
             for cell in cells {
+                // SAFETY: candidate cells are read-only in this phase.
                 let row = unsafe { cell.lane_ref() };
                 for c in &row[lane] {
                     if !last_frame && c.cost > shard.best() + beam {

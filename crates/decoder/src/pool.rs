@@ -49,10 +49,12 @@
 //! and hand over with release/acquire pairs on the sequence itself.
 
 use crate::search::DecodeScratch;
+use crate::sync::{
+    fence, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+};
 use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// One fork-join job in flight: the erased closure plus its completion
@@ -62,7 +64,7 @@ use std::thread::JoinHandle;
 /// sound. Every queued task is executed exactly once (the submitter
 /// *helps* rather than removing entries), so no queue can still hold a
 /// reference to the header once `pending` is zero.
-struct JobHeader {
+pub(crate) struct JobHeader {
     /// Trampoline recovering the concrete closure type.
     run: unsafe fn(*const (), usize),
     /// The borrowed closure, erased.
@@ -75,9 +77,9 @@ struct JobHeader {
 
 /// A schedulable unit: one chunk of one job.
 #[derive(Clone, Copy)]
-struct Task {
-    header: *const JobHeader,
-    chunk: u32,
+pub(crate) struct Task {
+    pub(crate) header: *const JobHeader,
+    pub(crate) chunk: u32,
 }
 
 // SAFETY: the header pointer crosses threads, but a task exists in the
@@ -172,7 +174,7 @@ struct DequeSlot {
 }
 
 /// Outcome of a steal attempt.
-enum Steal {
+pub(crate) enum Steal {
     /// Took this task.
     Success(Task),
     /// Nothing visible to take.
@@ -185,18 +187,32 @@ enum Steal {
 /// pushes and pops at the bottom with plain stores; any other thread
 /// steals from the top with a CAS. Indices are monotonically increasing
 /// `u64` counters; the live window is `[top, bottom)`.
-struct ChaseLev {
+pub(crate) struct ChaseLev {
     top: AtomicU64,
     bottom: AtomicU64,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: u64,
     slots: Box<[DequeSlot]>,
 }
 
 impl ChaseLev {
     fn new() -> Self {
+        Self::with_capacity(DEQUE_CAP)
+    }
+
+    /// A deque with a caller-chosen power-of-two capacity — the model-
+    /// check harnesses shrink it to 2 so exhaustive exploration can walk
+    /// the full index space.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        assert!(
+            cap.is_power_of_two() && cap >= 2,
+            "capacity must be a power of two >= 2"
+        );
         Self {
             top: AtomicU64::new(0),
             bottom: AtomicU64::new(0),
-            slots: (0..DEQUE_CAP)
+            mask: (cap - 1) as u64,
+            slots: (0..cap)
                 .map(|_| DequeSlot {
                     header: AtomicU64::new(0),
                     chunk: AtomicU64::new(0),
@@ -207,13 +223,18 @@ impl ChaseLev {
 
     #[inline]
     fn slot(&self, index: u64) -> &DequeSlot {
-        &self.slots[(index as usize) & (DEQUE_CAP - 1)]
+        &self.slots[(index & self.mask) as usize]
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Approximate number of queued tasks. Exact when the deque is
     /// quiescent (no concurrent push/pop/steal), which is the case the
     /// tests and the idle checks rely on.
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         (b.wrapping_sub(t) as i64).max(0) as usize
@@ -223,14 +244,14 @@ impl ChaseLev {
     /// advances, so the size estimate only shrinks between this check
     /// and the push.
     fn has_room(&self) -> bool {
-        self.len() < DEQUE_CAP - 1
+        self.len() < self.capacity() - 1
     }
 
     /// Owner-only push. Returns `false` (task not enqueued) at capacity.
-    fn push(&self, task: Task) -> bool {
+    pub(crate) fn push(&self, task: Task) -> bool {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
-        if b.wrapping_sub(t) as i64 >= (DEQUE_CAP - 1) as i64 {
+        if b.wrapping_sub(t) as i64 >= (self.capacity() - 1) as i64 {
             return false;
         }
         let slot = self.slot(b);
@@ -247,7 +268,7 @@ impl ChaseLev {
     /// the speculative bottom decrement against the thieves' top/bottom
     /// load pair; the last remaining element is arbitrated by the same
     /// CAS on `top` the thieves use.
-    fn pop(&self) -> Option<Task> {
+    pub(crate) fn pop(&self) -> Option<Task> {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         if b.wrapping_sub(t) as i64 <= 0 {
@@ -282,7 +303,7 @@ impl ChaseLev {
     }
 
     /// Steal one task from the top (FIFO). Callable from any thread.
-    fn steal(&self) -> Steal {
+    pub(crate) fn steal(&self) -> Steal {
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
@@ -319,18 +340,32 @@ struct RingSlot {
 /// Bounded lock-free MPMC queue (Vyukov): producers CAS `tail`,
 /// consumers CAS `head`, and each slot's sequence number hands the
 /// payload across with a release store / acquire load pair.
-struct Injector {
+pub(crate) struct Injector {
     head: AtomicUsize,
     tail: AtomicUsize,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
     slots: Box<[RingSlot]>,
 }
 
 impl Injector {
     fn new() -> Self {
+        Self::with_capacity(INJECTOR_CAP)
+    }
+
+    /// A ring with a caller-chosen power-of-two capacity — the model-
+    /// check harnesses shrink it to 2 so the full-ring helping path is
+    /// reachable within the exploration budget.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        assert!(
+            cap.is_power_of_two() && cap >= 2,
+            "capacity must be a power of two >= 2"
+        );
         Self {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
-            slots: (0..INJECTOR_CAP)
+            mask: cap - 1,
+            slots: (0..cap)
                 .map(|seq| RingSlot {
                     seq: AtomicUsize::new(seq),
                     header: AtomicU64::new(0),
@@ -341,17 +376,17 @@ impl Injector {
     }
 
     /// Approximate number of queued tasks (exact when quiescent).
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         let t = self.tail.load(Ordering::Relaxed);
         let h = self.head.load(Ordering::Relaxed);
         t.saturating_sub(h)
     }
 
     /// Enqueue; returns `false` when the ring is full.
-    fn push(&self, task: Task) -> bool {
+    pub(crate) fn push(&self, task: Task) -> bool {
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
-            let slot = &self.slots[pos & (INJECTOR_CAP - 1)];
+            let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let diff = seq as isize - pos as isize;
             if diff == 0 {
@@ -382,10 +417,10 @@ impl Injector {
     }
 
     /// Dequeue; returns `None` when the ring is empty.
-    fn pop(&self) -> Option<Task> {
+    pub(crate) fn pop(&self) -> Option<Task> {
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
-            let slot = &self.slots[pos & (INJECTOR_CAP - 1)];
+            let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let diff = seq as isize - (pos.wrapping_add(1)) as isize;
             if diff == 0 {
@@ -403,7 +438,7 @@ impl Injector {
                         };
                         // Free the slot for the producers' next lap.
                         slot.seq
-                            .store(pos.wrapping_add(INJECTOR_CAP), Ordering::Release);
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(task);
                     }
                     Err(found) => pos = found,
@@ -432,20 +467,83 @@ enum Find {
     Empty,
 }
 
+/// An eventcount: the lock-free sleep/wake protocol parking idle lanes.
+///
+/// Waiters register in `sleepers`, fence, re-check their own sleep
+/// condition, and only then take the (data-free) parking mutex to wait.
+/// Notifiers publish their work first, then call [`EventCount::notify`],
+/// whose `SeqCst` fence pairs with the waiter's: either the notifier
+/// observes the registration (and signals under the lock), or the
+/// waiter's post-registration re-check observes the published work. The
+/// lost-wakeup freedom of exactly this protocol is model-checked in
+/// `model_check.rs`.
+pub(crate) struct EventCount {
+    /// Threads registered as parked or about to park.
+    sleepers: AtomicUsize,
+    /// Parking lot only; guards no data.
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EventCount {
+    pub(crate) fn new() -> Self {
+        Self {
+            sleepers: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The parking mutex guards no data at all, so recovering from
+    /// poison is trivially safe.
+    fn lot(&self) -> MutexGuard<'_, ()> {
+        self.lock.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wake parked threads after publishing work. The `SeqCst` fence
+    /// pairs with the fence in [`EventCount::park_if`]: either we observe
+    /// the registration (and notify under the lock), or the waiter's
+    /// post-registration re-check observes our publication.
+    pub(crate) fn notify(&self, all: bool) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let _guard = self.lot();
+        if all {
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Park the calling thread while `should_sleep()` holds: register,
+    /// fence, re-check, then sleep — double-checked again under the lock
+    /// so a notify between check and wait cannot be lost.
+    pub(crate) fn park_if(&self, should_sleep: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if should_sleep() {
+            let guard = self.lot();
+            if should_sleep() {
+                let _unused = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Executor state shared by the worker lanes and every submitter. The
 /// queues and counters are lock-free; the two mutexes are parking lots
-/// only (idle lanes on `work`, blocked submitters on `done`) and are
-/// never held while a task runs or a queue is touched.
+/// only (idle lanes inside the `idle` eventcount, blocked submitters on
+/// `done`) and are never held while a task runs or a queue is touched.
 struct ExecShared {
     injector: Injector,
     deques: Vec<ChaseLev>,
     counters: PoolCounters,
-    /// Lanes registered as parked or about to park (eventcount).
-    sleepers: AtomicUsize,
     shutdown: AtomicBool,
-    /// Parking lot for idle lanes.
-    sleep: Mutex<()>,
-    work: Condvar,
+    /// Eventcount parking idle lanes until work or shutdown arrives.
+    idle: EventCount,
     /// Parking lot for submitters waiting out their join.
     done_lock: Mutex<()>,
     done: Condvar,
@@ -469,21 +567,9 @@ impl ExecShared {
         lot.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Wake parked lanes after publishing work. The `SeqCst` fence pairs
-    /// with the fence a lane issues after registering as a sleeper:
-    /// either we observe the registration (and notify under the lock),
-    /// or the lane's post-registration re-scan observes our push.
+    /// Wake parked lanes after publishing work (see [`EventCount`]).
     fn notify_workers(&self, all: bool) {
-        fence(Ordering::SeqCst);
-        if self.sleepers.load(Ordering::Relaxed) == 0 {
-            return;
-        }
-        let _guard = self.lock(&self.sleep);
-        if all {
-            self.work.notify_all();
-        } else {
-            self.work.notify_one();
-        }
+        self.idle.notify(all);
     }
 
     /// Next task for a worker lane: own deque, then the injector (batch-
@@ -582,6 +668,9 @@ fn execute_task(shared: &ExecShared, task: Task) {
     // task: `fork_join` keeps both alive until `pending` reaches zero,
     // which cannot happen before this function's `fetch_sub`.
     let header = unsafe { &*task.header };
+    // SAFETY: `ctx` is the erased `&F` this header's trampoline expects,
+    // and it stays borrowed (alive) until the job's pending count — which
+    // still includes this task — reaches zero.
     let outcome = catch_unwind(AssertUnwindSafe(|| unsafe {
         (header.run)(header.ctx, task.chunk as usize)
     }));
@@ -629,18 +718,9 @@ fn worker_loop(shared: &ExecShared, lane: usize) {
                 // sleep — the producer's fence in `notify_workers`
                 // guarantees we either see its push here or it sees our
                 // registration there.
-                shared.sleepers.fetch_add(1, Ordering::SeqCst);
-                fence(Ordering::SeqCst);
-                if !shared.has_work() && !shared.shutdown.load(Ordering::Acquire) {
-                    let guard = shared.lock(&shared.sleep);
-                    if !shared.has_work() && !shared.shutdown.load(Ordering::Acquire) {
-                        let _unused = shared
-                            .work
-                            .wait(guard)
-                            .unwrap_or_else(PoisonError::into_inner);
-                    }
-                }
-                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+                shared
+                    .idle
+                    .park_if(|| !shared.has_work() && !shared.shutdown.load(Ordering::Acquire));
             }
         }
     }
@@ -705,10 +785,8 @@ impl WorkerPool {
             injector: Injector::new(),
             deques: (0..workers).map(|_| ChaseLev::new()).collect(),
             counters: PoolCounters::default(),
-            sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            sleep: Mutex::new(()),
-            work: Condvar::new(),
+            idle: EventCount::new(),
             done_lock: Mutex::new(()),
             done: Condvar::new(),
             idle_hook: OnceLock::new(),
@@ -719,6 +797,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("asr-exec-{lane}"))
                     .spawn(move || worker_loop(&shared, lane))
+                    // LINT-ALLOW: panic — pool construction, not a frame path.
                     .expect("spawn executor worker")
             })
             .collect();
@@ -814,6 +893,12 @@ impl WorkerPool {
             return;
         }
         /// Recovers the concrete closure type on an executing lane.
+        ///
+        /// # Safety
+        ///
+        /// `ctx` must be an `&F` erased by the `fork_join` call that
+        /// built this job's header, still borrowed (the call has not
+        /// passed its completion barrier).
         unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), chunk: usize) {
             // SAFETY: `ctx` was erased from an `&F` that `fork_join`
             // keeps borrowed until its completion barrier.
@@ -895,10 +980,9 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self.shared.lock(&self.shared.sleep);
-            self.shared.work.notify_all();
-        }
+        // The eventcount's fence orders the shutdown store against each
+        // lane's registration, exactly like a work publication.
+        self.shared.idle.notify(true);
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -1035,12 +1119,16 @@ impl Deref for PooledScratch<'_> {
     type Target = DecodeScratch;
 
     fn deref(&self) -> &DecodeScratch {
+        // LINT-ALLOW: panic — `scratch` is `Some` for the guard's whole
+        // life; only `drop` takes it.
         self.scratch.as_ref().expect("scratch present until drop")
     }
 }
 
 impl DerefMut for PooledScratch<'_> {
     fn deref_mut(&mut self) -> &mut DecodeScratch {
+        // LINT-ALLOW: panic — `scratch` is `Some` for the guard's whole
+        // life; only `drop` takes it.
         self.scratch.as_mut().expect("scratch present until drop")
     }
 }

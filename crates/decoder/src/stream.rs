@@ -396,10 +396,13 @@ impl AlbQueue {
     }
 
     /// Recycles the first `count` ready rows after the search has
-    /// consumed them.
+    /// consumed them. `count` saturates at the number of ready rows, so
+    /// an over-count can never panic the session frame loop.
     pub fn retire(&mut self, count: usize) {
         for _ in 0..count {
-            let row = self.ready.pop_front().expect("retire within ready_len");
+            let Some(row) = self.ready.pop_front() else {
+                break;
+            };
             self.free.push(row);
         }
     }
@@ -527,15 +530,21 @@ impl<G: Deref<Target = Wfst> + Send, S: FrameScorer + Send> AudioStreamingDecode
         self.scorer.finish();
         if self.overlap.is_some() {
             self.drain_rows_overlapped();
-            let overlap = self.overlap.as_mut().expect("overlap mode");
-            // Relax every ready row but the last, which takes the batch
-            // decoder's end-of-utterance treatment below.
-            while overlap.queue.ready_len() > 1 {
-                let row = overlap.queue.pop_ready().expect("len checked");
-                self.decode.step(&row);
-                overlap.queue.recycle(row);
-            }
-            let last = overlap.queue.pop_ready();
+            let last = match self.overlap.as_mut() {
+                Some(overlap) => {
+                    // Relax every ready row but the last, which takes the
+                    // batch decoder's end-of-utterance treatment below.
+                    while overlap.queue.ready_len() > 1 {
+                        let Some(row) = overlap.queue.pop_ready() else {
+                            break;
+                        };
+                        self.decode.step(&row);
+                        overlap.queue.recycle(row);
+                    }
+                    overlap.queue.pop_ready()
+                }
+                None => None,
+            };
             let (result, scratch) = self.decode.finish(last.as_deref());
             return (result, scratch, self.scorer);
         }
@@ -564,7 +573,9 @@ impl<G: Deref<Target = Wfst> + Send, S: FrameScorer + Send> AudioStreamingDecode
     fn drain_rows_overlapped(&mut self) {
         let row_len = self.scorer.row_len();
         loop {
-            let overlap = self.overlap.as_mut().expect("overlap mode");
+            let Some(overlap) = self.overlap.as_mut() else {
+                return;
+            };
             let mut first = overlap.queue.checkout(row_len);
             if !self.scorer.pop_row_into(&mut first) {
                 overlap.queue.recycle(first);
@@ -610,7 +621,9 @@ impl<G: Deref<Target = Wfst> + Send, S: FrameScorer + Send> AudioStreamingDecode
             let (_, _, produced) = score_slot
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let overlap = self.overlap.as_mut().expect("overlap mode");
+            let Some(overlap) = self.overlap.as_mut() else {
+                return;
+            };
             let stepped = overlap.queue.ready_len();
             overlap.queue.retire(stepped);
             overlap.queue.push_ready(first);

@@ -1,0 +1,27 @@
+//! Synchronization facade for the lock-free executor.
+//!
+//! Everything in `pool.rs` that touches atomics, fences, or the
+//! parking-lot mutex/condvar pairs imports from here instead of
+//! `std::sync`. In a normal build these are *re-exports of the real
+//! `std` types* — zero cost, byte-identical codegen, pinned by the
+//! byte-identity suites. Under `--features model-check` they swap to
+//! [`asr_verify::shadow`]'s instrumented twins, which route every
+//! operation through the mini-loom model checker's deterministic
+//! scheduler and explicit weak-memory model (see
+//! `crates/decoder/src/model_check.rs` for the harnesses and
+//! ARCHITECTURE.md "Verification & static analysis" for the design).
+//!
+//! Outside an active `model::check` run the shadow types fall back to
+//! their wrapped `std` primitives, so the rest of the test suite still
+//! behaves normally even when the feature is enabled.
+
+#[cfg(feature = "model-check")]
+pub(crate) use asr_verify::shadow::{
+    fence, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard,
+};
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub(crate) use std::sync::atomic::Ordering;

@@ -1,0 +1,35 @@
+//! In-repo verification toolchain for the lock-free serving runtime.
+//!
+//! Two halves, both dependency-free:
+//!
+//! * [`model`] + [`shadow`] — a mini-loom **stateless model checker**.
+//!   [`shadow`] provides drop-in replacements for `std::sync::atomic`
+//!   types, fences, `Mutex` and `Condvar`; when a check is running they
+//!   route every operation through a deterministic scheduler and an
+//!   explicit C11-style weak-memory model (vector clocks, per-location
+//!   store histories, release/acquire/SeqCst semantics), and outside a
+//!   check they fall back to the real `std` primitives. [`model::check`]
+//!   explores *every* interleaving of a small multi-threaded harness up
+//!   to a preemption bound, branching both on scheduling choices and on
+//!   which admissible store each relaxed/acquire load observes — so a
+//!   missing `Release` fence or a lost wakeup is found exhaustively
+//!   instead of probabilistically. `asr-decoder` threads these types
+//!   through its executor (`crates/decoder/src/sync.rs`) behind the
+//!   `model-check` feature; release builds compile to the plain `std`
+//!   atomics with zero overhead.
+//! * [`lint`] — the engine behind the `asr-lint` binary: a hand-rolled
+//!   Rust lexer (no `syn`, no registry deps) enforcing repo invariants
+//!   clippy cannot: `// SAFETY:` comments on every `unsafe` block,
+//!   `Ordering::*` and raw-pointer types confined to an allowlisted
+//!   module set, no panicking calls in hot-path modules, and
+//!   compile-time size/align asserts for every `repr(C)` record.
+//!
+//! Run the whole suite with `just verify`; see ARCHITECTURE.md
+//! ("Verification & static analysis") for the design notes.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lint;
+pub mod model;
+pub mod shadow;

@@ -1,0 +1,1167 @@
+//! A mini-loom stateless model checker: deterministic DFS over every
+//! interleaving (and every admissible weak-memory read) of a small
+//! multi-threaded harness.
+//!
+//! # How a check runs
+//!
+//! [`check`] executes the harness closure over and over. Each execution
+//! runs the harness threads as real OS threads, but a cooperative
+//! handshake (one shared mutex + condvar) guarantees **exactly one
+//! thread runs at a time**: every [`shadow`](crate::shadow) operation is
+//! a *scheduling point* where the active thread performs its memory
+//! effect under the model lock and then hands control to whichever
+//! thread the explorer chooses next. Nondeterminism — which thread runs,
+//! which store a load reads, which sleeper a `notify_one` wakes — is
+//! recorded on a decision stack; after each execution the explorer
+//! backtracks depth-first to the deepest decision with an untried
+//! alternative and replays. Exploration terminates when the stack
+//! empties, i.e. every behavior within the bounds has been visited.
+//!
+//! # The memory model
+//!
+//! A pragmatic C11 approximation, strong enough to pass the correct
+//! Chase–Lev orderings and weak enough to expose missing fences:
+//!
+//! * Every thread carries a vector clock; every store appends to its
+//!   location's history a `(value, writer, writer-time, sync-clock)`
+//!   event. `Release` stores carry the writer's full clock; `Relaxed`
+//!   stores carry only the clock captured by the writer's last `Release`
+//!   fence (empty if none).
+//! * A load may read any store that per-thread coherence and
+//!   happens-before admit: never older than a store the thread already
+//!   observed at that location, and never a store hidden by a
+//!   happens-before-later one. Each admissible store is a DFS branch.
+//!   `Acquire` loads join the store's sync clock into the reader's
+//!   clock; `Relaxed` loads bank it for a later `Acquire` fence.
+//! * RMWs read the latest store in modification order (they must be
+//!   adjacent to their own store) and continue C++20 release sequences
+//!   (an RMW's sync clock joins the previous store's). A failed
+//!   `compare_exchange` reads the latest store; weak and strong CAS are
+//!   modeled identically (no spurious failures).
+//! * `SeqCst` fences and operations additionally join the thread clock
+//!   with a global SC clock in **both** directions — the total order all
+//!   SC ops agree on. This is what arbitrates the Chase–Lev pop/steal
+//!   fence pair while still letting a `Relaxed`-where-`Release`-needed
+//!   bug read stale slot values.
+//!
+//! # Bounds
+//!
+//! State space is kept finite by [`Config::preemption_bound`] (only
+//! switches *away from a runnable thread* count; switches at blocking or
+//! after [`yield_now`] are free), [`Config::max_steps`] per execution
+//! (a livelock backstop), and [`Config::max_executions`] overall.
+//! Blocking is modeled exactly: when every live thread is blocked the
+//! execution fails with a deadlock report — which is precisely what a
+//! lost eventcount wakeup looks like.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as RealOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Bounds for one [`check`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum number of *preemptive* context switches per execution:
+    /// switches away from a thread that could have continued. Blocking
+    /// switches and post-yield switches are free. 2–3 suffices for the
+    /// classic two-thread races; raising it grows the space quickly.
+    pub preemption_bound: usize,
+    /// Hard cap on executions; exceeding it panics (the harness is too
+    /// big for exhaustive exploration — shrink it or the bound).
+    pub max_executions: usize,
+    /// Scheduling points allowed in a single execution before it is
+    /// reported as a livelock.
+    pub max_steps: usize,
+    /// Maximum threads a harness may have alive at once (including the
+    /// main thread).
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_executions: 200_000,
+            max_steps: 4_000,
+            max_threads: 4,
+        }
+    }
+}
+
+/// Outcome of an exhaustive exploration (see [`explore`]).
+#[derive(Debug)]
+pub struct Outcome {
+    /// Executions visited before completing or failing.
+    pub executions: usize,
+    /// `Some(report)` if any execution failed — assertion, deadlock,
+    /// or livelock — with the interleaving trace that produced it.
+    pub failure: Option<String>,
+}
+
+/// Sentinel panic payload used to unwind harness threads when the
+/// execution is aborted (failure found elsewhere); never a failure.
+struct Abort;
+
+/// One recorded nondeterministic choice.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    total: usize,
+}
+
+/// A vector clock over thread ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: usize, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One store event in a location's modification order.
+#[derive(Debug, Clone)]
+struct StoreEvent {
+    value: u64,
+    writer: usize,
+    /// The writer's own clock component at the store; a thread with
+    /// `clock[writer] >= writer_time` is happens-after this store.
+    writer_time: u64,
+    /// Clock an acquire-reader synchronizes with.
+    sync: VClock,
+}
+
+/// An atomic location's full history plus per-thread coherence floors.
+#[derive(Debug)]
+struct Location {
+    stores: Vec<StoreEvent>,
+    /// Per-thread index of the newest store this thread has observed
+    /// (read from or written); coherence forbids reading older ones.
+    last_seen: Vec<usize>,
+    /// Per-thread store index of the thread's most recent access here.
+    /// A repeat load may not re-read the same *stale* store: stores
+    /// become visible in finite time (the C11 progress guarantee,
+    /// applied at its strongest), which is what lets `yield_now` spin
+    /// loops terminate instead of branching on the stale value forever.
+    last_read: Vec<Option<usize>>,
+}
+
+/// Shadow mutex bookkeeping.
+#[derive(Debug)]
+struct MutexState {
+    held_by: Option<usize>,
+    /// Release clock of the last unlock; joined by the next lock.
+    clock: VClock,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Clock captured by the last `Release` fence; relaxed stores
+    /// publish this instead of the live clock.
+    pending_release: VClock,
+    /// Sync clocks banked by relaxed loads, claimed by an `Acquire`
+    /// fence.
+    pending_acquire: VClock,
+    /// Set by [`yield_now`]; the scheduler must run someone else if it
+    /// can, and switching away is free.
+    yielded: bool,
+}
+
+/// Everything the explorer mutates during one execution; guarded by the
+/// single handshake mutex so the active thread owns it exclusively.
+struct ExecState {
+    cfg: Config,
+    threads: Vec<ThreadState>,
+    active: Option<usize>,
+    preemptions: usize,
+    steps: usize,
+    abort: bool,
+    failure: Option<String>,
+    decisions: Vec<Decision>,
+    /// Next index into `decisions` (replay cursor).
+    cursor: usize,
+    locations: Vec<Location>,
+    mutexes: Vec<MutexState>,
+    /// Waiters per condvar id, in wait order (notify_one picks by
+    /// decision among them).
+    cond_waiters: Vec<VecDeque<usize>>,
+    /// Global SeqCst clock (the SC total order, as a clock).
+    sc_clock: VClock,
+    trace: Vec<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One execution's shared handshake: the state, the condvar every
+/// thread (and the controller) waits on, and a lock-free abort flag so
+/// shadow ops can fall back cheaply during teardown.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    aborted: AtomicBool,
+    /// Monotone id of this execution, used by shadow cells to detect
+    /// registrations left over from a previous execution.
+    seq: u64,
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution").field("seq", &self.seq).finish()
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is currently inside a model execution.
+pub fn is_active() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+static EXEC_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// A registration cell embedded in each shadow primitive: which
+/// execution it was registered under and the id it got. Real atomics
+/// because the shadow types must stay `Sync`; only the single active
+/// model thread ever writes them.
+#[derive(Debug)]
+pub(crate) struct RegCell {
+    seq: AtomicU64,
+    id: AtomicUsize,
+}
+
+impl RegCell {
+    pub(crate) const fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            id: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ExecState {
+    fn fail(&mut self, exec: &Execution, msg: &str) -> ! {
+        if self.failure.is_none() {
+            let mut report = format!("model check failed: {msg}\n--- trace ---\n");
+            for line in &self.trace {
+                report.push_str(line);
+                report.push('\n');
+            }
+            self.failure = Some(report);
+        }
+        self.abort = true;
+        exec.aborted.store(true, RealOrdering::SeqCst);
+        exec.cv.notify_all();
+        std::panic::panic_any(Abort);
+    }
+
+    /// Takes (or replays) the next decision among `total` alternatives.
+    fn decide(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let at = self.cursor;
+        self.cursor += 1;
+        if at < self.decisions.len() {
+            debug_assert_eq!(
+                self.decisions[at].total, total,
+                "replay divergence: decision {at} fan-out changed"
+            );
+            self.decisions[at].chosen
+        } else {
+            self.decisions.push(Decision { chosen: 0, total });
+            0
+        }
+    }
+
+    /// Picks the next thread to activate. `me` is the thread at the
+    /// scheduling point (it may have just blocked or finished).
+    fn schedule(&mut self, exec: &Execution, me: usize) {
+        let runnable: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| self.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if self.threads.iter().all(|t| t.status == Status::Finished) {
+                self.active = None;
+                exec.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| format!("t{i}:{:?}", t.status))
+                .collect();
+            self.fail(
+                exec,
+                &format!(
+                    "deadlock: every live thread is blocked ({}) — lost wakeup?",
+                    blocked.join(", ")
+                ),
+            );
+        }
+        // Prefer threads that have not just yielded; a yielded thread
+        // only runs again when it is the sole runnable one.
+        let fresh: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&t| !self.threads[t].yielded)
+            .collect();
+        let pool = if fresh.is_empty() { runnable } else { fresh };
+        let me_continues = pool.contains(&me);
+        let candidates: Vec<usize> = if me_continues {
+            if self.preemptions >= self.cfg.preemption_bound {
+                vec![me]
+            } else {
+                // `me` first so choice 0 is "continue", keeping the
+                // baseline execution mostly sequential.
+                std::iter::once(me)
+                    .chain(pool.iter().copied().filter(|&t| t != me))
+                    .collect()
+            }
+        } else {
+            pool
+        };
+        let next = candidates[self.decide(candidates.len())];
+        if me_continues && next != me {
+            self.preemptions += 1;
+        }
+        self.threads[next].yielded = false;
+        self.active = Some(next);
+        exec.cv.notify_all();
+    }
+}
+
+impl Execution {
+    fn wait_for_turn<'a>(
+        &'a self,
+        me: usize,
+        mut st: MutexGuard<'a, ExecState>,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == Some(me) {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `op` as one atomic scheduling point for thread `me`, then
+    /// hands control to the explorer's next pick.
+    fn op<R>(&self, me: usize, op: impl FnOnce(&mut ExecState, &Execution) -> R) -> R {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        debug_assert_eq!(st.active, Some(me), "op from a non-active thread");
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let cap = st.cfg.max_steps;
+            st.fail(self, &format!("step cap {cap} exceeded — livelock?"));
+        }
+        let out = op(&mut st, self);
+        st.schedule(self, me);
+        let st = self.wait_for_turn(me, st);
+        drop(st);
+        out
+    }
+
+    /// Registers (or looks up) a shadow primitive for this execution.
+    /// `make` appends the model-side state and returns its id.
+    fn register(
+        &self,
+        cell: &RegCell,
+        st: &mut ExecState,
+        make: impl FnOnce(&mut ExecState) -> usize,
+    ) -> usize {
+        if cell.seq.load(RealOrdering::Relaxed) == self.seq {
+            return cell.id.load(RealOrdering::Relaxed);
+        }
+        let id = make(st);
+        cell.id.store(id, RealOrdering::Relaxed);
+        cell.seq.store(self.seq, RealOrdering::Relaxed);
+        id
+    }
+
+    fn location_id(&self, cell: &RegCell, st: &mut ExecState, init: u64) -> usize {
+        let threads = self.max_threads_hint(st);
+        self.register(cell, st, |st| {
+            st.locations.push(Location {
+                stores: vec![StoreEvent {
+                    value: init,
+                    writer: 0,
+                    // `writer_time` 0 makes the initial store
+                    // happens-before every load.
+                    writer_time: 0,
+                    sync: VClock::default(),
+                }],
+                last_seen: vec![0; threads],
+                last_read: vec![None; threads],
+            });
+            st.locations.len() - 1
+        })
+    }
+
+    fn max_threads_hint(&self, st: &ExecState) -> usize {
+        st.cfg.max_threads.max(st.threads.len())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shadow-facing operations (crate-internal API used by `crate::shadow`).
+// ---------------------------------------------------------------------
+
+/// Effective orderings split into their acquire/release/SC components.
+fn is_acquire(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Acquire | AcqRel | SeqCst)
+}
+
+fn is_release(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Release | AcqRel | SeqCst)
+}
+
+fn is_seqcst(o: std::sync::atomic::Ordering) -> bool {
+    matches!(o, std::sync::atomic::Ordering::SeqCst)
+}
+
+fn sc_sync(st: &mut ExecState, me: usize) {
+    let mut sc = std::mem::take(&mut st.sc_clock);
+    st.threads[me].clock.join(&sc);
+    sc.join(&st.threads[me].clock);
+    st.sc_clock = sc;
+}
+
+/// Performs a load; branches over every admissible store.
+pub(crate) fn atomic_load(
+    cell: &RegCell,
+    init: u64,
+    order: std::sync::atomic::Ordering,
+) -> Option<u64> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    Some(exec.op(me, |st, exec| {
+        let loc = exec.location_id(cell, st, init);
+        if is_seqcst(order) {
+            sc_sync(st, me);
+        }
+        // Coherence + happens-before floor: newest store this thread
+        // has observed here, or that happens-before this load.
+        let mut floor = st.locations[loc].last_seen[me];
+        for (i, s) in st.locations[loc].stores.iter().enumerate() {
+            if st.threads[me].clock.get(s.writer) >= s.writer_time {
+                floor = floor.max(i);
+            }
+        }
+        let newest = st.locations[loc].stores.len() - 1;
+        // Progress: a repeat load may not re-read the same stale store
+        // (see `Location::last_read`).
+        if let Some(k) = st.locations[loc].last_read[me] {
+            if k < newest {
+                floor = floor.max(k + 1);
+            }
+        }
+        let span = newest - floor + 1;
+        // Choice 0 reads the newest store (the SC-like baseline);
+        // later choices read progressively staler admissible stores.
+        let pick = newest - st.decide(span);
+        let (value, sync) = {
+            let s = &st.locations[loc].stores[pick];
+            (s.value, s.sync.clone())
+        };
+        st.locations[loc].last_seen[me] = st.locations[loc].last_seen[me].max(pick);
+        st.locations[loc].last_read[me] = Some(pick);
+        if is_acquire(order) {
+            st.threads[me].clock.join(&sync);
+        } else {
+            st.threads[me].pending_acquire.join(&sync);
+        }
+        if is_seqcst(order) {
+            sc_sync(st, me);
+        }
+        st.trace.push(format!(
+            "t{me} load L{loc} {order:?} -> {value} (store #{pick})"
+        ));
+        value
+    }))
+}
+
+/// Appends a store to the location's modification order.
+pub(crate) fn atomic_store(
+    cell: &RegCell,
+    init: u64,
+    value: u64,
+    order: std::sync::atomic::Ordering,
+) -> Option<()> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    exec.op(me, |st, exec| {
+        let loc = exec.location_id(cell, st, init);
+        if is_seqcst(order) {
+            sc_sync(st, me);
+        }
+        push_store(st, me, loc, value, order, false);
+        st.trace
+            .push(format!("t{me} store L{loc} {order:?} <- {value}"));
+    });
+    Some(())
+}
+
+/// Shared store bookkeeping; `rmw` continues the release sequence.
+fn push_store(
+    st: &mut ExecState,
+    me: usize,
+    loc: usize,
+    value: u64,
+    order: std::sync::atomic::Ordering,
+    rmw: bool,
+) {
+    let t = st.threads[me].clock.get(me) + 1;
+    st.threads[me].clock.set(me, t);
+    let mut sync = if is_release(order) {
+        st.threads[me].clock.clone()
+    } else {
+        st.threads[me].pending_release.clone()
+    };
+    if rmw {
+        // C++20 release sequence: an RMW extends the sequence headed by
+        // the store it read from, whatever its own ordering.
+        let prev = st.locations[loc].stores.last().expect("initial store");
+        sync.join(&prev.sync.clone());
+    }
+    if is_seqcst(order) {
+        sc_sync(st, me);
+        sync.join(&st.threads[me].clock);
+    }
+    let idx = st.locations[loc].stores.len();
+    st.locations[loc].stores.push(StoreEvent {
+        value,
+        writer: me,
+        writer_time: t,
+        sync,
+    });
+    st.locations[loc].last_seen[me] = idx;
+    st.locations[loc].last_read[me] = Some(idx);
+}
+
+/// Read-modify-write: reads the latest store (RMWs are adjacent to
+/// their own store in modification order), applies `f`, appends.
+pub(crate) fn atomic_rmw(
+    cell: &RegCell,
+    init: u64,
+    order: std::sync::atomic::Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> Option<u64> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    Some(exec.op(me, |st, exec| {
+        let loc = exec.location_id(cell, st, init);
+        if is_seqcst(order) {
+            sc_sync(st, me);
+        }
+        let (old, sync) = {
+            let s = st.locations[loc].stores.last().expect("initial store");
+            (s.value, s.sync.clone())
+        };
+        if is_acquire(order) {
+            st.threads[me].clock.join(&sync);
+        } else {
+            st.threads[me].pending_acquire.join(&sync);
+        }
+        let new = f(old);
+        push_store(st, me, loc, new, order, true);
+        st.trace
+            .push(format!("t{me} rmw L{loc} {order:?} {old} -> {new}"));
+        old
+    }))
+}
+
+/// Compare-exchange: success is an RMW on the latest store; failure is
+/// a load of the latest store with the failure ordering. Weak and
+/// strong are identical (no spurious failures).
+pub(crate) fn atomic_cas(
+    cell: &RegCell,
+    init: u64,
+    expected: u64,
+    new: u64,
+    success: std::sync::atomic::Ordering,
+    failure: std::sync::atomic::Ordering,
+) -> Option<Result<u64, u64>> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    Some(exec.op(me, |st, exec| {
+        let loc = exec.location_id(cell, st, init);
+        let latest = {
+            let s = st.locations[loc].stores.last().expect("initial store");
+            (s.value, s.sync.clone())
+        };
+        if latest.0 == expected {
+            if is_seqcst(success) {
+                sc_sync(st, me);
+            }
+            if is_acquire(success) {
+                st.threads[me].clock.join(&latest.1);
+            } else {
+                st.threads[me].pending_acquire.join(&latest.1);
+            }
+            push_store(st, me, loc, new, success, true);
+            st.trace
+                .push(format!("t{me} cas L{loc} {expected}->{new} ok"));
+            Ok(expected)
+        } else {
+            if is_seqcst(failure) {
+                sc_sync(st, me);
+            }
+            if is_acquire(failure) {
+                st.threads[me].clock.join(&latest.1);
+            } else {
+                st.threads[me].pending_acquire.join(&latest.1);
+            }
+            let newest = st.locations[loc].stores.len() - 1;
+            st.locations[loc].last_seen[me] = st.locations[loc].last_seen[me].max(newest);
+            st.locations[loc].last_read[me] = Some(newest);
+            st.trace.push(format!(
+                "t{me} cas L{loc} exp {expected} found {} fail",
+                latest.0
+            ));
+            Err(latest.0)
+        }
+    }))
+}
+
+/// A memory fence with the given ordering.
+pub(crate) fn fence(order: std::sync::atomic::Ordering) -> Option<()> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    exec.op(me, |st, _exec| {
+        if is_acquire(order) {
+            let banked = std::mem::take(&mut st.threads[me].pending_acquire);
+            st.threads[me].clock.join(&banked);
+        }
+        if is_seqcst(order) {
+            sc_sync(st, me);
+        }
+        if is_release(order) {
+            st.threads[me].pending_release = st.threads[me].clock.clone();
+        }
+        st.trace.push(format!("t{me} fence {order:?}"));
+    });
+    Some(())
+}
+
+/// Mutex lock: blocks (in model time) while held; acquire edge from the
+/// last unlock. Returns `None` outside a model run.
+pub(crate) fn mutex_lock(cell: &RegCell) -> Option<()> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        std::panic::panic_any(Abort);
+    }
+    loop {
+        let mut st = exec.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let id = exec.register(cell, &mut st, |st| {
+            st.mutexes.push(MutexState {
+                held_by: None,
+                clock: VClock::default(),
+            });
+            st.mutexes.len() - 1
+        });
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let cap = st.cfg.max_steps;
+            st.fail(&exec, &format!("step cap {cap} exceeded — livelock?"));
+        }
+        if st.mutexes[id].held_by.is_none() {
+            st.mutexes[id].held_by = Some(me);
+            let clock = st.mutexes[id].clock.clone();
+            st.threads[me].clock.join(&clock);
+            st.trace.push(format!("t{me} lock M{id}"));
+            st.schedule(&exec, me);
+            let st = exec.wait_for_turn(me, st);
+            drop(st);
+            return Some(());
+        }
+        st.threads[me].status = Status::BlockedMutex(id);
+        st.trace.push(format!("t{me} block on M{id}"));
+        st.schedule(&exec, me);
+        let st = exec.wait_for_turn(me, st);
+        drop(st);
+        // Woken runnable: loop and retry the acquisition.
+    }
+}
+
+/// Mutex unlock: release edge to the next lock; wakes blocked lockers.
+/// A no-op during abort teardown so guard drops never double-panic.
+pub(crate) fn mutex_unlock(cell: &RegCell) {
+    let Some((exec, me)) = current() else { return };
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return;
+    }
+    exec.op(me, |st, exec| {
+        let id = exec.register(cell, st, |st| {
+            st.mutexes.push(MutexState {
+                held_by: None,
+                clock: VClock::default(),
+            });
+            st.mutexes.len() - 1
+        });
+        debug_assert_eq!(st.mutexes[id].held_by, Some(me), "unlock by non-holder");
+        st.mutexes[id].held_by = None;
+        let clock = st.threads[me].clock.clone();
+        st.mutexes[id].clock.join(&clock);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(id) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        st.trace.push(format!("t{me} unlock M{id}"));
+    });
+}
+
+/// Condvar wait: atomically releases the mutex and blocks until
+/// notified, then reacquires. The caller passes both registration
+/// cells; the mutex must be held by the calling thread.
+pub(crate) fn condvar_wait(cv_cell: &RegCell, mutex_cell: &RegCell) -> Option<()> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        std::panic::panic_any(Abort);
+    }
+    {
+        let mut st = exec.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let cv_id = exec.register(cv_cell, &mut st, |st| {
+            st.cond_waiters.push(VecDeque::new());
+            st.cond_waiters.len() - 1
+        });
+        let m_id = exec.register(mutex_cell, &mut st, |st| {
+            st.mutexes.push(MutexState {
+                held_by: None,
+                clock: VClock::default(),
+            });
+            st.mutexes.len() - 1
+        });
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let cap = st.cfg.max_steps;
+            st.fail(&exec, &format!("step cap {cap} exceeded — livelock?"));
+        }
+        debug_assert_eq!(st.mutexes[m_id].held_by, Some(me), "wait without the lock");
+        // Atomically: release the mutex, enqueue as a waiter, block.
+        st.mutexes[m_id].held_by = None;
+        let clock = st.threads[me].clock.clone();
+        st.mutexes[m_id].clock.join(&clock);
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(m_id) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        st.cond_waiters[cv_id].push_back(me);
+        st.threads[me].status = Status::BlockedCondvar(cv_id);
+        st.trace
+            .push(format!("t{me} wait C{cv_id} (released M{m_id})"));
+        st.schedule(&exec, me);
+        let st = exec.wait_for_turn(me, st);
+        drop(st);
+    }
+    // Notified: reacquire the mutex through the normal blocking path.
+    mutex_lock(mutex_cell)
+}
+
+/// Condvar notify. With several waiters, `notify_one` branches over
+/// which waiter wakes.
+pub(crate) fn condvar_notify(cell: &RegCell, all: bool) -> Option<()> {
+    let (exec, me) = current()?;
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        return None;
+    }
+    exec.op(me, |st, exec| {
+        let id = exec.register(cell, st, |st| {
+            st.cond_waiters.push(VecDeque::new());
+            st.cond_waiters.len() - 1
+        });
+        if all {
+            while let Some(t) = st.cond_waiters[id].pop_front() {
+                st.threads[t].status = Status::Runnable;
+            }
+            st.trace.push(format!("t{me} notify_all C{id}"));
+        } else if !st.cond_waiters[id].is_empty() {
+            let pick = st.decide(st.cond_waiters[id].len());
+            let t = st.cond_waiters[id].remove(pick).expect("picked waiter");
+            st.threads[t].status = Status::Runnable;
+            st.trace.push(format!("t{me} notify_one C{id} -> t{t}"));
+        } else {
+            st.trace
+                .push(format!("t{me} notify_one C{id} (no waiters)"));
+        }
+    });
+    Some(())
+}
+
+/// Marks the calling thread as yielded: the scheduler must run another
+/// thread if any can run, and the switch is free. Spin loops in
+/// harnesses must call this to stay explorable.
+pub fn yield_now() {
+    let Some((exec, me)) = current() else {
+        std::thread::yield_now();
+        return;
+    };
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        std::panic::panic_any(Abort);
+    }
+    exec.op(me, |st, _exec| {
+        st.threads[me].yielded = true;
+        st.trace.push(format!("t{me} yield"));
+    });
+}
+
+/// Handle for a thread spawned with [`spawn`] inside a check.
+#[derive(Debug)]
+pub struct JoinHandle {
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Blocks (in model time) until the thread finishes; inherits its
+    /// final clock (the usual join happens-before edge).
+    pub fn join(self) {
+        let (exec, me) = current().expect("join outside a model run");
+        loop {
+            if exec.aborted.load(RealOrdering::Relaxed) {
+                std::panic::panic_any(Abort);
+            }
+            let mut st = exec.lock();
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            st.steps += 1;
+            if st.steps > st.cfg.max_steps {
+                let cap = st.cfg.max_steps;
+                st.fail(&exec, &format!("step cap {cap} exceeded — livelock?"));
+            }
+            if st.threads[self.tid].status == Status::Finished {
+                let clock = st.threads[self.tid].clock.clone();
+                st.threads[me].clock.join(&clock);
+                st.trace.push(format!("t{me} joined t{}", self.tid));
+                st.schedule(&exec, me);
+                let st = exec.wait_for_turn(me, st);
+                drop(st);
+                return;
+            }
+            st.threads[me].status = Status::BlockedJoin(self.tid);
+            st.trace.push(format!("t{me} block join t{}", self.tid));
+            st.schedule(&exec, me);
+            let st = exec.wait_for_turn(me, st);
+            drop(st);
+        }
+    }
+}
+
+/// Spawns a harness thread inside the current check. The child inherits
+/// the parent's clock (the spawn happens-before edge) and is scheduled
+/// like any other thread.
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (exec, me) = current().expect("spawn outside a model run");
+    if exec.aborted.load(RealOrdering::Relaxed) {
+        std::panic::panic_any(Abort);
+    }
+    let tid = {
+        let mut st = exec.lock();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let tid = st.threads.len();
+        if tid >= st.cfg.max_threads {
+            let cap = st.cfg.max_threads;
+            st.fail(&exec, &format!("thread cap {cap} exceeded"));
+        }
+        let mut clock = st.threads[me].clock.clone();
+        clock.set(tid, 1);
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            pending_release: VClock::default(),
+            pending_acquire: VClock::default(),
+            yielded: false,
+        });
+        st.trace.push(format!("t{me} spawn t{tid}"));
+        let child_exec = Arc::clone(&exec);
+        let handle = std::thread::Builder::new()
+            .name(format!("model-t{tid}"))
+            .spawn(move || thread_main(child_exec, tid, f))
+            .expect("spawn model thread");
+        st.os_handles.push(handle);
+        // The spawn itself is a scheduling point.
+        st.schedule(&exec, me);
+        let st = exec.wait_for_turn(me, st);
+        drop(st);
+        tid
+    };
+    JoinHandle { tid }
+}
+
+/// Body of every harness OS thread: wait to be scheduled, run the
+/// closure, record any failure, retire.
+fn thread_main(exec: Arc<Execution>, tid: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    {
+        let st = exec.lock();
+        // First activation; aborts unwind out through the catch below.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let st = exec.wait_for_turn(tid, st);
+            drop(st);
+        }));
+        if outcome.is_err() {
+            retire(&exec, tid, None);
+            CTX.with(|c| *c.borrow_mut() = None);
+            return;
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    let failure = match outcome {
+        Ok(()) => None,
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                None
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                Some((*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                Some("harness panicked with a non-string payload".to_string())
+            }
+        }
+    };
+    retire(&exec, tid, failure);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Marks a thread finished, records its failure (if any), wakes its
+/// joiners, and hands control onward.
+fn retire(exec: &Execution, tid: usize, failure: Option<String>) {
+    let mut st = exec.lock();
+    if let Some(msg) = failure {
+        if st.failure.is_none() {
+            let mut report = format!("model check failed: t{tid} panicked: {msg}\n--- trace ---\n");
+            for line in &st.trace {
+                report.push_str(line);
+                report.push('\n');
+            }
+            st.failure = Some(report);
+        }
+        st.abort = true;
+        exec.aborted.store(true, RealOrdering::SeqCst);
+    }
+    st.threads[tid].status = Status::Finished;
+    for t in 0..st.threads.len() {
+        if st.threads[t].status == Status::BlockedJoin(tid) {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+    if st.abort {
+        st.active = None;
+        exec.cv.notify_all();
+        return;
+    }
+    // Not a failure path: pick whoever runs next (panics only if a
+    // genuine deadlock remains, which `catch_unwind` below absorbs).
+    let _ = catch_unwind(AssertUnwindSafe(|| st.schedule(exec, tid)));
+}
+
+/// Runs one execution with the given replay stack; returns the updated
+/// stack and any failure.
+fn run_one(
+    cfg: Config,
+    f: &(dyn Fn() + Sync),
+    stack: Vec<Decision>,
+) -> (Vec<Decision>, Option<String>) {
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            cfg,
+            threads: vec![ThreadState {
+                status: Status::Runnable,
+                clock: {
+                    let mut c = VClock::default();
+                    c.set(0, 1);
+                    c
+                },
+                pending_release: VClock::default(),
+                pending_acquire: VClock::default(),
+                yielded: false,
+            }],
+            active: Some(0),
+            preemptions: 0,
+            steps: 0,
+            abort: false,
+            failure: None,
+            decisions: stack,
+            cursor: 0,
+            locations: Vec::new(),
+            mutexes: Vec::new(),
+            cond_waiters: Vec::new(),
+            sc_clock: VClock::default(),
+            trace: Vec::new(),
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        aborted: AtomicBool::new(false),
+        seq: EXEC_SEQ.fetch_add(1, RealOrdering::Relaxed),
+    });
+    // Thread 0 runs the harness closure itself; a scoped thread lets
+    // it borrow `f` for just this execution.
+    let exec0 = Arc::clone(&exec);
+    std::thread::scope(|scope| {
+        scope.spawn(move || thread_main(exec0, 0, f));
+    });
+    // Wait until every model thread has retired (spawned threads may
+    // outlive thread 0).
+    {
+        let mut st = exec.lock();
+        while !(st.threads.iter().all(|t| t.status == Status::Finished)) {
+            st = exec
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    let handles = {
+        let mut st = exec.lock();
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = exec.lock();
+    (std::mem::take(&mut st.decisions), st.failure.take())
+}
+
+/// Exhaustively explores the harness under `cfg`; returns how many
+/// executions ran and the first failure found (exploration stops at the
+/// first failing interleaving).
+pub fn explore(cfg: Config, f: impl Fn() + Sync) -> Outcome {
+    let mut stack: Vec<Decision> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= cfg.max_executions,
+            "model check exceeded {} executions — shrink the harness or the bounds",
+            cfg.max_executions
+        );
+        let (new_stack, failure) = run_one(cfg, &f, stack);
+        stack = new_stack;
+        if failure.is_some() {
+            return Outcome {
+                executions,
+                failure,
+            };
+        }
+        // Depth-first backtrack to the deepest untried alternative.
+        loop {
+            match stack.last_mut() {
+                None => {
+                    return Outcome {
+                        executions,
+                        failure: None,
+                    }
+                }
+                Some(d) if d.chosen + 1 < d.total => {
+                    d.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Checks the harness: explores exhaustively and panics with the
+/// counterexample trace if any interleaving fails.
+pub fn check(cfg: Config, f: impl Fn() + Sync) -> usize {
+    let outcome = explore(cfg, f);
+    if let Some(report) = outcome.failure {
+        panic!("{report}");
+    }
+    outcome.executions
+}
+
+/// Checks a harness that is *expected* to fail (a seeded bug): panics
+/// if exploration finds no failing interleaving, otherwise returns the
+/// failure report. Keeps the checker itself from silently rotting.
+pub fn check_expect_failure(cfg: Config, f: impl Fn() + Sync) -> String {
+    let outcome = explore(cfg, f);
+    outcome.failure.unwrap_or_else(|| {
+        panic!(
+            "seeded bug was NOT caught in {} executions — the model checker has rotted",
+            outcome.executions
+        )
+    })
+}

@@ -1,0 +1,415 @@
+//! Shadow `std::sync` primitives for the model checker.
+//!
+//! Drop-in replacements for the atomic types, fences, `Mutex` and
+//! `Condvar` the executor uses. Inside a [`crate::model::check`]
+//! run every operation routes through the deterministic scheduler and
+//! the explicit weak-memory model; outside a run each type falls back
+//! to the real `std` primitive it wraps, so a crate compiled with its
+//! `model-check` feature still behaves correctly in ordinary tests.
+//!
+//! `asr-decoder` re-exports these from `crate::sync` when built with
+//! `--features model-check`; release builds re-export `std::sync`
+//! directly, so the facade is zero-cost where it matters.
+
+use crate::model;
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+/// A `Result`-style alias mirroring `std::sync::TryLockResult` is not
+/// needed: the executor only uses blocking `lock`.
+macro_rules! shadow_atomic {
+    ($(#[$doc:meta])* $name:ident, $real:ty, $prim:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            real: $real,
+            cell: model::RegCell,
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.real)
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub const fn new(value: $prim) -> Self {
+                Self {
+                    real: <$real>::new(value),
+                    cell: model::RegCell::new(),
+                }
+            }
+
+            fn init(&self) -> u64 {
+                self.real.load(Ordering::Relaxed) as u64
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                if model::is_active() {
+                    match model::atomic_load(&self.cell, self.init(), order) {
+                        Some(v) => v as $prim,
+                        // Aborting execution: return something inert
+                        // without polluting the fallback value.
+                        None => self.real.load(Ordering::Relaxed),
+                    }
+                } else {
+                    self.real.load(order)
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                if model::is_active() {
+                    let _ = model::atomic_store(&self.cell, self.init(), value as u64, order);
+                } else {
+                    self.real.store(value, order);
+                }
+            }
+
+            /// Atomic add; returns the previous value.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                if model::is_active() {
+                    match model::atomic_rmw(&self.cell, self.init(), order, |v| {
+                        (v as $prim).wrapping_add(value) as u64
+                    }) {
+                        Some(v) => v as $prim,
+                        None => 0,
+                    }
+                } else {
+                    self.real.fetch_add(value, order)
+                }
+            }
+
+            /// Atomic subtract; returns the previous value.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                if model::is_active() {
+                    match model::atomic_rmw(&self.cell, self.init(), order, |v| {
+                        (v as $prim).wrapping_sub(value) as u64
+                    }) {
+                        Some(v) => v as $prim,
+                        None => 0,
+                    }
+                } else {
+                    self.real.fetch_sub(value, order)
+                }
+            }
+
+            /// Atomic max; returns the previous value.
+            pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                if model::is_active() {
+                    match model::atomic_rmw(&self.cell, self.init(), order, |v| {
+                        (v as $prim).max(value) as u64
+                    }) {
+                        Some(v) => v as $prim,
+                        None => 0,
+                    }
+                } else {
+                    self.real.fetch_max(value, order)
+                }
+            }
+
+            /// Strong compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if model::is_active() {
+                    match model::atomic_cas(
+                        &self.cell,
+                        self.init(),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    ) {
+                        Some(Ok(v)) => Ok(v as $prim),
+                        Some(Err(v)) => Err(v as $prim),
+                        None => Err(current),
+                    }
+                } else {
+                    self.real.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Weak compare-exchange. The model does not generate
+            /// spurious failures, so weak and strong are identical
+            /// under a check.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if model::is_active() {
+                    self.compare_exchange(current, new, success, failure)
+                } else {
+                    self.real
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+            }
+        }
+    };
+}
+
+shadow_atomic!(
+    /// Shadow of [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+shadow_atomic!(
+    /// Shadow of [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+/// Shadow of [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+    cell: model::RegCell,
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").field(&self.real).finish()
+    }
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value.
+    pub const fn new(value: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(value),
+            cell: model::RegCell::new(),
+        }
+    }
+
+    fn init(&self) -> u64 {
+        u64::from(self.real.load(Ordering::Relaxed))
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> bool {
+        if model::is_active() {
+            match model::atomic_load(&self.cell, self.init(), order) {
+                Some(v) => v != 0,
+                None => self.real.load(Ordering::Relaxed),
+            }
+        } else {
+            self.real.load(order)
+        }
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: bool, order: Ordering) {
+        if model::is_active() {
+            let _ = model::atomic_store(&self.cell, self.init(), u64::from(value), order);
+        } else {
+            self.real.store(value, order);
+        }
+    }
+}
+
+/// Shadow of [`std::sync::atomic::fence`].
+pub fn fence(order: Ordering) {
+    if model::is_active() {
+        let _ = model::fence(order);
+    } else {
+        std::sync::atomic::fence(order);
+    }
+}
+
+/// Shadow of [`std::sync::Mutex`]: model-time blocking with
+/// release/acquire edges on lock/unlock. The real lock is always taken
+/// as well — the model guarantees it is free when granted, and ordinary
+/// (non-model) use degrades to the plain `std` mutex.
+pub struct Mutex<T> {
+    real: std::sync::Mutex<T>,
+    cell: model::RegCell,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Mutex").field(&self.real).finish()
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            real: std::sync::Mutex::new(value),
+            cell: model::RegCell::new(),
+        }
+    }
+
+    /// Locks, blocking in model time when checked. Poisoning only
+    /// occurs on the fallback path and is passed through.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if model::is_active() {
+            // Model grants the lock only when no other model thread
+            // holds it, so the real lock below cannot block for long
+            // (its holder has already dropped the real guard).
+            let _ = model::mutex_lock(&self.cell);
+            let inner = self.real.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+                model: true,
+            })
+        } else {
+            match self.real.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+}
+
+/// Guard for a [`Mutex`]; releases the model lock (then the real one)
+/// on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("MutexGuard").field(&self.inner).finish()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken only by wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken only by wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first: the model-unlock below is a
+        // scheduling point that may run another thread, which must be
+        // able to take the real lock immediately.
+        drop(self.inner.take());
+        if self.model {
+            model::mutex_unlock(&self.lock.cell);
+        }
+    }
+}
+
+/// Shadow of [`std::sync::Condvar`]: deterministic wakeups (the model
+/// branches over which waiter `notify_one` picks) and exact lost-wakeup
+/// detection (a sleep nobody can end is reported as a deadlock).
+pub struct Condvar {
+    real: std::sync::Condvar,
+    cell: model::RegCell,
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates the condvar.
+    pub const fn new() -> Self {
+        Self {
+            real: std::sync::Condvar::new(),
+            cell: model::RegCell::new(),
+        }
+    }
+
+    /// Releases the guard's mutex, blocks until notified, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if model::is_active() && guard.model {
+            let lock = guard.lock;
+            // Consume the guard without model-unlocking: the model's
+            // wait releases the mutex atomically with blocking.
+            let mut guard = guard;
+            drop(guard.inner.take());
+            guard.model = false;
+            drop(guard);
+            let _ = model::condvar_wait(&self.cell, &lock.cell);
+            let inner = lock.real.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard {
+                lock,
+                inner: Some(inner),
+                model: true,
+            })
+        } else {
+            let lock = guard.lock;
+            let mut guard = guard;
+            let inner = guard.inner.take().expect("guard holds the real lock");
+            guard.model = false;
+            drop(guard);
+            match self.real.wait(inner) {
+                Ok(inner) => Ok(MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poison) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: Some(poison.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    /// Wakes one waiter (model: a decision among the waiters).
+    pub fn notify_one(&self) {
+        if model::is_active() {
+            let _ = model::condvar_notify(&self.cell, false);
+        } else {
+            self.real.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if model::is_active() {
+            let _ = model::condvar_notify(&self.cell, true);
+        } else {
+            self.real.notify_all();
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Self-tests for the mini-loom model checker: the classic weak-memory
+//! litmus tests must pass with the correct orderings and *provably*
+//! fail with the seeded-buggy ones, so the tool cannot silently rot.
+
+use asr_verify::model::{self, Config};
+use asr_verify::shadow::{fence, AtomicUsize, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        preemption_bound: 3,
+        max_executions: 100_000,
+        max_steps: 2_000,
+        max_threads: 3,
+    }
+}
+
+/// Message passing with a Release store / Acquire load pair: the
+/// reader that observes the flag must observe the data.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let executions = model::check(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = model::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "stale data past the flag");
+            }
+        });
+        data.store(42, Ordering::Relaxed);
+        flag.store(1, Ordering::Release);
+        t1.join();
+    });
+    // Exhaustive means more than one interleaving was actually tried.
+    assert!(executions > 1, "only {executions} executions explored");
+}
+
+/// The same harness with the Release downgraded to Relaxed is the
+/// seeded bug: some admissible interleaving reads the flag but stale
+/// data, and the checker must find it.
+#[test]
+fn message_passing_relaxed_is_caught() {
+    let report = model::check_expect_failure(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = model::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 42, "stale data past the flag");
+            }
+        });
+        data.store(42, Ordering::Relaxed);
+        // BUG (seeded): Relaxed where Release is required.
+        flag.store(1, Ordering::Relaxed);
+        t1.join();
+    });
+    assert!(
+        report.contains("stale data"),
+        "unexpected failure: {report}"
+    );
+}
+
+/// Release *fence* before a relaxed store publishes just like a
+/// release store (the Chase–Lev push idiom).
+#[test]
+fn release_fence_publishes_relaxed_store() {
+    model::check(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t1 = model::spawn(move || {
+            if f2.load(Ordering::Acquire) == 1 {
+                assert_eq!(d2.load(Ordering::Relaxed), 7, "fence failed to publish");
+            }
+        });
+        data.store(7, Ordering::Relaxed);
+        fence(Ordering::Release);
+        flag.store(1, Ordering::Relaxed);
+        t1.join();
+    });
+}
+
+/// Store buffering: with SeqCst fences between each thread's store and
+/// its read of the other's location, both threads cannot read zero.
+#[test]
+fn store_buffering_seqcst_fences_pass() {
+    model::check(cfg(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::new(AtomicUsize::new(99));
+        let (x2, y2, r12) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+        let t1 = model::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            r12.store(x2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        x.store(1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let r0 = y.load(Ordering::Relaxed);
+        t1.join();
+        let r1 = r1.load(Ordering::Relaxed);
+        assert!(
+            r0 == 1 || r1 == 1,
+            "both threads read zero through SC fences"
+        );
+    });
+}
+
+/// Store buffering with the fences removed: both-read-zero is an
+/// admissible relaxed behavior and the checker must exhibit it.
+#[test]
+fn store_buffering_relaxed_is_caught() {
+    let report = model::check_expect_failure(cfg(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let r1 = Arc::new(AtomicUsize::new(99));
+        let (x2, y2, r12) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+        let t1 = model::spawn(move || {
+            y2.store(1, Ordering::Relaxed);
+            r12.store(x2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        x.store(1, Ordering::Relaxed);
+        let r0 = y.load(Ordering::Relaxed);
+        t1.join();
+        let r1 = r1.load(Ordering::Relaxed);
+        assert!(r0 == 1 || r1 == 1, "both threads read zero");
+    });
+    assert!(report.contains("both threads read zero"), "{report}");
+}
+
+/// A naive check-then-sleep (no eventcount registration, no re-check
+/// under the lock) loses the wakeup when the notify lands between the
+/// check and the wait; the model reports it as a deadlock.
+#[test]
+fn naive_sleep_lost_wakeup_is_caught() {
+    let report = model::check_expect_failure(cfg(), || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let lot = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let (f2, l2, c2) = (Arc::clone(&flag), Arc::clone(&lot), Arc::clone(&cv));
+        let sleeper = model::spawn(move || {
+            // BUG (seeded): the flag check is outside the lock and
+            // never re-checked before sleeping.
+            if f2.load(Ordering::SeqCst) == 0 {
+                let guard = l2.lock().unwrap();
+                let _guard = c2.wait(guard).unwrap();
+            }
+        });
+        flag.store(1, Ordering::SeqCst);
+        cv.notify_one();
+        sleeper.join();
+    });
+    assert!(report.contains("deadlock"), "{report}");
+}
+
+/// The fixed idiom — re-check the flag *under the lock* before
+/// sleeping — never deadlocks.
+#[test]
+fn checked_sleep_never_loses_the_wakeup() {
+    model::check(cfg(), || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let lot = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let (f2, l2, c2) = (Arc::clone(&flag), Arc::clone(&lot), Arc::clone(&cv));
+        let sleeper = model::spawn(move || {
+            if f2.load(Ordering::SeqCst) == 0 {
+                let guard = l2.lock().unwrap();
+                if f2.load(Ordering::SeqCst) == 0 {
+                    let _guard = c2.wait(guard).unwrap();
+                }
+            }
+        });
+        flag.store(1, Ordering::SeqCst);
+        {
+            // Publishing under the lock orders the store against the
+            // sleeper's locked re-check.
+            let _guard = lot.lock().unwrap();
+        }
+        cv.notify_one();
+        sleeper.join();
+    });
+}
+
+/// Unsynchronized read-modify-write (load; add; store) loses updates
+/// under preemption — a pure scheduler-interleaving bug, no weak
+/// memory needed.
+#[test]
+fn racy_increment_is_caught() {
+    let report = model::check_expect_failure(cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t1 = model::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t1.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(report.contains("lost update"), "{report}");
+}
+
+/// The same increment through a real RMW is atomic.
+#[test]
+fn fetch_add_increment_passes() {
+    model::check(cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t1 = model::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        t1.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// Spinning on a flag with `yield_now` terminates: the scheduler must
+/// run the other thread past a yield instead of livelocking.
+#[test]
+fn yield_makes_spin_loops_explorable() {
+    model::check(cfg(), || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t1 = model::spawn(move || {
+            f2.store(1, Ordering::Release);
+        });
+        while flag.load(Ordering::Acquire) == 0 {
+            model::yield_now();
+        }
+        t1.join();
+    });
+}
+
+/// Mutexes actually exclude: two guarded increments never interleave.
+#[test]
+fn mutex_guards_compound_updates() {
+    model::check(cfg(), || {
+        let n = Arc::new(Mutex::new(0usize));
+        let n2 = Arc::clone(&n);
+        let t1 = model::spawn(move || {
+            let mut guard = n2.lock().unwrap();
+            *guard += 1;
+        });
+        {
+            let mut guard = n.lock().unwrap();
+            *guard += 1;
+        }
+        t1.join();
+        let total = *n.lock().unwrap();
+        assert_eq!(total, 2);
+    });
+}
+
+/// Outside a check the shadow types are plain std primitives.
+#[test]
+fn shadow_types_fall_back_to_std_outside_a_check() {
+    let n = AtomicUsize::new(3);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 3);
+    assert_eq!(n.load(Ordering::SeqCst), 5);
+    assert_eq!(
+        n.compare_exchange(5, 9, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(5)
+    );
+    let m = Mutex::new(1u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 2);
+    assert!(!model::is_active());
+}

@@ -105,6 +105,11 @@ fn align64(x: usize) -> usize {
 #[derive(Clone, Copy)]
 struct Chunk([u8; SECTION_ALIGN]);
 
+// The byte-stable image format depends on this exact layout; a drifted
+// `Chunk` would silently misalign every section view.
+const _: () = assert!(std::mem::size_of::<Chunk>() == SECTION_ALIGN);
+const _: () = assert!(std::mem::align_of::<Chunk>() == SECTION_ALIGN);
+
 /// A read-only, page-cache-shared file mapping. Pages fault in from the
 /// kernel's cache instead of being copied into fresh heap pages, which is
 /// what makes [`ImageBytes::read_file`] an order of magnitude cheaper than
@@ -115,7 +120,7 @@ struct Mapping {
     bytes: usize,
 }
 
-// Sound: the mapping is created `PROT_READ` and never remapped; concurrent
+// SAFETY: the mapping is created `PROT_READ` and never remapped; concurrent
 // readers see immutable memory, exactly like a shared `&[u8]`.
 #[cfg(target_os = "linux")]
 unsafe impl Send for Mapping {}
@@ -228,7 +233,7 @@ impl ImageBytes {
         }
         let n = len.div_ceil(SECTION_ALIGN);
         let mut chunks = vec![Chunk([0u8; SECTION_ALIGN]); n];
-        // View the chunk storage as plain bytes for the read. Sound: the
+        // View the chunk storage as plain bytes for the read. SAFETY: the
         // allocation holds `n * 64` initialized bytes and `u8` has no
         // invalid values.
         let storage = unsafe {
@@ -284,7 +289,7 @@ impl ImageBytes {
     /// The buffer contents.
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        // Sound: both backings hold at least `len` initialized, immutable
+        // SAFETY: both backings hold at least `len` initialized, immutable
         // bytes for as long as any clone is alive.
         unsafe { std::slice::from_raw_parts(self.base(), self.len) }
     }
@@ -341,6 +346,7 @@ pub(crate) trait Record: Copy + 'static {
 impl Record for StateEntry {
     const BYTES: usize = STATE_BYTES as usize;
     fn from_le(bytes: &[u8]) -> Self {
+        // LINT-ALLOW: panic — callers slice exactly `BYTES` bytes.
         layout::unpack_state(u64::from_le_bytes(bytes.try_into().expect("8-byte record")))
     }
 }
@@ -349,6 +355,7 @@ impl Record for Arc {
     const BYTES: usize = ARC_BYTES as usize;
     fn from_le(bytes: &[u8]) -> Self {
         layout::unpack_arc(u128::from_le_bytes(
+            // LINT-ALLOW: panic — callers slice exactly `BYTES` bytes.
             bytes.try_into().expect("16-byte record"),
         ))
     }
@@ -357,6 +364,7 @@ impl Record for Arc {
 impl Record for f32 {
     const BYTES: usize = 4;
     fn from_le(bytes: &[u8]) -> Self {
+        // LINT-ALLOW: panic — callers slice exactly `BYTES` bytes.
         f32::from_le_bytes(bytes.try_into().expect("4-byte record"))
     }
 }
@@ -364,6 +372,7 @@ impl Record for f32 {
 impl Record for u32 {
     const BYTES: usize = 4;
     fn from_le(bytes: &[u8]) -> Self {
+        // LINT-ALLOW: panic — callers slice exactly `BYTES` bytes.
         u32::from_le_bytes(bytes.try_into().expect("4-byte record"))
     }
 }
@@ -371,6 +380,7 @@ impl Record for u32 {
 impl Record for i64 {
     const BYTES: usize = 8;
     fn from_le(bytes: &[u8]) -> Self {
+        // LINT-ALLOW: panic — callers slice exactly `BYTES` bytes.
         i64::from_le_bytes(bytes.try_into().expect("8-byte record"))
     }
 }
@@ -395,7 +405,7 @@ pub(crate) enum Section<T: 'static> {
     },
 }
 
-// Sound: a `View` is an immutable window into an `Arc`-shared, never-mutated
+// SAFETY: a `View` is an immutable window into an `Arc`-shared, never-mutated
 // buffer, so sharing or sending it is exactly as safe as `&[T]`/`Arc<[T]>`.
 unsafe impl<T: Send + Sync> Send for Section<T> {}
 unsafe impl<T: Send + Sync> Sync for Section<T> {}
@@ -407,6 +417,8 @@ impl<T> std::ops::Deref for Section<T> {
     fn deref(&self) -> &[T] {
         match self {
             Section::Owned(v) => v,
+            // SAFETY: `ptr`/`len` were validated against the pinned
+            // buffer at construction, and `_buf` keeps it alive.
             Section::View { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
         }
     }
@@ -627,6 +639,7 @@ fn rd_u32(b: &[u8], off: usize) -> Result<u32> {
     let s = b
         .get(off..off + 4)
         .ok_or_else(|| corrupt("truncated header"))?;
+    // LINT-ALLOW: panic — the `get` above proves the slice is 4 bytes.
     Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
 }
 
@@ -634,6 +647,7 @@ fn rd_u64(b: &[u8], off: usize) -> Result<u64> {
     let s = b
         .get(off..off + 8)
         .ok_or_else(|| corrupt("truncated header"))?;
+    // LINT-ALLOW: panic — the `get` above proves the slice is 8 bytes.
     Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
 }
 

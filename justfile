@@ -15,6 +15,45 @@ check:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
 
+# The repo's custom static-analysis pass: SAFETY comments on every
+# unsafe, Ordering/raw-pointer allowlists, no-panic hot paths, and
+# repr(C) size/align asserts. Exits non-zero on any finding.
+lint:
+    cargo run --release -p asr-verify --bin asr-lint .
+
+# Exhaustive model checking of the lock-free executor: the checker's
+# own litmus self-tests (correct idioms pass, seeded bugs are caught),
+# then the pool harnesses (ChaseLev pop-vs-steal, injector full-ring
+# helping, eventcount lost wakeup, batch slot generations) compiled
+# against the shadow sync facade.
+model-check:
+    cargo test -q -p asr-verify
+    cargo test -q -p asr-decoder --features model-check --lib model_check
+
+# Targeted Miri over the unsafe suites (needs a nightly toolchain with
+# the miri + rust-src components; CI runs this, offline boxes may not
+# have it installed).
+miri:
+    @rustup component list --toolchain nightly 2>/dev/null | grep -q 'miri.*(installed)' \
+        && { cargo +nightly miri test -p asr-decoder --lib token_table; \
+             cargo +nightly miri test -p asr-decoder --lib stream; \
+             cargo +nightly miri test -p asr-wfst --lib store; } \
+        || echo "miri: nightly component not installed; skipping (CI runs this)"
+
+# ThreadSanitizer over the executor and runtime concurrency suites
+# (needs nightly + rust-src for -Z build-std; CI runs this).
+tsan:
+    @rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src.*(installed)' \
+        && { RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test -Z build-std \
+                 --target x86_64-unknown-linux-gnu -p asr-decoder --lib pool; \
+             RUSTFLAGS="-Z sanitizer=thread" cargo +nightly test -Z build-std \
+                 --target x86_64-unknown-linux-gnu -p asr-repro --lib runtime; } \
+        || echo "tsan: nightly rust-src not installed; skipping (CI runs this)"
+
+# The full verification gate: custom lint, exhaustive model check, then
+# the tier-1 build+test suite.
+verify: lint model-check test
+
 # Decode-throughput benchmark: token-table engine vs the HashMap
 # reference; writes BENCH_decode.json at the repo root.
 bench-decode:

@@ -1517,12 +1517,13 @@ impl RuntimeInner {
                     }
                     let n = hi - lo;
                     // SAFETY: chunk ranges [lo, hi) are disjoint, so
-                    // each lane writes a private row range of `out` and
-                    // a private region of `scratch`; both base pointers
-                    // outlive the fork_join (the buffers live in the
-                    // locked BatchState).
+                    // each lane writes a private row range of `out`; the
+                    // base pointer outlives the fork_join (the buffer
+                    // lives in the locked BatchState).
                     let out =
                         unsafe { std::slice::from_raw_parts_mut(shards.out.add(lo * rl), n * rl) };
+                    // SAFETY: same disjointness and lifetime argument
+                    // for each lane's private region of `scratch`.
                     let scratch = unsafe {
                         std::slice::from_raw_parts_mut(shards.scratch.add(lo * srl), n * srl)
                     };
